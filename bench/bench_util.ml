@@ -1,0 +1,36 @@
+(* Shared helpers for the benchmark harness: wall-clock timing and table
+   rendering. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let sub title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+(* A fixed-width table: header then rows. *)
+let table headers rows =
+  let ncol = List.length headers in
+  let widths = Array.make ncol 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) headers;
+  List.iter
+    (fun r ->
+      List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) r)
+    rows;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let line cells = print_endline ("  " ^ String.concat "  " (List.mapi pad cells)) in
+  line headers;
+  line (List.mapi (fun i _ -> String.make widths.(i) '-') headers);
+  List.iter line rows
+
+let pct num den =
+  if den = 0 then "n/a" else Printf.sprintf "%d%%" (num * 100 / den)
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  note: %s\n" s) fmt

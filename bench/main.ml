@@ -1,0 +1,45 @@
+(* Benchmark harness: regenerates every table and measured result of the
+   paper's evaluation (§5).  Run with `dune exec bench/main.exe`.
+
+     --full          paper-scale workloads (Table 3 traces >200k packets,
+                     month-scale false-positive corpus)
+     --section NAME  run one section: table1 table2 table3 fp efficiency
+                     baseline micro
+*)
+
+let sections =
+  [ "table1"; "table2"; "table3"; "fp"; "efficiency"; "baseline"; "ablation"; "containment"; "parallel"; "micro" ]
+
+let () =
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  let selected =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = "--section" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let want name = match selected with None -> true | Some s -> s = name in
+  (match selected with
+  | Some s when not (List.mem s sections) ->
+      Printf.eprintf "unknown section %S; available: %s\n" s (String.concat " " sections);
+      exit 2
+  | Some _ | None -> ());
+  Printf.printf "sanids benchmark harness — %s mode\n"
+    (if full then "full (paper-scale)" else "quick");
+  Printf.printf "(shapes, not absolute 2006 numbers, are the reproduction target)\n";
+  let instances = 100 in
+  let packets_per_trace = if full then 200_000 else 20_000 in
+  let fp_packets = if full then 1_000_000 else 50_000 in
+  if want "table1" then Table1.run ();
+  if want "table2" then Table2.run ~instances ();
+  if want "table3" then Table3.run ~packets_per_trace ();
+  if want "fp" then False_pos.run ~packets:fp_packets ();
+  if want "efficiency" then Efficiency.run ();
+  if want "baseline" then Baseline_contrast.run ~instances ();
+  if want "ablation" then Ablation.run ();
+  if want "containment" then Containment_bench.run ();
+  if want "parallel" then Parallel_bench.run ~packets:fp_packets ();
+  if want "micro" then Micro.run ();
+  print_newline ()

@@ -1,0 +1,75 @@
+(* Table 1 — Linux shell spawning buffer overflow exploits.
+
+   Eight exploits are fired at a honeypot registered with the NIDS; every
+   one must be detected as spawning a shell and the two port binders
+   additionally noted.  Per-exploit analysis time is reported alongside,
+   with the Netsky timing points (paper: 2.36–3.27 s per exploit and
+   ≈6.5 s per ~22 KB Netsky variant on a 2006 P4, vs ≈40 s for the
+   system of reference [5]). *)
+
+open Sanids_net
+open Sanids_nids
+open Sanids_exploits
+
+let honeypot = Ipaddr.of_string "10.9.9.9"
+let attacker = Ipaddr.of_string "198.51.100.77"
+
+let run () =
+  Bench_util.hr "Table 1: Linux shell-spawning buffer overflow exploits";
+  let cfg = Config.default |> Config.with_honeypots [ honeypot ] in
+  let nids = Pipeline.create cfg in
+  let rng = Rng.create 0x7AB1E001L in
+  let rows =
+    List.map
+      (fun (e : Shellcodes.entry) ->
+        (* the exploit generator sends to the honeypot, which flags the
+           source; detection happens on that packet's payload *)
+        let pkt =
+          Exploit_gen.packet rng ~ts:0.0 ~src:attacker ~dst:honeypot
+            ~shellcode:e.Shellcodes.code
+        in
+        let alerts, dt = Bench_util.time (fun () -> Pipeline.process_packet nids pkt) in
+        let spawned =
+          List.exists (fun a -> a.Alert.template = "shell-spawn") alerts
+        in
+        let bound =
+          List.exists (fun a -> a.Alert.template = "port-bind-shell") alerts
+        in
+        [
+          e.Shellcodes.name;
+          Printf.sprintf "%d B" (String.length e.Shellcodes.code);
+          (if spawned then "yes" else "NO");
+          (if e.Shellcodes.binds_port then if bound then "yes (noted)" else "MISSED"
+           else if bound then "spurious"
+           else "-");
+          Printf.sprintf "%.3f s" dt;
+        ])
+      Shellcodes.all
+  in
+  Bench_util.table
+    [ "exploit"; "code size"; "shell detected"; "port bind"; "analysis time" ]
+    rows;
+  Bench_util.sub "Netsky timing points (larger input, same pipeline)";
+  let netsky_rows =
+    List.map
+      (fun (name, body) ->
+        (* virus samples are whole binaries, not packet payloads: analyze
+           without network extraction, the way reference [5] consumes them *)
+        let nids_file =
+          Pipeline.create
+            (cfg |> Config.with_classification false |> Config.with_extraction false)
+        in
+        let results, dt =
+          Bench_util.time (fun () -> Pipeline.analyze_payload nids_file body)
+        in
+        [
+          name;
+          Printf.sprintf "%d B" (String.length body);
+          Printf.sprintf "%d" (List.length results);
+          Printf.sprintf "%.3f s" dt;
+        ])
+      (Netsky.variants ())
+  in
+  Bench_util.table [ "sample"; "size"; "behaviours found"; "analysis time" ] netsky_rows;
+  Bench_util.note
+    "paper shape: 8/8 detected, 2/2 binders noted; times grow with input size (paper: 2.36-3.27s exploits, ~6.5s Netsky, ~40s in ref [5])"

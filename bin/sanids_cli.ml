@@ -1,0 +1,343 @@
+(* The sanids command-line tool.
+
+     sanids scan capture.pcap --honeypot 10.0.0.9 --unused 10.9.0.0/16
+     sanids gen-trace out.pcap --kind codered --packets 20000 --seed 7
+     sanids gen-exploit --shellcode classic --polymorphic -o exploit.bin
+     sanids disasm exploit.bin
+     sanids match exploit.bin
+     sanids templates
+     sanids corpus
+*)
+
+open Sanids
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log classification and alerts as they happen.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* common argument converters *)
+
+let ipaddr_conv =
+  let parse s =
+    match Ipaddr.of_string_opt s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "bad IPv4 address %S" s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.fprintf ppf "%s" (Ipaddr.to_string a))
+
+let prefix_conv =
+  let parse s =
+    match Ipaddr.prefix_of_string s with
+    | p -> Ok p
+    | exception _ -> Error (`Msg (Printf.sprintf "bad prefix %S (want a.b.c.d/len)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.fprintf ppf "%s" (Ipaddr.prefix_to_string p))
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic RNG seed.")
+
+(* ------------------------------------------------------------------ *)
+(* sanids scan *)
+
+let scan_cmd =
+  let pcap_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CAPTURE.pcap")
+  in
+  let honeypots =
+    Arg.(value & opt_all ipaddr_conv [] & info [ "honeypot" ] ~docv:"IP"
+           ~doc:"Register a honeypot decoy address (repeatable).")
+  in
+  let unused =
+    Arg.(value & opt_all prefix_conv [] & info [ "unused" ] ~docv:"CIDR"
+           ~doc:"Declare unused address space for scan detection (repeatable).")
+  in
+  let no_classify =
+    Arg.(value & flag & info [ "no-classify" ]
+           ~doc:"Disable classification: analyze every payload (the paper's \
+                 false-positive-run configuration).")
+  in
+  let no_extract =
+    Arg.(value & flag & info [ "no-extract" ]
+           ~doc:"Disable binary extraction: hand whole payloads to the \
+                 disassembler (reference-[5] style).")
+  in
+  let run path honeypots unused no_classify no_extract verbose =
+    setup_logs verbose;
+    let cfg =
+      Config.default |> Config.with_honeypots honeypots
+      |> Config.with_unused unused
+      |> Config.with_classification (not no_classify)
+      |> Config.with_extraction (not no_extract)
+    in
+    let nids = Pipeline.create cfg in
+    let capture = Pcap.read_file path in
+    let alerts = Pipeline.process_pcap nids capture in
+    List.iter (fun a -> print_endline (Alert.to_line a)) alerts;
+    Format.printf "%a@." Stats.pp (Pipeline.stats nids);
+    if alerts = [] then print_endline "no alerts"
+  in
+  Cmd.v
+    (Cmd.info "scan" ~doc:"Run the semantics-aware NIDS over a pcap capture.")
+    Term.(
+      const run $ pcap_arg $ honeypots $ unused $ no_classify $ no_extract
+      $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sanids gen-trace *)
+
+let gen_trace_cmd =
+  let out_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.pcap") in
+  let kind =
+    Arg.(value & opt (enum [ ("benign", `Benign); ("codered", `Codered) ]) `Benign
+         & info [ "kind" ] ~docv:"KIND" ~doc:"Trace kind: benign or codered.")
+  in
+  let packets =
+    Arg.(value & opt int 10_000 & info [ "packets" ] ~docv:"N" ~doc:"Benign packet count.")
+  in
+  let instances =
+    Arg.(value & opt int 3 & info [ "instances" ] ~docv:"N"
+           ~doc:"Code Red II instances (codered kind).")
+  in
+  let run out kind packets instances seed =
+    let rng = Rng.create (Int64.of_int seed) in
+    let clients = Ipaddr.prefix_of_string "10.1.0.0/16" in
+    let servers = Ipaddr.prefix_of_string "10.2.0.0/16" in
+    let unused = Ipaddr.prefix_of_string "10.2.200.0/21" in
+    let pkts =
+      match kind with
+      | `Benign -> Benign_gen.packets rng ~n:packets ~t0:0.0 ~clients ~servers
+      | `Codered ->
+          let pkts, truth =
+            Worm_gen.code_red_trace rng ~benign:packets ~instances
+              ~scans_per_instance:6 ~clients ~servers ~unused ~duration:300.0
+          in
+          Printf.printf
+            "ground truth: %d packets, %d CRII instances, %d scans (unused space: %s)\n"
+            truth.Worm_gen.total_packets truth.Worm_gen.crii_instances
+            truth.Worm_gen.scan_packets
+            (Ipaddr.prefix_to_string unused);
+          pkts
+    in
+    Pcap.write_file out (Pcap.of_packets pkts);
+    Printf.printf "wrote %s (%d packets)\n" out (List.length pkts)
+  in
+  Cmd.v
+    (Cmd.info "gen-trace" ~doc:"Synthesize a seeded pcap trace (benign or worm outbreak).")
+    Term.(const run $ out_arg $ kind $ packets $ instances $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sanids gen-exploit *)
+
+let gen_exploit_cmd =
+  let sc_name =
+    Arg.(value & opt string "classic" & info [ "shellcode" ] ~docv:"NAME"
+           ~doc:"Shellcode from the corpus (see $(b,sanids corpus)).")
+  in
+  let polymorphic =
+    Arg.(value & flag & info [ "polymorphic" ]
+           ~doc:"Wrap the shellcode with the ADMmutate-style engine.")
+  in
+  let clet = Arg.(value & flag & info [ "clet" ] ~doc:"Use the Clet-style engine.") in
+  let staged =
+    Arg.(value & flag & info [ "staged" ]
+           ~doc:"Double-encode: the decoder decodes a second decoder.")
+  in
+  let http =
+    Arg.(value & flag & info [ "http" ] ~doc:"Embed in an HTTP overflow request.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (default: hexdump to stdout).")
+  in
+  let run sc_name polymorphic clet staged http out seed =
+    match Shellcodes.find sc_name with
+    | exception Not_found ->
+        Printf.eprintf "unknown shellcode %S; see `sanids corpus`\n" sc_name;
+        exit 2
+    | entry ->
+        let rng = Rng.create (Int64.of_int seed) in
+        let code =
+          if staged then
+            (Admmutate.generate_staged ~stages:2 rng ~payload:entry.Shellcodes.code)
+              .Admmutate.code
+          else if clet then (Clet.generate rng ~payload:entry.Shellcodes.code).Clet.code
+          else if polymorphic then
+            (Admmutate.generate rng ~payload:entry.Shellcodes.code).Admmutate.code
+          else entry.Shellcodes.code
+        in
+        let data =
+          if http then Exploit_gen.http_exploit rng ~shellcode:code else code
+        in
+        (match out with
+        | Some path ->
+            write_file path data;
+            Printf.printf "wrote %s (%d bytes)\n" path (String.length data)
+        | None -> print_endline (Hexdump.to_string data))
+  in
+  Cmd.v
+    (Cmd.info "gen-exploit" ~doc:"Emit a shellcode or exploit payload from the corpus.")
+    Term.(const run $ sc_name $ polymorphic $ clet $ staged $ http $ out $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sanids disasm / match *)
+
+let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let disasm_cmd =
+  let run path =
+    let code = read_file path in
+    Array.iter
+      (fun (d : Decode.decoded) ->
+        Printf.printf "%04x: %s\n" d.Decode.off (Pretty.to_string d.Decode.insn))
+      (Decode.all code)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Linear-sweep disassembly of a binary file.")
+    Term.(const run $ file_pos)
+
+let match_cmd =
+  let run path =
+    let code = read_file path in
+    match Matcher.scan ~templates:Template_lib.default_set code with
+    | [] ->
+        print_endline "no template matches";
+        exit 1
+    | results ->
+        List.iter
+          (fun r -> Format.printf "%a@." Matcher.pp_result r)
+          results
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Run the semantic template matcher over a binary file.")
+    Term.(const run $ file_pos)
+
+let emulate_cmd =
+  let max_steps =
+    Arg.(value & opt int 100_000 & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Execution budget.")
+  in
+  let run path max_steps =
+    let code = read_file path in
+    let emu = Emulator.create ~code () in
+    let rec drive budget syscalls =
+      match Emulator.run ~max_steps:budget emu with
+      | Emulator.Syscall n, steps ->
+          Printf.printf
+            "syscall int 0x%x after %d steps: eax=0x%lx ebx=0x%lx ecx=0x%lx edx=0x%lx\n"
+            n (Emulator.steps_taken emu) (Emulator.reg emu Reg.EAX)
+            (Emulator.reg emu Reg.EBX) (Emulator.reg emu Reg.ECX)
+            (Emulator.reg emu Reg.EDX);
+          if syscalls < 16 && budget - steps > 0 then begin
+            (* fake a kernel return and continue *)
+            Emulator.set_reg emu Reg.EAX 3l;
+            drive (budget - steps) (syscalls + 1)
+          end
+          else Printf.printf "stopping after %d syscalls\n" (syscalls + 1)
+      | Emulator.Halted m, _ ->
+          Printf.printf "halted after %d steps: %s (eip=0x%lx)\n"
+            (Emulator.steps_taken emu) m (Emulator.eip emu)
+      | Emulator.Running, _ ->
+          Printf.printf "still running after %d steps (eip=0x%lx)\n"
+            (Emulator.steps_taken emu) (Emulator.eip emu)
+    in
+    drive max_steps 0
+  in
+  Cmd.v
+    (Cmd.info "emulate"
+       ~doc:"Execute a binary file in the sandboxed x86 interpreter and report \
+             its syscalls - dynamic ground truth for what the code does.")
+    Term.(const run $ file_pos $ max_steps)
+
+let sig_scan_cmd =
+  let rules_file =
+    Arg.(value & opt (some file) None & info [ "rules" ] ~docv:"FILE"
+           ~doc:"Snort-style rule file (default: the shipped ruleset).")
+  in
+  let run path rules_file =
+    let text =
+      match rules_file with Some f -> read_file f | None -> Rule.default_ruleset
+    in
+    let rules, errors = Rule.parse_many text in
+    List.iter (fun (line, e) -> Printf.eprintf "rule line %d: %s\n" line e) errors;
+    let engine = Rule.compile rules in
+    Printf.printf "loaded %d rules\n" (List.length rules);
+    let capture = Pcap.read_file path in
+    let hits = ref 0 in
+    List.iter
+      (fun r ->
+        match r with
+        | Ok p ->
+            List.iter
+              (fun msg ->
+                incr hits;
+                Printf.printf "[%.3f] SIG %s %s -> %s\n" p.Packet.ts msg
+                  (Ipaddr.to_string (Packet.src p))
+                  (Ipaddr.to_string (Packet.dst p)))
+              (Rule.match_packet engine p)
+        | Error _ -> ())
+      (Pcap.to_packets capture);
+    if !hits = 0 then print_endline "no signature matches"
+  in
+  Cmd.v
+    (Cmd.info "sig-scan"
+       ~doc:"Run the Snort-style signature baseline over a pcap capture.")
+    Term.(const run $ file_pos $ rules_file)
+
+(* ------------------------------------------------------------------ *)
+(* sanids templates / corpus *)
+
+let templates_cmd =
+  let run () =
+    List.iter
+      (fun (t : Template.t) ->
+        Printf.printf "%-18s %s\n" t.Template.name t.Template.description)
+      Template_lib.default_set
+  in
+  Cmd.v
+    (Cmd.info "templates" ~doc:"List the shipped semantic templates.")
+    Term.(const run $ const ())
+
+let corpus_cmd =
+  let run () =
+    List.iter
+      (fun (e : Shellcodes.entry) ->
+        Printf.printf "%-12s %4d B  %s%s\n" e.Shellcodes.name
+          (String.length e.Shellcodes.code)
+          e.Shellcodes.description
+          (if e.Shellcodes.binds_port then "  [binds port]" else ""))
+      Shellcodes.all
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List the shell-spawning shellcode corpus.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "sanids" ~version:"1.0.0"
+      ~doc:"Network intrusion detection with semantics-aware capability."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            scan_cmd; sig_scan_cmd; gen_trace_cmd; gen_exploit_cmd; disasm_cmd;
+            match_cmd; emulate_cmd;
+            templates_cmd; corpus_cmd;
+          ]))

@@ -1,0 +1,55 @@
+(* Why sixty seconds matters: simulate a Code-Red-class worm spreading
+   through a vulnerable population, with and without NIDS-triggered
+   quarantine, and plot the infection curves side by side.
+
+   Run with: dune exec examples/containment_curve.exe *)
+
+open Sanids
+
+let epidemic =
+  {
+    Epidemic.population = 360_000;
+    address_space = 4294967296.0;
+    scan_rate = 200.0;
+    initial = 25;
+  }
+
+let bar width fraction =
+  let n = int_of_float (fraction *. float_of_int width) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let () =
+  Printf.printf "Code-Red-class worm: %d vulnerable hosts, %.0f probes/s, beta=%.4f/s\n\n"
+    epidemic.Epidemic.population epidemic.Epidemic.scan_rate
+    (Epidemic.beta epidemic);
+
+  (* uncontained: the deterministic logistic curve *)
+  Printf.printf "uncontained spread (deterministic model):\n";
+  List.iter
+    (fun t ->
+      let i = Epidemic.logistic epidemic t in
+      let f = i /. float_of_int epidemic.Epidemic.population in
+      Printf.printf "  t=%5.0fs |%s| %5.1f%%\n" t (bar 40 f) (100.0 *. f))
+    [ 0.0; 120.0; 240.0; 360.0; 480.0; 600.0; 720.0; 840.0; 960.0 ];
+
+  (* contained: NIDS sensors + quarantine at different reaction times *)
+  Printf.printf "\nwith NIDS containment (5%% of space monitored, threshold 5 probes):\n";
+  let rng = Rng.create 60L in
+  List.iter
+    (fun reaction ->
+      let p =
+        {
+          Containment.epidemic;
+          monitored_fraction = 0.05;
+          threshold = 5;
+          reaction_time = reaction;
+        }
+      in
+      let o = Containment.simulate (Rng.copy rng) p ~duration:7200.0 in
+      let f = Containment.infected_fraction o epidemic in
+      Printf.printf "  react %4.0fs |%s| %5.1f%% infected, %d quarantined\n" reaction
+        (bar 40 f) (100.0 *. f) o.Containment.quarantined)
+    [ 1.0; 30.0; 60.0; 120.0; 300.0; 900.0 ];
+  Printf.printf
+    "\nthe paper's premise (its ref [4]): signature generation measured in hours\n\
+     cannot contain this; an automated semantic NIDS reacting in seconds can.\n"

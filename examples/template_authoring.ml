@@ -1,0 +1,95 @@
+(* Template authoring: extend the NIDS with a new behaviour — the paper's
+   stated future work ("classify more exploit behaviors so that we can
+   generate additional useful templates").
+
+   We author a template for the classic setuid(0)-then-execve root
+   shellcode and show that (a) the stock template set already sees the
+   shell spawn, (b) the new template distinguishes the privilege
+   escalation, (c) the same template keeps matching when the shellcode is
+   rewritten with different registers and junk.
+
+   Run with: dune exec examples/template_authoring.exe *)
+
+open Sanids
+
+(* setuid(0): EAX = 23, EBX = 0, int 0x80 — then spawn the shell. *)
+let setuid_root_template =
+  Template.make ~name:"setuid-root-shell"
+    ~description:"setuid(0) followed by execve: privilege-escalating shell"
+    ~max_gap:32
+    [
+      Template.Once (Template.Syscall { vector = 0x80; al = Template.Exact 23l; bl = Template.Any });
+      Template.Once (Template.Syscall { vector = 0x80; al = Template.Exact 11l; bl = Template.Any });
+    ]
+
+let i x = Asm.I x
+
+let setuid_shellcode =
+  Asm.assemble
+    [
+      (* setuid(0) *)
+      i (Insn.Arith (Insn.Xor, Insn.S32bit, Insn.Reg Reg.EBX, Insn.Reg Reg.EBX));
+      i (Insn.Arith (Insn.Xor, Insn.S32bit, Insn.Reg Reg.EAX, Insn.Reg Reg.EAX));
+      i (Insn.Mov (Insn.S8bit, Insn.Reg8 Reg.AL, Insn.Imm 23l));
+      i (Insn.Int 0x80);
+      (* execve("/bin//sh") *)
+      i (Insn.Arith (Insn.Xor, Insn.S32bit, Insn.Reg Reg.EAX, Insn.Reg Reg.EAX));
+      i (Insn.Push_reg Reg.EAX);
+      i (Insn.Push_imm 0x68732f2fl);
+      i (Insn.Push_imm 0x6e69622fl);
+      i (Insn.Mov (Insn.S32bit, Insn.Reg Reg.EBX, Insn.Reg Reg.ESP));
+      i (Insn.Push_reg Reg.EAX);
+      i (Insn.Push_reg Reg.EBX);
+      i (Insn.Mov (Insn.S32bit, Insn.Reg Reg.ECX, Insn.Reg Reg.ESP));
+      i Insn.Cdq;
+      i (Insn.Mov (Insn.S8bit, Insn.Reg8 Reg.AL, Insn.Imm 11l));
+      i (Insn.Int 0x80);
+    ]
+
+(* the same behaviour, spelled differently: push/pop routing and junk *)
+let setuid_shellcode_variant =
+  Asm.assemble
+    [
+      i (Insn.Push_imm 23l);
+      i (Insn.Pop_reg Reg.EAX);
+      i (Insn.Arith (Insn.Sub, Insn.S32bit, Insn.Reg Reg.EBX, Insn.Reg Reg.EBX));
+      i Insn.Nop;
+      i (Insn.Mov (Insn.S32bit, Insn.Reg Reg.EDI, Insn.Imm 0x1234l));
+      (* junk *)
+      i (Insn.Int 0x80);
+      i (Insn.Arith (Insn.Xor, Insn.S32bit, Insn.Reg Reg.EAX, Insn.Reg Reg.EAX));
+      i (Insn.Push_reg Reg.EAX);
+      i (Insn.Push_imm 0x68732f2fl);
+      i (Insn.Push_imm 0x6e69622fl);
+      i (Insn.Mov (Insn.S32bit, Insn.Reg Reg.EBX, Insn.Reg Reg.ESP));
+      i (Insn.Push_reg Reg.EAX);
+      i (Insn.Push_reg Reg.EBX);
+      i (Insn.Mov (Insn.S32bit, Insn.Reg Reg.ECX, Insn.Reg Reg.ESP));
+      i Insn.Cdq;
+      i (Insn.Mov (Insn.S8bit, Insn.Reg8 Reg.AL, Insn.Imm 12l));
+      i (Insn.Dec (Insn.S8bit, Insn.Reg8 Reg.AL));
+      i (Insn.Int 0x80);
+    ]
+
+let scan templates code = Matcher.scan ~templates code
+
+let report name code =
+  Printf.printf "%s:\n" name;
+  let stock = scan Template_lib.default_set code in
+  let custom = scan [ setuid_root_template ] code in
+  List.iter
+    (fun r -> Printf.printf "  stock : %s\n" r.Matcher.template)
+    stock;
+  List.iter
+    (fun r -> Printf.printf "  custom: %s\n" r.Matcher.template)
+    custom;
+  if custom = [] then Printf.printf "  custom: (no match)\n"
+
+let () =
+  Format.printf "authored template:@.  %a@.@." Template.pp setuid_root_template;
+  report "setuid shellcode" setuid_shellcode;
+  print_newline ();
+  report "setuid shellcode, rewritten variant" setuid_shellcode_variant;
+  print_newline ();
+  (* the plain execve corpus must NOT look like privilege escalation *)
+  report "plain execve shellcode (control)" (Shellcodes.find "classic").Shellcodes.code

@@ -1,0 +1,25 @@
+let default =
+  [
+    (* the classic push "//sh"; push "/bin" byte sequence *)
+    ("\x68\x2f\x2f\x73\x68\x68\x2f\x62\x69\x6e", "shellcode-push-binsh");
+    (* literal /bin//sh string *)
+    ("/bin//sh", "shellcode-binsh-string");
+    ("/bin/sh", "shellcode-binsh-string");
+    (* mov al,11 ; int 0x80 *)
+    ("\xb0\x0b\xcd\x80", "shellcode-execve");
+    (* xor eax,eax ; push eax *)
+    ("\x31\xc0\x50\x68", "shellcode-xor-push");
+    (* classic uniform NOP sled *)
+    (String.make 16 '\x90', "nop-sled-90");
+    (* Code Red II request vector *)
+    ("GET /default.ida?", "codered-ida");
+    ("%u9090%u6858%ucbd3%u7801", "codered-unicode");
+    (* repeated X overflow filler *)
+    (String.make 64 'X', "overflow-filler-X");
+  ]
+
+let engine =
+  let cached = lazy (Aho_corasick.build default) in
+  fun () -> Lazy.force cached
+
+let scan payload = Aho_corasick.first_match (engine ()) payload

@@ -1,0 +1,31 @@
+type reason = Honeypot_sender | Scanner | Classification_disabled
+type verdict = Suspicious of reason | Benign
+
+type t = { honeypot : Honeypot.t; scan : Scan_detector.t; enabled : bool }
+
+let create ?(honeypots = []) ?(unused = []) ?(scan_threshold = 5) ?(enabled = true) () =
+  {
+    honeypot = Honeypot.create honeypots;
+    scan = Scan_detector.create ~threshold:scan_threshold unused;
+    enabled;
+  }
+
+let classify t p =
+  let src = Packet.src p and dst = Packet.dst p in
+  (* state updates happen regardless, so a later re-enable sees history *)
+  let marked = Honeypot.observe t.honeypot ~src ~dst in
+  let scanning = Scan_detector.observe t.scan ~src ~dst in
+  if not t.enabled then Suspicious Classification_disabled
+  else if marked then Suspicious Honeypot_sender
+  else if scanning then Suspicious Scanner
+  else Benign
+
+let enabled t = t.enabled
+
+let reason_to_string = function
+  | Honeypot_sender -> "honeypot-sender"
+  | Scanner -> "scanner"
+  | Classification_disabled -> "classification-disabled"
+
+let honeypot t = t.honeypot
+let scan t = t.scan

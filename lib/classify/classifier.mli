@@ -1,0 +1,27 @@
+(** The combined traffic classifier: a packet is handed to the expensive
+    analysis stages iff its source has touched a honeypot, or has scanned
+    past the unused-address threshold — or classification is disabled
+    (the configuration of the paper's §5.4 false-positive run, where
+    every payload is analyzed). *)
+
+type reason = Honeypot_sender | Scanner | Classification_disabled
+
+type verdict = Suspicious of reason | Benign
+
+type t
+
+val create :
+  ?honeypots:Ipaddr.t list ->
+  ?unused:Ipaddr.prefix list ->
+  ?scan_threshold:int ->
+  ?enabled:bool ->
+  unit ->
+  t
+
+val classify : t -> Packet.t -> verdict
+(** Updates classifier state and renders the verdict for this packet. *)
+
+val enabled : t -> bool
+val reason_to_string : reason -> string
+val honeypot : t -> Honeypot.t
+val scan : t -> Scan_detector.t

@@ -1,0 +1,19 @@
+type t = {
+  decoys : (Ipaddr.t, unit) Hashtbl.t;
+  marked : (Ipaddr.t, unit) Hashtbl.t;
+}
+
+let create addrs =
+  let decoys = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace decoys a ()) addrs;
+  { decoys; marked = Hashtbl.create 64 }
+
+let add t a = Hashtbl.replace t.decoys a ()
+let is_honeypot t a = Hashtbl.mem t.decoys a
+let is_marked t a = Hashtbl.mem t.marked a
+
+let observe t ~src ~dst =
+  if Hashtbl.mem t.decoys dst then Hashtbl.replace t.marked src ();
+  Hashtbl.mem t.marked src
+
+let marked_count t = Hashtbl.length t.marked

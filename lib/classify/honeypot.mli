@@ -1,0 +1,18 @@
+(** Honeypot decoy registry (paper §4.1, first scheme).
+
+    Decoy addresses exist only to attract unsolicited traffic; any host
+    that sends to one is marked, and everything it subsequently sends is
+    handed to the analysis stages. *)
+
+type t
+
+val create : Ipaddr.t list -> t
+val add : t -> Ipaddr.t -> unit
+val is_honeypot : t -> Ipaddr.t -> bool
+
+val observe : t -> src:Ipaddr.t -> dst:Ipaddr.t -> bool
+(** Record one packet.  Returns [true] iff the source is (now) marked —
+    either this packet touches a decoy or a previous one did. *)
+
+val is_marked : t -> Ipaddr.t -> bool
+val marked_count : t -> int

@@ -1,0 +1,92 @@
+(** The semantics-aware NIDS, re-exported as one namespace.
+
+    Reproduction of Scheirer & Chuah, "Network Intrusion Detection with
+    Semantics-Aware Capability" (IPPS 2006).  The usual entry points:
+
+    - {!Pipeline} / {!Config} / {!Alert} — run the NIDS;
+    - {!Template} / {!Template_lib} / {!Matcher} — the semantic analyzer;
+    - {!Admmutate} / {!Clet} — polymorphic engines for evaluation;
+    - {!Shellcodes} / {!Code_red} / {!Iis_asp} — the exploit corpus;
+    - {!Benign_gen} / {!Worm_gen} — workload synthesis;
+    - {!Pcap} / {!Packet} — captures and packets. *)
+
+(* utilities *)
+module Rng = Sanids_util.Rng
+module Byte_io = Sanids_util.Byte_io
+module Hexdump = Sanids_util.Hexdump
+module Entropy = Sanids_util.Entropy
+
+(* network substrate *)
+module Ipaddr = Sanids_net.Ipaddr
+module Checksum = Sanids_net.Checksum
+module Ipv4 = Sanids_net.Ipv4
+module Tcp = Sanids_net.Tcp
+module Udp = Sanids_net.Udp
+module Packet = Sanids_net.Packet
+module Flow = Sanids_net.Flow
+module Ethernet = Sanids_net.Ethernet
+module Pcap = Sanids_pcap.Pcap
+
+(* x86 and IR *)
+module Reg = Sanids_x86.Reg
+module Insn = Sanids_x86.Insn
+module Encode = Sanids_x86.Encode
+module Decode = Sanids_x86.Decode
+module Pretty = Sanids_x86.Pretty
+module Asm = Sanids_x86.Asm
+module Emulator = Sanids_x86.Emulator
+module Sem = Sanids_ir.Sem
+module Constprop = Sanids_ir.Constprop
+module Trace = Sanids_ir.Trace
+module Defuse = Sanids_ir.Defuse
+module Cfg = Sanids_ir.Cfg
+
+(* the semantic analyzer *)
+module Template = Sanids_semantic.Template
+module Template_lib = Sanids_semantic.Template_lib
+module Matcher = Sanids_semantic.Matcher
+
+(* classification and extraction *)
+module Honeypot = Sanids_classify.Honeypot
+module Scan_detector = Sanids_classify.Scan_detector
+module Classifier = Sanids_classify.Classifier
+module Http = Sanids_extract.Http
+module Unicode = Sanids_extract.Unicode
+module Repetition = Sanids_extract.Repetition
+module Extractor = Sanids_extract.Extractor
+
+(* polymorphic engines and exploit corpus *)
+module Nops = Sanids_polymorph.Nops
+module Junk = Sanids_polymorph.Junk
+module Admmutate = Sanids_polymorph.Admmutate
+module Clet = Sanids_polymorph.Clet
+module Metamorph = Sanids_polymorph.Metamorph
+module Shellcodes = Sanids_exploits.Shellcodes
+module Exploit_gen = Sanids_exploits.Exploit_gen
+module Code_red = Sanids_exploits.Code_red
+module Iis_asp = Sanids_exploits.Iis_asp
+module Netsky = Sanids_exploits.Netsky
+module Slammer = Sanids_exploits.Slammer
+
+(* baselines *)
+module Aho_corasick = Sanids_baseline.Aho_corasick
+module Signatures = Sanids_baseline.Signatures
+module Payl = Sanids_baseline.Payl
+module Rule = Sanids_baseline.Rule
+module Siggen = Sanids_baseline.Siggen
+
+(* the NIDS *)
+module Config = Sanids_nids.Config
+module Pipeline = Sanids_nids.Pipeline
+module Alert = Sanids_nids.Alert
+module Stats = Sanids_nids.Stats
+module Parallel = Sanids_nids.Parallel
+module Hybrid = Sanids_nids.Hybrid
+
+(* workloads *)
+module Benign_gen = Sanids_workload.Benign_gen
+module Worm_gen = Sanids_workload.Worm_gen
+
+(* propagation and containment models *)
+module Epidemic = Sanids_epidemic.Model
+module Containment = Sanids_epidemic.Containment

@@ -1,0 +1,97 @@
+type params = {
+  epidemic : Model.params;
+  monitored_fraction : float;
+  threshold : int;
+  reaction_time : float;
+}
+
+type outcome = {
+  final_infected : int;
+  peak_active : int;
+  quarantined : int;
+  first_notice : float option;
+  duration : float;
+}
+
+(* Sensor exposure is uniform across hosts — every active host sends the
+   same expected number of probes into monitored space per tick — so all
+   hosts infected at the same tick share one notice time
+   (t0 + threshold / (scan_rate * monitored_fraction)) and one quarantine
+   deadline.  Tracking cohorts instead of hosts makes the simulation
+   O(ticks + cohorts) while computing the same process. *)
+let simulate ?(dt = 1.0) rng (p : params) ~duration =
+  if p.monitored_fraction < 0.0 || p.monitored_fraction > 1.0 then
+    invalid_arg "Containment: monitored_fraction in [0,1]";
+  if p.threshold < 1 then invalid_arg "Containment: threshold >= 1";
+  let ep = p.epidemic in
+  let notice_delay =
+    if p.monitored_fraction <= 0.0 || ep.Model.scan_rate <= 0.0 then infinity
+    else float_of_int p.threshold /. (ep.Model.scan_rate *. p.monitored_fraction)
+  in
+  (* cohorts with pending quarantine, oldest first: (deadline, size) *)
+  let pending = Queue.create () in
+  let enqueue t0 n =
+    if Float.is_finite notice_delay && n > 0 then
+      Queue.add (t0 +. notice_delay +. p.reaction_time, n) pending
+  in
+  enqueue 0.0 ep.Model.initial;
+  let active = ref ep.Model.initial in
+  let infected = ref ep.Model.initial in
+  let quarantined = ref 0 in
+  let peak_active = ref ep.Model.initial in
+  let first_notice = ref None in
+  let t = ref 0.0 in
+  while !t < duration && !infected < ep.Model.population && (!active > 0 || not (Queue.is_empty pending)) do
+    (* quarantine cohorts whose deadline has passed *)
+    let continue = ref true in
+    while !continue && not (Queue.is_empty pending) do
+      let deadline, n = Queue.peek pending in
+      if !t >= deadline then begin
+        ignore (Queue.pop pending);
+        quarantined := !quarantined + n;
+        active := !active - n
+      end
+      else continue := false
+    done;
+    (if !first_notice = None && Float.is_finite notice_delay then
+       let earliest_notice = notice_delay in
+       if !t >= earliest_notice then first_notice := Some !t);
+    if !active > !peak_active then peak_active := !active;
+    (* new infections from the active population *)
+    let probes = float_of_int !active *. ep.Model.scan_rate *. dt in
+    let susceptible = ep.Model.population - !infected in
+    let expected_new = probes *. float_of_int susceptible /. ep.Model.address_space in
+    let new_infections =
+      if expected_new <= 0.0 then 0
+      else begin
+        let trials = 64 in
+        let prob = Float.min 1.0 (expected_new /. float_of_int trials) in
+        let hits = ref 0 in
+        for _ = 1 to trials do
+          if Rng.chance rng prob then incr hits
+        done;
+        min susceptible !hits
+      end
+    in
+    infected := !infected + new_infections;
+    active := !active + new_infections;
+    enqueue !t new_infections;
+    t := !t +. dt
+  done;
+  {
+    final_infected = !infected;
+    peak_active = !peak_active;
+    quarantined = !quarantined;
+    first_notice = !first_notice;
+    duration = !t;
+  }
+
+let infected_fraction o (ep : Model.params) =
+  float_of_int o.final_infected /. float_of_int ep.Model.population
+
+let sweep_reaction_times rng p ~duration times =
+  List.map
+    (fun r ->
+      let rng = Rng.copy rng in
+      (r, simulate rng { p with reaction_time = r } ~duration))
+    times

@@ -1,0 +1,37 @@
+(** NIDS-based worm containment.
+
+    Models the paper's deployment story end to end: a fraction of the
+    address space is monitored by NIDS sensors running the
+    unused-address scan classifier.  An infected host is {e noticed}
+    once [threshold] of its probes land in monitored space, and
+    {e quarantined} (stops scanning and infecting) [reaction_time]
+    seconds later — the knob whose criticality the paper's reference [4]
+    establishes ("well under sixty seconds").
+
+    The simulation tracks per-host probe exposure statistically: at each
+    tick every active infected host accrues monitored-space hits, and
+    hosts whose notice time has passed by the reaction delay become
+    quarantined. *)
+
+type params = {
+  epidemic : Model.params;
+  monitored_fraction : float;  (** share of scans that hit sensors *)
+  threshold : int;  (** probes into monitored space before notice *)
+  reaction_time : float;  (** seconds from notice to quarantine *)
+}
+
+type outcome = {
+  final_infected : int;
+  peak_active : int;  (** most simultaneously active (unquarantined) *)
+  quarantined : int;
+  first_notice : float option;  (** when the first host was noticed *)
+  duration : float;
+}
+
+val simulate : ?dt:float -> Rng.t -> params -> duration:float -> outcome
+
+val infected_fraction : outcome -> Model.params -> float
+
+val sweep_reaction_times :
+  Rng.t -> params -> duration:float -> float list -> (float * outcome) list
+(** Re-run the scenario (same seed per run) for each reaction time. *)

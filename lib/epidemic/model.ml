@@ -1,0 +1,78 @@
+type params = {
+  population : int;
+  address_space : float;
+  scan_rate : float;
+  initial : int;
+}
+
+let check p =
+  if p.population <= 0 then invalid_arg "Epidemic: population must be positive";
+  if p.initial < 1 || p.initial > p.population then
+    invalid_arg "Epidemic: initial infected out of range";
+  if p.address_space <= 0.0 || p.scan_rate < 0.0 then
+    invalid_arg "Epidemic: bad address space or scan rate"
+
+let beta p = p.scan_rate *. float_of_int p.population /. p.address_space
+
+(* i(t) = n / (1 + (n/i0 - 1) e^{-beta t}) *)
+let logistic p t =
+  check p;
+  let n = float_of_int p.population in
+  let i0 = float_of_int p.initial in
+  n /. (1.0 +. (((n /. i0) -. 1.0) *. exp (-.beta p *. t)))
+
+let time_to_fraction p f =
+  check p;
+  if f <= 0.0 || f >= 1.0 then invalid_arg "Epidemic.time_to_fraction: f in (0,1)";
+  let n = float_of_int p.population in
+  let i0 = float_of_int p.initial in
+  let target = f *. n in
+  (* solve target = n / (1 + c e^{-beta t}) with c = n/i0 - 1 *)
+  let c = (n /. i0) -. 1.0 in
+  log (c /. ((n /. target) -. 1.0)) /. beta p
+
+type sim = { mutable infected : int; mutable t : float; mutable total_scans : float }
+
+(* One tick: each of [i] infected hosts sends [scan_rate*dt] probes; each
+   probe hits a susceptible with probability s/omega.  The number of new
+   infections is binomial; we sample it with a normal approximation for
+   large counts and direct Bernoulli summation for small ones. *)
+let sample_binomial rng n p =
+  if n <= 0 || p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else if n < 64 then begin
+    let hits = ref 0 in
+    for _ = 1 to n do
+      if Rng.chance rng p then incr hits
+    done;
+    !hits
+  end
+  else begin
+    let mean = float_of_int n *. p in
+    let sd = sqrt (mean *. (1.0 -. p)) in
+    (* Box–Muller *)
+    let u1 = Float.max 1e-12 (Rng.float rng 1.0) in
+    let u2 = Rng.float rng 1.0 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    let v = int_of_float (Float.round (mean +. (sd *. z))) in
+    if v < 0 then 0 else if v > n then n else v
+  end
+
+let simulate ?(dt = 1.0) rng p ~duration ~on_tick =
+  check p;
+  let s = { infected = p.initial; t = 0.0; total_scans = 0.0 } in
+  while s.t < duration && s.infected < p.population do
+    let probes = float_of_int s.infected *. p.scan_rate *. dt in
+    s.total_scans <- s.total_scans +. probes;
+    let susceptible = p.population - s.infected in
+    let hit_prob = float_of_int susceptible /. p.address_space in
+    (* cap the per-tick probe count to keep sampling cheap but unbiased in
+       expectation: batch probes into at most 10_000 trials *)
+    let trials = int_of_float (Float.min probes 10_000.0) in
+    let scale = if trials = 0 then 0.0 else probes /. float_of_int trials in
+    let hits = sample_binomial rng trials (Float.min 1.0 (hit_prob *. scale)) in
+    s.infected <- min p.population (s.infected + hits);
+    s.t <- s.t +. dt;
+    on_tick s
+  done;
+  s

@@ -1,0 +1,44 @@
+(** Random-scanning worm propagation models.
+
+    Background for the paper's motivating claim (its reference [4],
+    Moore et al., "Internet Quarantine"): a worm scanning uniformly at
+    random infects susceptibles at rate [beta·i·(1 - i/n)] — logistic
+    growth — so any containment that reacts after the knee of the curve
+    is too late.  Two models are provided: the deterministic logistic
+    solution and a stochastic discrete-time simulation whose per-tick
+    infections are sampled from the scan process. *)
+
+type params = {
+  population : int;  (** vulnerable hosts, [n] *)
+  address_space : float;  (** scanned space size, e.g. 2^32 *)
+  scan_rate : float;  (** probes per second per infected host *)
+  initial : int;  (** initially infected hosts *)
+}
+
+val beta : params -> float
+(** Pairwise infection rate: [scan_rate * population / address_space]
+    per second, the classic epidemic constant. *)
+
+val logistic : params -> float -> float
+(** [logistic p t] is the expected number of infected hosts at time [t]
+    seconds under the deterministic model. *)
+
+val time_to_fraction : params -> float -> float
+(** [time_to_fraction p f] inverts {!logistic}: seconds until a fraction
+    [f] of the population is infected (0 < f < 1). *)
+
+type sim = {
+  mutable infected : int;
+  mutable t : float;
+  mutable total_scans : float;
+}
+
+val simulate :
+  ?dt:float ->
+  Rng.t ->
+  params ->
+  duration:float ->
+  on_tick:(sim -> unit) ->
+  sim
+(** Stochastic simulation with time step [dt] (default 1 s); [on_tick]
+    observes the state after each step. *)

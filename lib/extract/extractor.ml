@@ -1,0 +1,97 @@
+type origin = Unicode_escape | Raw_binary
+type frame = { off : int; data : string; origin : origin }
+
+type config = {
+  min_unicode_run : int;
+  min_repeat : int;
+  min_binary_region : int;
+  gap_merge : int;
+  context_before : int;
+  context_after : int;
+  max_frames : int;
+}
+
+let default_config =
+  {
+    min_unicode_run = 4;
+    min_repeat = 48;
+    min_binary_region = 24;
+    gap_merge = 16;
+    context_before = 192;
+    context_after = 64;
+    max_frames = 16;
+  }
+
+(* Text bytes: printable ASCII plus whitespace. *)
+let is_text c =
+  let b = Char.code c in
+  (b >= 0x20 && b < 0x7F) || b = 0x09 || b = 0x0A || b = 0x0D
+
+(* Maximal [gap_merge]-merged regions of non-text bytes of at least
+   [min_len], as (start, length) pairs. *)
+let binary_regions ~min_len ~gap_merge s =
+  let n = String.length s in
+  let raw = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if not (is_text s.[!i]) then begin
+      let j = ref (!i + 1) in
+      while !j < n && not (is_text s.[!j]) do
+        incr j
+      done;
+      raw := (!i, !j - !i) :: !raw;
+      i := !j
+    end
+    else incr i
+  done;
+  let merged =
+    List.fold_left
+      (fun acc (o, l) ->
+        match acc with
+        | (po, pl) :: tl when o - (po + pl) <= gap_merge -> (po, o + l - po) :: tl
+        | _ -> (o, l) :: acc)
+      []
+      (List.rev !raw)
+  in
+  List.rev (List.filter (fun (_, l) -> l >= min_len) merged)
+
+let suspicious ?(config = default_config) payload =
+  Unicode.unicode_runs ~min_run:config.min_unicode_run payload <> []
+  || Repetition.runs ~min_len:config.min_repeat payload <> []
+  || Repetition.sled_like payload <> []
+  || Repetition.ret_address_runs payload <> []
+  || binary_regions ~min_len:config.min_binary_region ~gap_merge:config.gap_merge
+       payload
+     <> []
+
+let extract ?(config = default_config) payload =
+  let n = String.length payload in
+  let unicode_frames =
+    List.map
+      (fun (r : Unicode.run) ->
+        { off = r.Unicode.off; data = r.Unicode.decoded; origin = Unicode_escape })
+      (Unicode.unicode_runs ~min_run:config.min_unicode_run payload)
+  in
+  let raw_frames =
+    List.map
+      (fun (o, l) ->
+        let start = max 0 (o - config.context_before) in
+        let stop = min n (o + l + config.context_after) in
+        { off = start; data = String.sub payload start (stop - start); origin = Raw_binary })
+      (binary_regions ~min_len:config.min_binary_region ~gap_merge:config.gap_merge
+         payload)
+  in
+  let all =
+    List.sort (fun a b -> compare a.off b.off) (unicode_frames @ raw_frames)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | f :: tl -> f :: take (k - 1) tl
+  in
+  take config.max_frames all
+
+let pp_frame ppf f =
+  Format.fprintf ppf "frame@@%d %s %d bytes" f.off
+    (match f.origin with Unicode_escape -> "unicode" | Raw_binary -> "raw")
+    (String.length f.data)

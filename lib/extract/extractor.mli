@@ -1,0 +1,37 @@
+(** The "Binary Detection and Extraction" stage (paper §4.2).
+
+    Given an application payload, locate the regions that plausibly hold
+    machine code and return them as binary frames for the disassembler:
+
+    - runs of [%uXXXX] escapes are decoded to their binary form (the Code
+      Red II transfer encoding);
+    - regions of non-textual bytes are cut out with surrounding context,
+      because polymorphic NOP regions and decoder stubs are largely
+      printable and sit next to the high-byte ciphertext;
+    - everything else (well-formed protocol text) is dropped, which is
+      what makes the pipeline affordable compared to running the
+      disassembler over every byte (the paper's efficiency claim). *)
+
+type origin = Unicode_escape | Raw_binary
+type frame = { off : int; data : string; origin : origin }
+
+type config = {
+  min_unicode_run : int;  (** escapes, default 4 *)
+  min_repeat : int;  (** filler-run length for {!suspicious}, default 48 *)
+  min_binary_region : int;  (** bytes, default 24 *)
+  gap_merge : int;  (** merge binary regions separated by fewer bytes *)
+  context_before : int;  (** printable context kept ahead of a region *)
+  context_after : int;
+  max_frames : int;
+}
+
+val default_config : config
+
+val suspicious : ?config:config -> string -> bool
+(** Cheap pre-filter: does the payload show any overflow indicator
+    (escape runs, long filler runs, NOP-like sleds, binary regions)? *)
+
+val extract : ?config:config -> string -> frame list
+(** Binary frames, in payload order.  Empty for plain protocol text. *)
+
+val pp_frame : Format.formatter -> frame -> unit

@@ -1,0 +1,89 @@
+type request = {
+  meth : string;
+  target : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+  target_off : int;
+}
+
+let methods =
+  [ "GET"; "POST"; "HEAD"; "PUT"; "DELETE"; "OPTIONS"; "TRACE"; "CONNECT"; "PROPFIND"; "SEARCH" ]
+
+let is_request s =
+  List.exists
+    (fun m ->
+      let lm = String.length m in
+      String.length s > lm + 1 && String.sub s 0 lm = m && s.[lm] = ' ')
+    methods
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let parse_request s =
+  if not (is_request s) then Error "not an HTTP request"
+  else
+    match String.index_opt s ' ' with
+    | None -> Error "no target"
+    | Some sp1 -> (
+        let meth = String.sub s 0 sp1 in
+        let target_off = sp1 + 1 in
+        (* the request line ends at the first CR or LF *)
+        let line_end =
+          let rec go i =
+            if i >= String.length s then i
+            else match s.[i] with '\r' | '\n' -> i | _ -> go (i + 1)
+          in
+          go target_off
+        in
+        let line = String.sub s target_off (line_end - target_off) in
+        (* the version is the last space-separated token, if it looks right *)
+        let target, version =
+          match String.rindex_opt line ' ' with
+          | Some sp when String.length line - sp > 5
+                         && String.sub line (sp + 1) 5 = "HTTP/" ->
+              (String.sub line 0 sp, String.sub line (sp + 1) (String.length line - sp - 1))
+          | Some _ | None -> (line, "")
+        in
+        (* headers: lines up to the blank line *)
+        let rec skip_eol i =
+          if i < String.length s && (s.[i] = '\r' || s.[i] = '\n') then skip_eol (i + 1)
+          else i
+        in
+        let body_start =
+          match find_sub s "\r\n\r\n" line_end with
+          | Some i -> i + 4
+          | None -> (
+              match find_sub s "\n\n" line_end with
+              | Some i -> i + 2
+              | None -> String.length s)
+        in
+        let header_text =
+          if body_start >= line_end then
+            String.sub s (skip_eol line_end)
+              (max 0 (body_start - skip_eol line_end))
+          else ""
+        in
+        let headers =
+          String.split_on_char '\n' header_text
+          |> List.filter_map (fun l ->
+                 let l =
+                   if String.length l > 0 && l.[String.length l - 1] = '\r' then
+                     String.sub l 0 (String.length l - 1)
+                   else l
+                 in
+                 match String.index_opt l ':' with
+                 | Some c when c > 0 ->
+                     let k = String.sub l 0 c in
+                     let v = String.trim (String.sub l (c + 1) (String.length l - c - 1)) in
+                     Some (k, v)
+                 | Some _ | None -> None)
+        in
+        let body = String.sub s body_start (String.length s - body_start) in
+        Ok { meth; target; version; headers; body; target_off })

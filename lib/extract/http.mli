@@ -1,0 +1,21 @@
+(** Minimal HTTP/1.x request parsing, enough to tell well-formed protocol
+    usage apart from exploit traffic (the Code Red II vector arrives as a
+    syntactically valid GET whose target carries the overflow). *)
+
+type request = {
+  meth : string;
+  target : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+  target_off : int;  (** byte offset of the target within the payload *)
+}
+
+val parse_request : string -> (request, string) Stdlib.result
+(** Accepts requests with missing trailing CRLFCRLF (body then empty). *)
+
+val is_request : string -> bool
+(** Cheap check: starts with a known method token and a space. *)
+
+val methods : string list
+(** Recognized request methods. *)

@@ -1,0 +1,72 @@
+type run = { off : int; count : int; decoded : string }
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode_u_escape s i =
+  if i + 6 > String.length s then None
+  else if not (s.[i] = '%' && (s.[i + 1] = 'u' || s.[i + 1] = 'U')) then None
+  else
+    match (hex_digit s.[i + 2], hex_digit s.[i + 3], hex_digit s.[i + 4], hex_digit s.[i + 5]) with
+    | Some a, Some b, Some c, Some d ->
+        Some ((a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d, i + 6)
+    | _, _, _, _ -> None
+
+let unicode_runs ?(min_run = 4) s =
+  let n = String.length s in
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    match decode_u_escape s !i with
+    | None -> incr i
+    | Some (v0, next0) ->
+        let buf = Buffer.create 32 in
+        let add v =
+          Buffer.add_char buf (Char.chr (v land 0xFF));
+          Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+        in
+        add v0;
+        let start = !i in
+        let count = ref 1 in
+        let j = ref next0 in
+        let continue = ref true in
+        while !continue do
+          match decode_u_escape s !j with
+          | Some (v, next) ->
+              add v;
+              incr count;
+              j := next
+          | None -> continue := false
+        done;
+        if !count >= min_run then
+          runs := { off = start; count = !count; decoded = Buffer.contents buf } :: !runs;
+        i := !j
+  done;
+  List.rev !runs
+
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' ->
+        Buffer.add_char buf ' ';
+        incr i
+    | '%' when !i + 2 < n -> (
+        match (hex_digit s.[!i + 1], hex_digit s.[!i + 2]) with
+        | Some a, Some b ->
+            Buffer.add_char buf (Char.chr ((a lsl 4) lor b));
+            i := !i + 3
+        | _, _ ->
+            Buffer.add_char buf '%';
+            incr i)
+    | c ->
+        Buffer.add_char buf c;
+        incr i);
+  done;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** IIS-style [%uXXXX] escape decoding (the Code Red transfer encoding)
+    and classic [%XX] percent decoding. *)
+
+type run = { off : int; count : int; decoded : string }
+(** A run of consecutive escapes: [off] is the byte offset of the first
+    '%', [count] the number of escapes, [decoded] the binary form
+    (2 bytes per [%uXXXX], little-endian; 1 byte per [%XX]). *)
+
+val unicode_runs : ?min_run:int -> string -> run list
+(** Maximal runs of at least [min_run] (default 4) consecutive [%uXXXX]
+    escapes. *)
+
+val percent_decode : string -> string
+(** Decode [%XX] escapes (and '+' to space); malformed escapes pass
+    through verbatim. *)
+
+val decode_u_escape : string -> int -> (int * int) option
+(** [decode_u_escape s i] decodes one [%uXXXX] at offset [i]: the 16-bit
+    value and the next offset. *)

@@ -1,0 +1,43 @@
+(** Control-flow graph recovery over a linear-sweep disassembly.
+
+    Blocks begin at leaders (the region entry, branch targets, and the
+    instructions following branches) and end at control transfers or the
+    next leader.  Complements {!Trace}: the trace linearizes one
+    execution path, the CFG shows the whole reachable structure — loops
+    in obfuscated decoders appear as back edges here. *)
+
+type terminator =
+  | Fallthrough  (** runs into the next block *)
+  | Jump of int  (** unconditional, target offset *)
+  | Branch of { taken : int; fallthrough : int }  (** conditional / loop *)
+  | Call of { target : int; return_to : int }
+  | Return
+  | Halt  (** int3, undecodable byte, or region end *)
+  | Out_of_region  (** transfer target outside the swept bytes *)
+
+type block = {
+  start : int;  (** byte offset of the first instruction *)
+  insns : Decode.decoded list;  (** in address order *)
+  terminator : terminator;
+}
+
+type t
+
+val build : string -> t
+(** Sweep a region and recover its blocks. *)
+
+val blocks : t -> block list
+(** In address order. *)
+
+val block_at : t -> int -> block option
+(** The block whose first instruction sits at this offset. *)
+
+val successors : t -> block -> int list
+(** Offsets of successor blocks within the region. *)
+
+val back_edges : t -> (int * int) list
+(** [(from_block, to_block)] pairs where the edge targets an
+    equal-or-earlier offset — loop candidates. *)
+
+val block_count : t -> int
+val pp : Format.formatter -> t -> unit

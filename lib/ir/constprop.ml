@@ -1,0 +1,271 @@
+(* A known-bits abstract value: bit i of [value] is meaningful iff bit i of
+   [known] is set. *)
+type av = { value : int32; known : int32 }
+
+let unknown = { value = 0l; known = 0l }
+let const v = { value = v; known = 0xFFFFFFFFl }
+let fully_known a = Int32.equal a.known 0xFFFFFFFFl
+
+type t = { regs : av array; stack : av list }
+
+let max_stack = 128
+
+let initial = { regs = Array.make 8 unknown; stack = [] }
+
+let get t r = t.regs.(Reg.code r)
+
+let set t r a =
+  let regs = Array.copy t.regs in
+  regs.(Reg.code r) <- a;
+  { t with regs }
+
+let reg32 t r =
+  let a = get t r in
+  if fully_known a then Some a.value else None
+
+let reg_low8 t r =
+  let a = get t r in
+  if Int32.logand a.known 0xFFl = 0xFFl then Some (Int32.to_int a.value land 0xFF)
+  else None
+
+let av_of_value t (v : Sem.value) =
+  match v with
+  | Sem.Vconst c -> const c
+  | Sem.Vreg r -> get t r
+  | Sem.Vunknown -> unknown
+
+let value t v =
+  let a = av_of_value t v in
+  if fully_known a then Some a.value else None
+
+let value_low8 t v =
+  let a = av_of_value t v in
+  if Int32.logand a.known 0xFFl = 0xFFl then Some (Int32.to_int a.value land 0xFF)
+  else None
+
+(* --- abstract bitwise/arithmetic operators -------------------------- *)
+
+let av_and a b =
+  (* a bit is known if both inputs are known, or either input is a known 0 *)
+  let zero_a = Int32.logand a.known (Int32.lognot a.value) in
+  let zero_b = Int32.logand b.known (Int32.lognot b.value) in
+  let known = Int32.logor (Int32.logand a.known b.known) (Int32.logor zero_a zero_b) in
+  { value = Int32.logand (Int32.logand a.value b.value) known; known }
+
+let av_or a b =
+  let one_a = Int32.logand a.known a.value in
+  let one_b = Int32.logand b.known b.value in
+  let known = Int32.logor (Int32.logand a.known b.known) (Int32.logor one_a one_b) in
+  { value = Int32.logand (Int32.logor a.value b.value) known; known }
+
+let av_xor a b =
+  let known = Int32.logand a.known b.known in
+  { value = Int32.logand (Int32.logxor a.value b.value) known; known }
+
+let av_not a = { a with value = Int32.logand (Int32.lognot a.value) a.known }
+
+let av_binop_full f a b =
+  if fully_known a && fully_known b then const (f a.value b.value) else unknown
+
+let shift_count b =
+  (* hardware masks the count to 5 bits *)
+  Int32.to_int (Int32.logand b 31l)
+
+let rotl32 v n =
+  let n = n land 31 in
+  if n = 0 then v
+  else Int32.logor (Int32.shift_left v n) (Int32.shift_right_logical v (32 - n))
+
+let apply_rop_32 (op : Sem.rop) a b =
+  match op with
+  | Sem.Ra Insn.Add -> av_binop_full Int32.add a b
+  | Sem.Ra Insn.Sub -> av_binop_full Int32.sub a b
+  | Sem.Ra Insn.And -> av_and a b
+  | Sem.Ra Insn.Or -> av_or a b
+  | Sem.Ra Insn.Xor -> av_xor a b
+  | Sem.Ra Insn.Adc | Sem.Ra Insn.Sbb ->
+      (* carry flag is not tracked *)
+      unknown
+  | Sem.Ra Insn.Cmp -> a (* cmp does not write; unreachable via S_regop *)
+  | Sem.Rnot -> av_not a
+  | Sem.Rneg -> if fully_known a then const (Int32.neg a.value) else unknown
+  | Sem.Rshift s ->
+      if fully_known a && fully_known b then
+        let n = shift_count b.value in
+        const
+          (match s with
+          | Insn.Shl -> Int32.shift_left a.value n
+          | Insn.Shr -> Int32.shift_right_logical a.value n
+          | Insn.Sar -> Int32.shift_right a.value n
+          | Insn.Rol -> rotl32 a.value n
+          | Insn.Ror -> rotl32 a.value (32 - (n land 31)))
+      else unknown
+
+(* Merge an 8-bit result into the low byte of the old value. *)
+let merge_low8 old_av low_av =
+  let mask = 0xFFl in
+  let inv = Int32.lognot mask in
+  {
+    value = Int32.logor (Int32.logand old_av.value inv) (Int32.logand low_av.value mask);
+    known = Int32.logor (Int32.logand old_av.known inv) (Int32.logand low_av.known mask);
+  }
+
+let apply_rop_8 op old_dst src =
+  (* compute on the full abstract value but only commit the low byte; the
+     bitwise operators are byte-local, and add/sub are recomputed on the
+     known low bytes when both are known *)
+  let low_known a = Int32.logand a.known 0xFFl = 0xFFl in
+  let low a = Int32.logand a.value 0xFFl in
+  let result =
+    match op with
+    | Sem.Ra Insn.Add when low_known old_dst && low_known src ->
+        const (Int32.of_int ((Int32.to_int (low old_dst) + Int32.to_int (low src)) land 0xFF))
+    | Sem.Ra Insn.Sub when low_known old_dst && low_known src ->
+        const (Int32.of_int ((Int32.to_int (low old_dst) - Int32.to_int (low src)) land 0xFF))
+    | Sem.Ra Insn.Add | Sem.Ra Insn.Sub -> unknown
+    | Sem.Rshift s when low_known old_dst && low_known src ->
+        let n = Int32.to_int (low src) land 31 in
+        let v = Int32.to_int (low old_dst) in
+        let r =
+          match s with
+          | Insn.Shl -> (v lsl n) land 0xFF
+          | Insn.Shr -> v lsr n
+          | Insn.Sar ->
+              let signed = if v >= 0x80 then v - 0x100 else v in
+              (signed asr n) land 0xFF
+          | Insn.Rol ->
+              let n = n land 7 in
+              ((v lsl n) lor (v lsr (8 - n))) land 0xFF
+          | Insn.Ror ->
+              let n = n land 7 in
+              ((v lsr n) lor (v lsl (8 - n))) land 0xFF
+        in
+        const (Int32.of_int r)
+    | Sem.Rshift _ -> unknown
+    | Sem.Rneg when low_known old_dst ->
+        const (Int32.of_int (-Int32.to_int (low old_dst) land 0xFF))
+    | Sem.Rneg -> unknown
+    | Sem.Ra Insn.And | Sem.Ra Insn.Or | Sem.Ra Insn.Xor | Sem.Rnot ->
+        apply_rop_32 op old_dst src
+    | Sem.Ra Insn.Adc | Sem.Ra Insn.Sbb | Sem.Ra Insn.Cmp -> unknown
+  in
+  merge_low8 old_dst result
+
+let clobber t regs =
+  List.fold_left (fun acc r -> set acc r unknown) t regs
+
+let push_stack t a =
+  let stack = a :: t.stack in
+  let stack = if List.length stack > max_stack then t.stack else stack in
+  { t with stack }
+
+(* ESP-relative slot access: the abstract stack is a LIFO aligned with the
+   concrete stack (push/pop keep them in sync; any opaque ESP write resets
+   it), so [esp + 4k] is the k-th tracked slot. *)
+let slot_of_esp (ptr : Reg.t) (disp : int32) depth =
+  if
+    Reg.equal ptr Reg.ESP
+    && Int32.compare disp 0l >= 0
+    && Int32.rem disp 4l = 0l
+    && Int32.to_int disp / 4 < depth
+  then Some (Int32.to_int disp / 4)
+  else None
+
+let stack_get t k = List.nth t.stack k
+
+let stack_set t k v =
+  { t with stack = List.mapi (fun i x -> if i = k then v else x) t.stack }
+
+let step t (s : Sem.t) =
+  match s with
+  | Sem.S_load { width; dst; ptr; disp } -> (
+      match slot_of_esp ptr disp (List.length t.stack) with
+      | Some k -> (
+          let v = stack_get t k in
+          match width with
+          | Insn.S32bit -> set t dst v
+          | Insn.S8bit -> set t dst (merge_low8 (get t dst) v))
+      | None -> set t dst unknown)
+  | Sem.S_store { width; src; ptr; disp } -> (
+      match slot_of_esp ptr disp (List.length t.stack) with
+      | Some k -> (
+          let v = av_of_value t src in
+          match width with
+          | Insn.S32bit -> stack_set t k v
+          | Insn.S8bit -> stack_set t k (merge_low8 (stack_get t k) v))
+      | None -> t)
+  | Sem.S_memop { op; width; ptr; disp; src } -> (
+      match slot_of_esp ptr disp (List.length t.stack) with
+      | Some k -> (
+          let a = stack_get t k in
+          let b = av_of_value t src in
+          match width with
+          | Insn.S32bit -> stack_set t k (apply_rop_32 op a b)
+          | Insn.S8bit -> stack_set t k (apply_rop_8 op a b))
+      | None -> t)
+  | Sem.S_cmp | Sem.S_nop -> t
+  | Sem.S_regop { op; width; dst; src } -> (
+      let a = get t dst in
+      let b = av_of_value t src in
+      match width with
+      | Insn.S32bit -> set t dst (apply_rop_32 op a b)
+      | Insn.S8bit -> set t dst (apply_rop_8 op a b))
+  | Sem.S_set { width; dst; src } -> (
+      let b = av_of_value t src in
+      match width with
+      | Insn.S32bit -> set t dst b
+      | Insn.S8bit -> set t dst (merge_low8 (get t dst) b))
+  | Sem.S_advance { reg; amount; _ } ->
+      let a = get t reg in
+      if fully_known a then set t reg (const (Int32.add a.value amount))
+      else set t reg unknown
+  | Sem.S_lea { dst; base; index; disp } -> (
+      let base_av = match base with None -> const 0l | Some b -> get t b in
+      let index_av =
+        match index with
+        | None -> Some 0l
+        | Some (r, sc) -> (
+            match reg32 t r with
+            | None -> None
+            | Some v ->
+                let m =
+                  match sc with Insn.S1 -> 1l | Insn.S2 -> 2l | Insn.S4 -> 4l | Insn.S8 -> 8l
+                in
+                Some (Int32.mul v m))
+      in
+      match (fully_known base_av, index_av) with
+      | true, Some iv -> set t dst (const (Int32.add (Int32.add base_av.value iv) disp))
+      | _, _ -> set t dst unknown)
+  | Sem.S_xchg (a, b) ->
+      let va = get t a and vb = get t b in
+      set (set t a vb) b va
+  | Sem.S_push v -> push_stack t (av_of_value t v)
+  | Sem.S_pop r -> (
+      match t.stack with
+      | top :: rest -> { (set t r top) with stack = rest }
+      | [] -> set t r unknown)
+  | Sem.S_branch _ -> t
+  | Sem.S_syscall _ -> set t Reg.EAX unknown
+  | Sem.S_ret -> { t with stack = (match t.stack with _ :: r -> r | [] -> []) }
+  | Sem.S_halt -> t
+  | Sem.S_other { writes; _ } ->
+      let t = clobber t writes in
+      if List.exists (Reg.equal Reg.ESP) writes then { t with stack = [] } else t
+
+let step_insn t i = List.fold_left step t (Sem.lift i)
+
+let stack_depth t = List.length t.stack
+
+let slot_value t k =
+  if k < 0 || k >= List.length t.stack then None
+  else
+    let a = stack_get t k in
+    if fully_known a then Some a.value else None
+
+let pp ppf t =
+  Array.iteri
+    (fun i a ->
+      if not (Int32.equal a.known 0l) then
+        Format.fprintf ppf "%s=%08lx/%08lx " (Reg.name (Reg.of_code i)) a.value a.known)
+    t.regs;
+  Format.fprintf ppf "stack:%d" (List.length t.stack)

@@ -1,0 +1,41 @@
+(** Flow-forward constant propagation over {!Sem} operations.
+
+    Tracks a known-bits abstraction per register — [(value, known_mask)] —
+    so byte-wide updates compose ([xor eax,eax; mov al,0x0b] yields a
+    fully known [EAX = 11]), plus a bounded abstract stack so constants
+    routed through [push imm; pop reg] survive.  This is the machinery
+    behind the paper's contribution (c): templates demand {e constant
+    values}, and any arithmetic route to the constant (mov+add chains,
+    stack round-trips, xor tricks) is folded here. *)
+
+type t
+(** Immutable abstract state. *)
+
+val initial : t
+(** Nothing known. *)
+
+val step : t -> Sem.t -> t
+(** Abstractly execute one semantic operation. *)
+
+val step_insn : t -> Insn.t -> t
+(** [step] over all of an instruction's operations. *)
+
+val reg32 : t -> Reg.t -> int32 option
+(** Fully known 32-bit value, if any. *)
+
+val reg_low8 : t -> Reg.t -> int option
+(** Known low byte (bits 0–7), even when the rest is unknown. *)
+
+val value : t -> Sem.value -> int32 option
+(** Fully known value of an operand summary. *)
+
+val value_low8 : t -> Sem.value -> int option
+(** Known low byte of an operand summary. *)
+
+val stack_depth : t -> int
+(** Number of tracked abstract stack slots (diagnostic). *)
+
+val slot_value : t -> int -> int32 option
+(** Fully known value of the [k]-th tracked stack slot (top = 0). *)
+
+val pp : Format.formatter -> t -> unit

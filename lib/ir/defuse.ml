@@ -1,0 +1,160 @@
+type def_site = Entry | At of int
+
+(* Registers an instruction reads, at operand level (the lifted IR drops
+   compare operands, which def-use needs).  ESP is excluded throughout:
+   stack-pointer discipline would otherwise chain every push/pop together
+   and drown the analysis. *)
+let operand_read_regs (o : Insn.operand) =
+  match o with
+  | Insn.Reg r -> [ r ]
+  | Insn.Reg8 r -> [ Reg.parent8 r ]
+  | Insn.Imm _ -> []
+  | Insn.Mem m ->
+      (match m.Insn.base with Some b -> [ b ] | None -> [])
+      @ (match m.Insn.index with Some (r, _) -> [ r ] | None -> [])
+
+let insn_reads (i : Insn.t) : Reg.t list =
+  let dedup l = List.sort_uniq compare l in
+  let rmw dst src = operand_read_regs dst @ operand_read_regs src in
+  dedup
+    (List.filter
+       (fun r -> not (Reg.equal r Reg.ESP))
+       (match i with
+       | Insn.Mov (Insn.S8bit, (Insn.Reg8 _ as dst), src) ->
+           (* a byte store merges into the old register value *)
+           operand_read_regs dst @ operand_read_regs src
+       | Insn.Mov (_, dst, src) ->
+           (* memory destinations read their addressing registers *)
+           (match dst with Insn.Mem _ -> operand_read_regs dst | _ -> [])
+           @ operand_read_regs src
+       | Insn.Arith (_, _, dst, src) | Insn.Test (_, dst, src) -> rmw dst src
+       | Insn.Not (_, o) | Insn.Neg (_, o) | Insn.Inc (_, o) | Insn.Dec (_, o)
+       | Insn.Shift (_, _, o, _) ->
+           operand_read_regs o
+       | Insn.Lea (_, m) -> operand_read_regs (Insn.Mem m)
+       | Insn.Xchg (a, b) -> [ a; b ]
+       | Insn.Push_reg r -> [ r ]
+       | Insn.Pop_reg _ -> []
+       | Insn.Push_imm _ -> []
+       | Insn.Pushad -> Array.to_list Reg.all
+       | Insn.Popad | Insn.Pushfd | Insn.Popfd -> []
+       | Insn.Jmp_rel _ | Insn.Jcc_rel _ | Insn.Call_rel _ -> []
+       | Insn.Loop _ | Insn.Loope _ | Insn.Loopne _ | Insn.Jecxz _ -> [ Reg.ECX ]
+       | Insn.Ret -> []
+       | Insn.Int _ ->
+           (* syscall arguments *)
+           [ Reg.EAX; Reg.EBX; Reg.ECX; Reg.EDX; Reg.ESI; Reg.EDI ]
+       | Insn.Int3 | Insn.Nop | Insn.Cld | Insn.Std -> []
+       | Insn.Lodsb | Insn.Lodsd -> [ Reg.ESI ]
+       | Insn.Stosb | Insn.Stosd -> [ Reg.EAX; Reg.EDI ]
+       | Insn.Movsb | Insn.Movsd -> [ Reg.ESI; Reg.EDI ]
+       | Insn.Scasb -> [ Reg.EAX; Reg.EDI ]
+       | Insn.Cmpsb -> [ Reg.ESI; Reg.EDI ]
+       | Insn.Cdq | Insn.Cwde | Insn.Sahf | Insn.Lahf -> [ Reg.EAX ]
+       | Insn.Clc | Insn.Stc | Insn.Cmc | Insn.Fwait -> []
+       | Insn.Rep_movsb | Insn.Rep_movsd -> [ Reg.ESI; Reg.EDI; Reg.ECX ]
+       | Insn.Rep_stosb | Insn.Rep_stosd -> [ Reg.EAX; Reg.EDI; Reg.ECX ]
+       | Insn.Movzx (_, src) | Insn.Movsx (_, src) -> operand_read_regs src
+       | Insn.Mul (_, o) | Insn.Imul (_, o) -> Reg.EAX :: operand_read_regs o
+       | Insn.Div (_, o) | Insn.Idiv (_, o) ->
+           Reg.EAX :: Reg.EDX :: operand_read_regs o
+       | Insn.Imul2 (d, o) -> d :: operand_read_regs o
+       | Insn.Imul3 (_, o, _) -> operand_read_regs o
+       | Insn.Bad _ -> []))
+
+let insn_writes (i : Insn.t) : Reg.t list =
+  List.sort_uniq compare
+    (List.filter
+       (fun r -> not (Reg.equal r Reg.ESP))
+       (List.concat_map Sem.writes (Sem.lift i)))
+
+(* Effects that make an instruction unconditionally "used": memory writes,
+   stack pushes, control flow, syscalls. *)
+let has_side_effect (i : Insn.t) =
+  Insn.is_control_flow i
+  || List.exists
+       (fun sem ->
+         Sem.writes_memory sem
+         || match sem with Sem.S_pop _ -> true | _ -> false)
+       (Sem.lift i)
+
+type t = {
+  trace : Trace.t;
+  reads_at : Reg.t list array;
+  writes_at : Reg.t list array;
+  side_effect : bool array;
+}
+
+let analyze (trace : Trace.t) =
+  let n = Array.length trace in
+  {
+    trace;
+    reads_at = Array.init n (fun k -> insn_reads trace.(k).Trace.insn);
+    writes_at = Array.init n (fun k -> insn_writes trace.(k).Trace.insn);
+    side_effect = Array.init n (fun k -> has_side_effect trace.(k).Trace.insn);
+  }
+
+let check_index t k =
+  if k < 0 || k >= Array.length t.trace then invalid_arg "Defuse: index out of range"
+
+let reads t k =
+  check_index t k;
+  List.map
+    (fun r ->
+      let rec back j =
+        if j < 0 then Entry
+        else if List.exists (Reg.equal r) t.writes_at.(j) then At j
+        else back (j - 1)
+      in
+      (r, back (k - 1)))
+    t.reads_at.(k)
+
+let writes t k =
+  check_index t k;
+  t.writes_at.(k)
+
+(* Is the value [r] written at [k] consumed before being clobbered? *)
+let write_used t k r =
+  let n = Array.length t.trace in
+  let rec forward j =
+    if j >= n then false
+    else if List.exists (Reg.equal r) t.reads_at.(j) then true
+    else if List.exists (Reg.equal r) t.writes_at.(j) then false
+    else forward (j + 1)
+  in
+  forward (k + 1)
+
+let is_dead_write t k =
+  check_index t k;
+  (not t.side_effect.(k))
+  && t.writes_at.(k) <> []
+  && List.for_all (fun r -> not (write_used t k r)) t.writes_at.(k)
+
+let dead_fraction t =
+  let n = Array.length t.trace in
+  if n = 0 then 0.0
+  else begin
+    let dead = ref 0 in
+    for k = 0 to n - 1 do
+      if is_dead_write t k then incr dead
+    done;
+    float_of_int !dead /. float_of_int n
+  end
+
+let uses_of t k =
+  check_index t k;
+  let n = Array.length t.trace in
+  List.concat_map
+    (fun r ->
+      let rec forward j acc =
+        if j >= n then List.rev acc
+        else if List.exists (Reg.equal r) t.reads_at.(j) then
+          (* reads-then-writes keeps scanning only if the reg survives *)
+          if List.exists (Reg.equal r) t.writes_at.(j) then List.rev (j :: acc)
+          else forward (j + 1) (j :: acc)
+        else if List.exists (Reg.equal r) t.writes_at.(j) then List.rev acc
+        else forward (j + 1) acc
+      in
+      forward (k + 1) [])
+    t.writes_at.(k)
+  |> List.sort_uniq compare

@@ -1,0 +1,95 @@
+type step = {
+  off : int;
+  len : int;
+  insn : Insn.t;
+  sems : Sem.t list;
+  state : Constprop.t;
+}
+
+type t = step array
+
+let build ?(max_len = 1024) code ~entry =
+  let n = String.length code in
+  if entry < 0 || entry >= n then [||]
+  else begin
+    let visited = Hashtbl.create 64 in
+    let acc = ref [] in
+    let count = ref 0 in
+    let state = ref Constprop.initial in
+    let off = ref entry in
+    let continue = ref true in
+    while !continue && !count < max_len && !off >= 0 && !off < n
+          && not (Hashtbl.mem visited !off) do
+      Hashtbl.add visited !off ();
+      match Decode.at code !off with
+      | None -> continue := false
+      | Some d ->
+          let insn = d.Decode.insn in
+          let sems = Sem.lift insn in
+          acc := { off = !off; len = d.Decode.len; insn; sems; state = !state } :: !acc;
+          incr count;
+          state := List.fold_left Constprop.step !state sems;
+          let next = !off + d.Decode.len in
+          (match insn with
+          | Insn.Jmp_rel disp -> off := next + disp
+          | Insn.Call_rel disp -> off := next + disp
+          | Insn.Ret | Insn.Int3 | Insn.Bad _ -> continue := false
+          | Insn.Jcc_rel _ | Insn.Loop _ | Insn.Loope _ | Insn.Loopne _
+          | Insn.Jecxz _ ->
+              off := next
+          | Insn.Mov _ | Insn.Arith _ | Insn.Test _ | Insn.Not _ | Insn.Neg _
+          | Insn.Inc _ | Insn.Dec _ | Insn.Shift _ | Insn.Lea _ | Insn.Xchg _
+          | Insn.Push_reg _ | Insn.Pop_reg _ | Insn.Push_imm _ | Insn.Pushad
+          | Insn.Popad | Insn.Pushfd | Insn.Popfd | Insn.Int _ | Insn.Nop
+          | Insn.Cld | Insn.Std | Insn.Lodsb | Insn.Lodsd | Insn.Stosb
+          | Insn.Stosd | Insn.Movsb | Insn.Movsd | Insn.Scasb | Insn.Cmpsb
+          | Insn.Cdq | Insn.Cwde | Insn.Clc | Insn.Stc | Insn.Cmc | Insn.Sahf
+          | Insn.Lahf | Insn.Fwait | Insn.Rep_movsb | Insn.Rep_movsd
+          | Insn.Rep_stosb | Insn.Rep_stosd | Insn.Movzx _ | Insn.Movsx _
+          | Insn.Mul _ | Insn.Imul _ | Insn.Div _ | Insn.Idiv _ | Insn.Imul2 _
+          | Insn.Imul3 _ ->
+              off := next)
+    done;
+    Array.of_list (List.rev !acc)
+  end
+
+let entry_points ?(limit = 256) code =
+  let n = String.length code in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let add o =
+    if o >= 0 && o < n && not (Hashtbl.mem seen o) then begin
+      Hashtbl.add seen o ();
+      out := o :: !out
+    end
+  in
+  (* the region start, and nearby offsets to recover from byte-level
+     desynchronization *)
+  for o = 0 to min 16 (n - 1) do
+    add o
+  done;
+  (* linear sweep: branch targets and post-boundary restarts *)
+  let ds = Decode.all code in
+  Array.iter
+    (fun (d : Decode.decoded) ->
+      (match Insn.branch_displacement d.Decode.insn with
+      | Some disp -> add (d.Decode.off + d.Decode.len + disp)
+      | None -> ());
+      match d.Decode.insn with
+      | Insn.Ret | Insn.Int3 | Insn.Bad _ -> add (d.Decode.off + d.Decode.len)
+      | _ -> ())
+    ds;
+  let all = List.rev !out in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  take limit all
+
+let pp ppf (t : t) =
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@\n";
+      Format.fprintf ppf "%04x: %a" s.off Pretty.pp s.insn)
+    t

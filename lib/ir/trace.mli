@@ -1,0 +1,32 @@
+(** Execution-order recovery.
+
+    Obfuscators scramble the byte order of code and stitch the pieces
+    back together with unconditional jumps (the paper's Figure 1(c)).
+    Matching must therefore walk code in {e execution order}.  A trace
+    starts at a candidate entry offset and follows unconditional jumps
+    and calls, falls through conditional branches and [loop]s, and stops
+    at returns, halts, out-of-range targets, revisited offsets, or a
+    length bound. *)
+
+type step = {
+  off : int;  (** byte offset of the instruction within the region *)
+  len : int;
+  insn : Insn.t;
+  sems : Sem.t list;
+  state : Constprop.t;  (** abstract state {e before} the instruction *)
+}
+
+type t = step array
+
+val build : ?max_len:int -> string -> entry:int -> t
+(** Trace of at most [max_len] (default 1024) instructions starting at
+    byte offset [entry].  Empty when [entry] is out of range. *)
+
+val entry_points : ?limit:int -> string -> int list
+(** Candidate entry offsets for a code region, most promising first:
+    the region start and a few following offsets (decode
+    self-synchronization), branch targets discovered by linear sweep,
+    and offsets following sweep boundaries ([ret], [int3], undecodable
+    bytes).  Capped at [limit] (default 256), deduplicated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(* Sum 16-bit big-endian words with end-around carry. *)
+let sum_into acc s =
+  let n = String.length s in
+  let acc = ref acc in
+  let i = ref 0 in
+  while !i + 1 < n do
+    acc := !acc + (Char.code s.[!i] lsl 8) + Char.code s.[!i + 1];
+    i := !i + 2
+  done;
+  if !i < n then acc := !acc + (Char.code s.[!i] lsl 8);
+  !acc
+
+let fold acc =
+  let acc = ref acc in
+  while !acc land lnot 0xFFFF <> 0 do
+    acc := (!acc land 0xFFFF) + (!acc lsr 16)
+  done;
+  !acc
+
+let ones_complement s = lnot (fold (sum_into 0 s)) land 0xFFFF
+
+let ones_complement_list parts =
+  (* parts must each have even length except possibly the last; the packet
+     encoders below guarantee this by padding the pseudo-header side *)
+  let acc = List.fold_left sum_into 0 parts in
+  lnot (fold acc) land 0xFFFF
+
+let valid s = ones_complement s = 0

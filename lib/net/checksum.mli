@@ -1,0 +1,11 @@
+(** RFC 1071 internet checksum. *)
+
+val ones_complement : string -> int
+(** Checksum over a byte string (odd lengths are zero-padded). *)
+
+val ones_complement_list : string list -> int
+(** Checksum over the concatenation, without materializing it. *)
+
+val valid : string -> bool
+(** A buffer whose embedded checksum field is correct sums to 0xFFFF...
+    i.e. [ones_complement buf = 0]. *)

@@ -1,0 +1,54 @@
+type mac = string (* 6 raw bytes *)
+
+let mac_of_bytes s =
+  if String.length s <> 6 then invalid_arg "Ethernet.mac_of_bytes: need 6 bytes";
+  s
+
+let mac_of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] ->
+      let byte x =
+        match int_of_string_opt ("0x" ^ x) with
+        | Some v when v >= 0 && v <= 255 -> Char.chr v
+        | Some _ | None -> invalid_arg "Ethernet.mac_of_string: bad octet"
+      in
+      let parts = [ a; b; c; d; e; f ] in
+      String.init 6 (fun i -> byte (List.nth parts i))
+  | _ -> invalid_arg "Ethernet.mac_of_string: want aa:bb:cc:dd:ee:ff"
+
+let mac_to_string m =
+  String.concat ":"
+    (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code m.[i])))
+
+let mac_broadcast = String.make 6 '\xFF'
+let mac_equal (a : mac) b = String.equal a b
+
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+
+type t = { dst : mac; src : mac; ethertype : int; payload : string }
+
+let encode t =
+  let w = Byte_io.Writer.create ~capacity:(14 + String.length t.payload) () in
+  Byte_io.Writer.string w t.dst;
+  Byte_io.Writer.string w t.src;
+  Byte_io.Writer.u16_be w t.ethertype;
+  Byte_io.Writer.string w t.payload;
+  Byte_io.Writer.contents w
+
+let decode s =
+  if String.length s < 14 then Error "short frame"
+  else
+    let r = Byte_io.Reader.of_string s in
+    let dst = Byte_io.Reader.take r 6 in
+    let src = Byte_io.Reader.take r 6 in
+    let ethertype = Byte_io.Reader.u16_be r in
+    Ok { dst; src; ethertype; payload = Byte_io.Reader.rest r }
+
+let default_src = mac_of_string "02:00:00:00:00:01"
+let default_dst = mac_of_string "02:00:00:00:00:02"
+
+let wrap_ipv4 ?(src = default_src) ?(dst = default_dst) datagram =
+  encode { dst; src; ethertype = ethertype_ipv4; payload = datagram }
+
+let pp_mac ppf m = Format.pp_print_string ppf (mac_to_string m)

@@ -1,0 +1,28 @@
+(** Ethernet II framing, for captures taken at the link layer. *)
+
+type mac
+(** A 48-bit hardware address. *)
+
+val mac_of_string : string -> mac
+(** ["aa:bb:cc:dd:ee:ff"].  @raise Invalid_argument on malformed input. *)
+
+val mac_of_bytes : string -> mac
+(** Exactly 6 raw bytes. *)
+
+val mac_to_string : mac -> string
+val mac_broadcast : mac
+val mac_equal : mac -> mac -> bool
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+
+type t = { dst : mac; src : mac; ethertype : int; payload : string }
+
+val encode : t -> string
+val decode : string -> (t, string) Stdlib.result
+
+val wrap_ipv4 : ?src:mac -> ?dst:mac -> string -> string
+(** Frame an IPv4 datagram with default locally administered
+    addresses. *)
+
+val pp_mac : Format.formatter -> mac -> unit

@@ -1,0 +1,21 @@
+(** IPv4 header codec (no options on encode; options skipped on decode). *)
+
+type t = {
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  proto : int;  (** 6 = TCP, 17 = UDP *)
+  ttl : int;
+  ident : int;
+  payload : string;
+}
+
+val proto_tcp : int
+val proto_udp : int
+
+val encode : t -> string
+(** Header (checksummed) followed by the payload. *)
+
+val decode : string -> (t, string) Stdlib.result
+(** Parses a datagram; the error string names the defect.  The total
+    length field is honoured (trailing bytes dropped); a bad header
+    checksum is an error. *)

@@ -1,0 +1,78 @@
+type l4 = Tcp_seg of Tcp.t | Udp_dgram of Udp.t | Raw of int * string
+
+type t = { ts : float; ip : Ipv4.t; l4 : l4 }
+
+let build_tcp ~ts ~src ~dst ~src_port ~dst_port ?(seq = 1000l) ?(ack_no = 0l)
+    ?(flags = Tcp.flags_pshack) ?(ttl = 64) ?(ident = 0) payload =
+  let seg = { Tcp.src_port; dst_port; seq; ack_no; flags; window = 65535; payload } in
+  let ip =
+    {
+      Ipv4.src;
+      dst;
+      proto = Ipv4.proto_tcp;
+      ttl;
+      ident;
+      payload = Tcp.encode ~src ~dst seg;
+    }
+  in
+  { ts; ip; l4 = Tcp_seg seg }
+
+let build_udp ~ts ~src ~dst ~src_port ~dst_port ?(ttl = 64) ?(ident = 0) payload =
+  let dgram = { Udp.src_port; dst_port; payload } in
+  let ip =
+    {
+      Ipv4.src;
+      dst;
+      proto = Ipv4.proto_udp;
+      ttl;
+      ident;
+      payload = Udp.encode ~src ~dst dgram;
+    }
+  in
+  { ts; ip; l4 = Udp_dgram dgram }
+
+let to_bytes t = Ipv4.encode t.ip
+
+let parse ~ts bytes =
+  match Ipv4.decode bytes with
+  | Error e -> Error e
+  | Ok ip ->
+      let l4 =
+        if ip.Ipv4.proto = Ipv4.proto_tcp then
+          match Tcp.decode ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ip.Ipv4.payload with
+          | Ok seg -> Ok (Tcp_seg seg)
+          | Error e -> Error ("tcp: " ^ e)
+        else if ip.Ipv4.proto = Ipv4.proto_udp then
+          match Udp.decode ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ip.Ipv4.payload with
+          | Ok d -> Ok (Udp_dgram d)
+          | Error e -> Error ("udp: " ^ e)
+        else Ok (Raw (ip.Ipv4.proto, ip.Ipv4.payload))
+      in
+      (match l4 with Ok l4 -> Ok { ts; ip; l4 } | Error e -> Error e)
+
+let src t = t.ip.Ipv4.src
+let dst t = t.ip.Ipv4.dst
+
+let ports t =
+  match t.l4 with
+  | Tcp_seg s -> Some (s.Tcp.src_port, s.Tcp.dst_port)
+  | Udp_dgram d -> Some (d.Udp.src_port, d.Udp.dst_port)
+  | Raw _ -> None
+
+let payload t =
+  match t.l4 with
+  | Tcp_seg s -> s.Tcp.payload
+  | Udp_dgram d -> d.Udp.payload
+  | Raw (_, p) -> p
+
+let is_tcp t = match t.l4 with Tcp_seg _ -> true | Udp_dgram _ | Raw _ -> false
+
+let pp ppf t =
+  let proto, sp, dp =
+    match t.l4 with
+    | Tcp_seg s -> ("tcp", s.Tcp.src_port, s.Tcp.dst_port)
+    | Udp_dgram d -> ("udp", d.Udp.src_port, d.Udp.dst_port)
+    | Raw (p, _) -> (Printf.sprintf "proto%d" p, 0, 0)
+  in
+  Format.fprintf ppf "%.3f %a:%d > %a:%d %s len=%d" t.ts Ipaddr.pp (src t) sp
+    Ipaddr.pp (dst t) dp proto (String.length (payload t))

@@ -1,0 +1,30 @@
+(** TCP segment codec (no options on encode; data offset honoured on
+    decode).  Checksums use the IPv4 pseudo-header. *)
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool; urg : bool }
+
+val flags_none : flags
+val flags_syn : flags
+val flags_synack : flags
+val flags_ack : flags
+val flags_pshack : flags
+val flags_finack : flags
+val flags_rst : flags
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack_no : int32;
+  flags : flags;
+  window : int;
+  payload : string;
+}
+
+val encode : src:Ipaddr.t -> dst:Ipaddr.t -> t -> string
+(** Segment bytes with a valid checksum. *)
+
+val decode : src:Ipaddr.t -> dst:Ipaddr.t -> string -> (t, string) Stdlib.result
+(** A wrong checksum is reported as an error. *)
+
+val pp_flags : Format.formatter -> flags -> unit

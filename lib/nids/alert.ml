@@ -1,0 +1,40 @@
+type t = {
+  ts : float;
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  template : string;
+  reason : Sanids_classify.Classifier.reason;
+  frame_off : int;
+  frame_origin : Sanids_extract.Extractor.origin;
+  detail : string;
+}
+
+let make ~packet ~reason ~frame ~result =
+  let src_port, dst_port =
+    match Packet.ports packet with Some (s, d) -> (s, d) | None -> (0, 0)
+  in
+  {
+    ts = packet.Packet.ts;
+    src = Packet.src packet;
+    dst = Packet.dst packet;
+    src_port;
+    dst_port;
+    template = result.Matcher.template;
+    reason;
+    frame_off = frame.Sanids_extract.Extractor.off;
+    frame_origin = frame.Sanids_extract.Extractor.origin;
+    detail = Format.asprintf "%a" Matcher.pp_result result;
+  }
+
+let pp ppf a =
+  Format.fprintf ppf "[%.3f] ALERT %s %a:%d -> %a:%d (%s, frame@@%d %s)" a.ts
+    a.template Ipaddr.pp a.src a.src_port Ipaddr.pp a.dst a.dst_port
+    (Sanids_classify.Classifier.reason_to_string a.reason)
+    a.frame_off
+    (match a.frame_origin with
+    | Sanids_extract.Extractor.Unicode_escape -> "unicode"
+    | Sanids_extract.Extractor.Raw_binary -> "raw")
+
+let to_line a = Format.asprintf "%a" pp a

@@ -1,0 +1,25 @@
+(** Alerts raised by the semantic analyzer. *)
+
+type t = {
+  ts : float;
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  template : string;  (** matching template name *)
+  reason : Sanids_classify.Classifier.reason;  (** why the packet was analyzed *)
+  frame_off : int;  (** payload offset of the matched frame *)
+  frame_origin : Sanids_extract.Extractor.origin;
+  detail : string;  (** rendered variable bindings *)
+}
+
+val make :
+  packet:Packet.t ->
+  reason:Sanids_classify.Classifier.reason ->
+  frame:Sanids_extract.Extractor.frame ->
+  result:Matcher.result ->
+  t
+
+val pp : Format.formatter -> t -> unit
+val to_line : t -> string
+(** One-line log rendering. *)

@@ -1,0 +1,29 @@
+type t = {
+  honeypots : Ipaddr.t list;
+  unused : Ipaddr.prefix list;
+  scan_threshold : int;
+  classification_enabled : bool;
+  extraction_enabled : bool;
+  templates : Template.t list;
+  min_payload : int;
+  reassemble : bool;
+}
+
+let default =
+  {
+    honeypots = [];
+    unused = [];
+    scan_threshold = 5;
+    classification_enabled = true;
+    extraction_enabled = true;
+    templates = Template_lib.default_set;
+    min_payload = 16;
+    reassemble = false;
+  }
+
+let with_honeypots honeypots t = { t with honeypots }
+let with_unused unused t = { t with unused }
+let with_templates templates t = { t with templates }
+let with_classification classification_enabled t = { t with classification_enabled }
+let with_extraction extraction_enabled t = { t with extraction_enabled }
+let with_reassembly reassemble t = { t with reassemble }

@@ -1,0 +1,30 @@
+(** NIDS configuration. *)
+
+type t = {
+  honeypots : Ipaddr.t list;  (** registered decoy addresses *)
+  unused : Ipaddr.prefix list;  (** declared unused address space *)
+  scan_threshold : int;  (** distinct unused addresses before flagging *)
+  classification_enabled : bool;
+      (** [false] reproduces the paper's §5.4 mode: every packet is
+          analyzed *)
+  extraction_enabled : bool;
+      (** [false] reproduces the reference-[5] style whole-payload
+          analysis used for the efficiency comparison *)
+  templates : Template.t list;
+  min_payload : int;  (** payloads shorter than this are never analyzed *)
+  reassemble : bool;
+      (** track TCP flows from suspicious sources and analyze the
+          reassembled stream, defeating exploit delivery that is split
+          across segments *)
+}
+
+val default : t
+(** Empty honeypot/unused lists, classification and extraction on, the
+    full {!Template_lib.default_set}, [min_payload = 16]. *)
+
+val with_honeypots : Ipaddr.t list -> t -> t
+val with_unused : Ipaddr.prefix list -> t -> t
+val with_templates : Template.t list -> t -> t
+val with_classification : bool -> t -> t
+val with_extraction : bool -> t -> t
+val with_reassembly : bool -> t -> t

@@ -1,0 +1,79 @@
+module Siggen = Sanids_baseline.Siggen
+
+type t = {
+  pipeline : Pipeline.t;
+  pool_size : int;
+  pools : (string, string list) Hashtbl.t;  (* template -> payload pool *)
+  mutable signatures : (string * Siggen.t) list;
+  mutable fast_hits : int;
+}
+
+let create ?(pool_size = 5) cfg =
+  {
+    pipeline = Pipeline.create cfg;
+    pool_size;
+    pools = Hashtbl.create 8;
+    signatures = [];
+    fast_hits = 0;
+  }
+
+let try_infer t name =
+  let pool = Option.value ~default:[] (Hashtbl.find_opt t.pools name) in
+  if List.length pool >= t.pool_size && not (List.mem_assoc name t.signatures)
+  then begin
+    let s = Siggen.infer pool in
+    (* deploy only signatures with real specificity: weak token sets would
+       either miss or false-positive, and the semantic path is already
+       correct *)
+    if s.Siggen.tokens <> [] && Siggen.specificity s >= 16 then
+      t.signatures <- (name, s) :: t.signatures
+  end
+
+let fast_path t payload =
+  List.filter_map
+    (fun (name, s) -> if Siggen.matches s payload then Some name else None)
+    t.signatures
+
+let process_packet t packet =
+  let payload = Packet.payload packet in
+  match fast_path t payload with
+  | name :: _ ->
+      t.fast_hits <- t.fast_hits + 1;
+      (* synthesize an alert equivalent to the semantic one *)
+      let frame =
+        {
+          Sanids_extract.Extractor.off = 0;
+          data = payload;
+          origin = Sanids_extract.Extractor.Raw_binary;
+        }
+      in
+      let result =
+        {
+          Matcher.template = name;
+          entry = 0;
+          offsets = [];
+          reg_bindings = [];
+          const_bindings = [];
+        }
+      in
+      [
+        Alert.make ~packet
+          ~reason:Sanids_classify.Classifier.Classification_disabled ~frame
+          ~result;
+      ]
+  | [] ->
+      let alerts = Pipeline.process_packet t.pipeline packet in
+      List.iter
+        (fun (a : Alert.t) ->
+          let name = a.Alert.template in
+          let pool = Option.value ~default:[] (Hashtbl.find_opt t.pools name) in
+          Hashtbl.replace t.pools name (payload :: pool);
+          try_infer t name)
+        alerts;
+      alerts
+
+let process_packets t packets = List.concat_map (process_packet t) packets
+
+let deployed_signatures t = t.signatures
+let fast_path_hits t = t.fast_hits
+let stats t = Pipeline.stats t.pipeline

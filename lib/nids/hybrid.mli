@@ -1,0 +1,33 @@
+(** Hybrid semantic/syntactic operation — the engineering the paper's
+    conclusion gestures at ("optimize our implementation so that it can
+    run even faster").
+
+    Semantic analysis is expensive; static matching is cheap.  The hybrid
+    pipeline pools the payloads each template flags and, once a template
+    has accumulated [pool_size] samples, runs Autograph/Polygraph-style
+    signature inference over the pool.  A payload matching a deployed
+    signature is alerted on the fast path without disassembly; everything
+    else takes the full semantic path.  For campaigns with stable framing
+    (Code Red II) the fast path takes over after a handful of instances;
+    for fully polymorphic campaigns inference yields no usable tokens and
+    the system keeps paying for semantics — measured in the test suite
+    and bench. *)
+
+type t
+
+val create : ?pool_size:int -> Config.t -> t
+(** [pool_size] (default 5) samples per template before inference. *)
+
+val process_packet : t -> Packet.t -> Alert.t list
+(** Alerts carry the originating template name whether they came from the
+    fast path or the semantic path. *)
+
+val process_packets : t -> Packet.t list -> Alert.t list
+
+val deployed_signatures : t -> (string * Sanids_baseline.Siggen.t) list
+(** Signatures inferred and in use, by template name. *)
+
+val fast_path_hits : t -> int
+(** Alerts that skipped semantic analysis entirely. *)
+
+val stats : t -> Stats.t

@@ -1,0 +1,84 @@
+let shard_of addr ~shards =
+  if shards <= 0 then invalid_arg "Parallel.shard_of: shards must be positive";
+  Ipaddr.hash addr mod shards
+
+let default_domains () = min 8 (max 1 (Domain.recommended_domain_count ()))
+
+let merge_stats (acc : Stats.t) (s : Stats.t) =
+  acc.Stats.packets <- acc.Stats.packets + s.Stats.packets;
+  acc.Stats.bytes <- acc.Stats.bytes + s.Stats.bytes;
+  acc.Stats.classified_suspicious <-
+    acc.Stats.classified_suspicious + s.Stats.classified_suspicious;
+  acc.Stats.prefilter_hits <- acc.Stats.prefilter_hits + s.Stats.prefilter_hits;
+  acc.Stats.frames <- acc.Stats.frames + s.Stats.frames;
+  acc.Stats.frame_bytes <- acc.Stats.frame_bytes + s.Stats.frame_bytes;
+  acc.Stats.alerts <- acc.Stats.alerts + s.Stats.alerts;
+  acc.Stats.analysis_seconds <- acc.Stats.analysis_seconds +. s.Stats.analysis_seconds
+
+let shard_packets packets ~shards =
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun p ->
+      let k = shard_of (Packet.src p) ~shards in
+      buckets.(k) <- p :: buckets.(k))
+    packets;
+  Array.map List.rev buckets
+
+let process ?domains cfg packets =
+  let shards = match domains with Some d -> max 1 d | None -> default_domains () in
+  if shards = 1 then begin
+    let nids = Pipeline.create cfg in
+    let alerts = Pipeline.process_packets nids packets in
+    (alerts, Pipeline.stats nids)
+  end
+  else begin
+    let buckets = shard_packets packets ~shards in
+    let workers =
+      Array.map
+        (fun shard ->
+          Domain.spawn (fun () ->
+              let nids = Pipeline.create cfg in
+              let alerts = Pipeline.process_packets nids shard in
+              (alerts, Pipeline.stats nids)))
+        buckets
+    in
+    let results = Array.map Domain.join workers in
+    let stats = Stats.create () in
+    Array.iter (fun (_, s) -> merge_stats stats s) results;
+    let alerts = List.concat_map fst (Array.to_list results) in
+    (alerts, stats)
+  end
+
+let process_seq ?domains ?(batch = 8192) cfg packets on_alerts =
+  let shards = match domains with Some d -> max 1 d | None -> default_domains () in
+  (* persistent per-shard pipelines: classifier state must survive across
+     batches, exactly as it would in a long-running sequential deployment *)
+  let pipelines = Array.init shards (fun _ -> Pipeline.create cfg) in
+  let buf = ref [] in
+  let count = ref 0 in
+  let flush () =
+    if !count > 0 then begin
+      let chunk = List.rev !buf in
+      buf := [];
+      count := 0;
+      let buckets = shard_packets chunk ~shards in
+      let workers =
+        Array.mapi
+          (fun k shard ->
+            Domain.spawn (fun () -> Pipeline.process_packets pipelines.(k) shard))
+          buckets
+      in
+      let alerts = List.concat_map Domain.join (Array.to_list workers) in
+      if alerts <> [] then on_alerts alerts
+    end
+  in
+  Seq.iter
+    (fun p ->
+      buf := p :: !buf;
+      incr count;
+      if !count >= batch then flush ())
+    packets;
+  flush ();
+  let stats = Stats.create () in
+  Array.iter (fun nids -> merge_stats stats (Pipeline.stats nids)) pipelines;
+  stats

@@ -1,0 +1,31 @@
+(** Multicore bulk processing (OCaml 5 domains).
+
+    Every piece of classifier state — honeypot marks, scan counters,
+    flow reassembly — is keyed by source address, so sharding traffic by
+    source across worker domains preserves verdicts exactly: each worker
+    runs an ordinary single-threaded {!Pipeline} over its shard and never
+    shares mutable state.  This is the standard NIDS scaling design
+    (per-flow hashing at the tap), and it is what lets the false-positive
+    experiment chew through month-scale corpora.
+
+    The test suite checks shard-equivalence against the sequential
+    pipeline; the bench harness measures the speedup. *)
+
+val shard_of : Ipaddr.t -> shards:int -> int
+(** The worker index a source address maps to. *)
+
+val process :
+  ?domains:int -> Config.t -> Packet.t list -> Alert.t list * Stats.t
+(** Process a batch across [domains] workers (default:
+    [Domain.recommended_domain_count ()], capped at 8).  Alerts are
+    concatenated in shard order, each shard preserving arrival order;
+    statistics are summed. *)
+
+val process_seq :
+  ?domains:int -> ?batch:int -> Config.t -> Packet.t Seq.t ->
+  (Alert.t list -> unit) -> Stats.t
+(** Stream variant: consume a packet sequence in batches of [batch]
+    (default 8192), fanning each batch across domains, invoking the
+    callback with each batch's alerts.  Worker pipelines persist across
+    batches, so cross-batch classifier state (scan counts, honeypot
+    marks) behaves exactly as in the sequential pipeline. *)

@@ -1,0 +1,139 @@
+module Classifier = Sanids_classify.Classifier
+module Extractor = Sanids_extract.Extractor
+
+let log_src = Logs.Src.create "sanids.pipeline" ~doc:"semantic NIDS pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  cfg : Config.t;
+  classifier : Classifier.t;
+  stats : Stats.t;
+  reasm : Flow.reassembler option;
+  flow_alerted : (string, unit) Hashtbl.t;
+      (* flow-key ^ template pairs already alerted, for stream mode *)
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    classifier =
+      Classifier.create ~honeypots:cfg.Config.honeypots ~unused:cfg.Config.unused
+        ~scan_threshold:cfg.Config.scan_threshold
+        ~enabled:cfg.Config.classification_enabled ();
+    stats = Stats.create ();
+    reasm = (if cfg.Config.reassemble then Some (Flow.create_reassembler ()) else None);
+    flow_alerted = Hashtbl.create 64;
+  }
+
+let frames_of t payload =
+  if t.cfg.Config.extraction_enabled then Extractor.extract payload
+  else
+    [ { Extractor.off = 0; data = payload; origin = Extractor.Raw_binary } ]
+
+(* Analysis stages shared by live processing and the timing harness. *)
+let analyze_frames t payload =
+  let gate =
+    (not t.cfg.Config.extraction_enabled) || Extractor.suspicious payload
+  in
+  if not gate then []
+  else begin
+    t.stats.Stats.prefilter_hits <- t.stats.Stats.prefilter_hits + 1;
+    List.concat_map
+      (fun (frame : Extractor.frame) ->
+        t.stats.Stats.frames <- t.stats.Stats.frames + 1;
+        t.stats.Stats.frame_bytes <-
+          t.stats.Stats.frame_bytes + String.length frame.Extractor.data;
+        List.map
+          (fun r -> (frame, r))
+          (Matcher.scan ~templates:t.cfg.Config.templates frame.Extractor.data))
+      (frames_of t payload)
+  end
+
+let dedup_by_template results =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (_, (r : Matcher.result)) ->
+      if Hashtbl.mem seen r.Matcher.template then false
+      else begin
+        Hashtbl.add seen r.Matcher.template ();
+        true
+      end)
+    results
+
+(* In stream mode the analyzed buffer is the flow's reassembled prefix and
+   alerts deduplicate per flow; otherwise it is the packet payload. *)
+let buffer_for t packet payload =
+  match t.reasm with
+  | Some r when Packet.is_tcp packet && payload <> "" -> (
+      match Flow.push r packet with
+      | Some stream -> Some (stream, Flow.key_of_packet packet)
+      | None -> None (* waiting for a gap to fill; nothing new to analyze *))
+  | Some _ | None -> Some (payload, None)
+
+let process_packet t packet =
+  t.stats.Stats.packets <- t.stats.Stats.packets + 1;
+  let payload = Packet.payload packet in
+  t.stats.Stats.bytes <- t.stats.Stats.bytes + String.length payload;
+  match Classifier.classify t.classifier packet with
+  | Classifier.Benign -> []
+  | Classifier.Suspicious reason -> (
+      t.stats.Stats.classified_suspicious <- t.stats.Stats.classified_suspicious + 1;
+      Log.debug (fun m ->
+          m "suspicious packet from %a (%s), %d payload bytes" Ipaddr.pp
+            (Packet.src packet)
+            (Classifier.reason_to_string reason)
+            (String.length payload));
+      match buffer_for t packet payload with
+      | None -> []
+      | Some (buffer, flow_key) ->
+          if String.length buffer < t.cfg.Config.min_payload then []
+          else begin
+            let t0 = Sys.time () in
+            let results = dedup_by_template (analyze_frames t buffer) in
+            t.stats.Stats.analysis_seconds <-
+              t.stats.Stats.analysis_seconds +. (Sys.time () -. t0);
+            let fresh (result : Matcher.result) =
+              match flow_key with
+              | None -> true
+              | Some key ->
+                  let tag =
+                    Flow.key_to_string key ^ "|" ^ result.Matcher.template
+                  in
+                  if Hashtbl.mem t.flow_alerted tag then false
+                  else begin
+                    Hashtbl.add t.flow_alerted tag ();
+                    true
+                  end
+            in
+            let alerts =
+              List.filter_map
+                (fun (frame, result) ->
+                  if fresh result then
+                    Some (Alert.make ~packet ~reason ~frame ~result)
+                  else None)
+                results
+            in
+            t.stats.Stats.alerts <- t.stats.Stats.alerts + List.length alerts;
+            List.iter
+              (fun a -> Log.info (fun m -> m "%s" (Alert.to_line a)))
+              alerts;
+            alerts
+          end)
+
+let process_packets t packets = List.concat_map (process_packet t) packets
+
+let process_pcap t (file : Sanids_pcap.Pcap.file) =
+  List.concat_map
+    (fun r -> match r with Ok p -> process_packet t p | Error _ -> [])
+    (Sanids_pcap.Pcap.to_packets file)
+
+let analyze_payload t payload =
+  let t0 = Sys.time () in
+  let results = dedup_by_template (analyze_frames t payload) in
+  t.stats.Stats.analysis_seconds <-
+    t.stats.Stats.analysis_seconds +. (Sys.time () -. t0);
+  List.map snd results
+
+let stats t = t.stats
+let config t = t.cfg

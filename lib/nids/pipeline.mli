@@ -1,0 +1,28 @@
+(** The full semantics-aware NIDS (paper Figure 3): traffic classifier →
+    binary detection & extraction → disassembler → IR → semantic
+    analyzer. *)
+
+type t
+
+val create : Config.t -> t
+
+val process_packet : t -> Packet.t -> Alert.t list
+(** Run one packet through the pipeline.  At most one alert per template
+    name per packet. *)
+
+val process_packets : t -> Packet.t list -> Alert.t list
+
+val process_pcap : t -> Sanids_pcap.Pcap.file -> Alert.t list
+(** Unparseable records are counted and skipped. *)
+
+val analyze_payload : t -> string -> Matcher.result list
+(** The analysis stages only (no classification): extraction per config,
+    then disassembly and template matching.  This is what the timing
+    experiments measure. *)
+
+val stats : t -> Stats.t
+val config : t -> Config.t
+
+val log_src : Logs.src
+(** The pipeline's log source ("sanids.pipeline"): alerts at [Info],
+    per-packet classification at [Debug]. *)

@@ -1,0 +1,38 @@
+type t = {
+  mutable packets : int;
+  mutable bytes : int;
+  mutable classified_suspicious : int;
+  mutable prefilter_hits : int;
+  mutable frames : int;
+  mutable frame_bytes : int;
+  mutable alerts : int;
+  mutable analysis_seconds : float;
+}
+
+let create () =
+  {
+    packets = 0;
+    bytes = 0;
+    classified_suspicious = 0;
+    prefilter_hits = 0;
+    frames = 0;
+    frame_bytes = 0;
+    alerts = 0;
+    analysis_seconds = 0.0;
+  }
+
+let reset t =
+  t.packets <- 0;
+  t.bytes <- 0;
+  t.classified_suspicious <- 0;
+  t.prefilter_hits <- 0;
+  t.frames <- 0;
+  t.frame_bytes <- 0;
+  t.alerts <- 0;
+  t.analysis_seconds <- 0.0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs"
+    t.packets t.bytes t.classified_suspicious t.prefilter_hits t.frames
+    t.frame_bytes t.alerts t.analysis_seconds

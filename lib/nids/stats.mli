@@ -1,0 +1,16 @@
+(** Per-stage pipeline counters and timings. *)
+
+type t = {
+  mutable packets : int;
+  mutable bytes : int;
+  mutable classified_suspicious : int;
+  mutable prefilter_hits : int;  (** payloads past the cheap suspicion gate *)
+  mutable frames : int;
+  mutable frame_bytes : int;  (** bytes handed to the disassembler *)
+  mutable alerts : int;
+  mutable analysis_seconds : float;  (** CPU time in extract+disassemble+match *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+type record = { ts : float; orig_len : int; data : string }
+type file = { nanos : bool; linktype : int; records : record list }
+
+exception Malformed of string
+
+let linktype_raw = 101
+let linktype_ethernet = 1
+let magic_usec = 0xA1B2C3D4
+let magic_nsec = 0xA1B23C4D
+
+let encode ?(nanos = false) ?(linktype = linktype_raw) records =
+  let w = Byte_io.Writer.create ~capacity:4096 () in
+  Byte_io.Writer.u32_le_int w (if nanos then magic_nsec else magic_usec);
+  Byte_io.Writer.u16_le w 2;
+  (* version major *)
+  Byte_io.Writer.u16_le w 4;
+  (* version minor *)
+  Byte_io.Writer.u32_le_int w 0;
+  (* thiszone *)
+  Byte_io.Writer.u32_le_int w 0;
+  (* sigfigs *)
+  Byte_io.Writer.u32_le_int w 65535;
+  (* snaplen *)
+  Byte_io.Writer.u32_le_int w linktype;
+  List.iter
+    (fun r ->
+      let scale = if nanos then 1e9 else 1e6 in
+      let secs = int_of_float r.ts in
+      let frac = int_of_float (Float.round ((r.ts -. float_of_int secs) *. scale)) in
+      let secs, frac =
+        let unit = if nanos then 1_000_000_000 else 1_000_000 in
+        if frac >= unit then (secs + 1, frac - unit) else (secs, frac)
+      in
+      Byte_io.Writer.u32_le_int w secs;
+      Byte_io.Writer.u32_le_int w frac;
+      Byte_io.Writer.u32_le_int w (String.length r.data);
+      Byte_io.Writer.u32_le_int w r.orig_len;
+      Byte_io.Writer.string w r.data)
+    records;
+  Byte_io.Writer.contents w
+
+let decode s =
+  let open Byte_io in
+  if String.length s < 24 then raise (Malformed "short global header");
+  let r = Reader.of_string s in
+  let raw_magic = Reader.u32_le_int r in
+  let le, nanos =
+    if raw_magic = magic_usec then (true, false)
+    else if raw_magic = magic_nsec then (true, true)
+    else begin
+      (* big-endian writer: the magic reads byte-swapped *)
+      let swapped =
+        ((raw_magic land 0xFF) lsl 24)
+        lor ((raw_magic land 0xFF00) lsl 8)
+        lor ((raw_magic lsr 8) land 0xFF00)
+        lor ((raw_magic lsr 24) land 0xFF)
+      in
+      if swapped = magic_usec then (false, false)
+      else if swapped = magic_nsec then (false, true)
+      else raise (Malformed "bad magic")
+    end
+  in
+  let u16 rd = if le then Reader.u16_le rd else Reader.u16_be rd in
+  let u32 rd = if le then Reader.u32_le_int rd else Reader.u32_be_int rd in
+  let _vmaj = u16 r in
+  let _vmin = u16 r in
+  let _zone = u32 r in
+  let _sigfigs = u32 r in
+  let _snaplen = u32 r in
+  let linktype = u32 r in
+  let records = ref [] in
+  (try
+     while Reader.remaining r > 0 do
+       if Reader.remaining r < 16 then raise (Malformed "truncated record header");
+       let secs = u32 r in
+       let frac = u32 r in
+       let incl = u32 r in
+       let orig = u32 r in
+       if Reader.remaining r < incl then raise (Malformed "truncated record body");
+       let data = Reader.take r incl in
+       let scale = if nanos then 1e9 else 1e6 in
+       records :=
+         { ts = float_of_int secs +. (float_of_int frac /. scale); orig_len = orig; data }
+         :: !records
+     done
+   with Truncated _ -> raise (Malformed "truncated"));
+  { nanos; linktype; records = List.rev !records }
+
+let write_file path records =
+  let oc = open_out_bin path in
+  (try output_string oc (encode records)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  decode data
+
+let of_packets pkts =
+  List.map
+    (fun p ->
+      let bytes = Packet.to_bytes p in
+      { ts = p.Packet.ts; orig_len = String.length bytes; data = bytes })
+    pkts
+
+let of_packets_ethernet pkts =
+  List.map
+    (fun p ->
+      let frame = Ethernet.wrap_ipv4 (Packet.to_bytes p) in
+      { ts = p.Packet.ts; orig_len = String.length frame; data = frame })
+    pkts
+
+let to_packets f =
+  let body r =
+    if f.linktype = linktype_ethernet then
+      match Ethernet.decode r.data with
+      | Ok e when e.Ethernet.ethertype = Ethernet.ethertype_ipv4 ->
+          Ok e.Ethernet.payload
+      | Ok e -> Error (Printf.sprintf "ethertype 0x%04x" e.Ethernet.ethertype)
+      | Error m -> Error ("ethernet: " ^ m)
+    else Ok r.data
+  in
+  List.map
+    (fun r ->
+      match body r with
+      | Ok datagram -> Packet.parse ~ts:r.ts datagram
+      | Error e -> Error e)
+    f.records

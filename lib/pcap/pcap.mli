@@ -1,0 +1,36 @@
+(** Classic pcap capture file format (the libpcap substitute).
+
+    We read and write the 24-byte global header plus per-record headers,
+    little- or big-endian, microsecond or nanosecond magic.  Link type is
+    [LINKTYPE_RAW] (101): each record body is a raw IPv4 datagram, which
+    is exactly what {!Packet.to_bytes} produces. *)
+
+type record = { ts : float; orig_len : int; data : string }
+
+type file = { nanos : bool; linktype : int; records : record list }
+
+exception Malformed of string
+
+val linktype_raw : int
+val linktype_ethernet : int
+
+val encode : ?nanos:bool -> ?linktype:int -> record list -> string
+(** Serialize a capture (little-endian). *)
+
+val decode : string -> file
+(** @raise Malformed on a bad magic or truncated record. *)
+
+val write_file : string -> record list -> unit
+val read_file : string -> file
+
+val of_packets : Packet.t list -> record list
+(** Records from parsed packets (snap = full length). *)
+
+val of_packets_ethernet : Packet.t list -> record list
+(** Records with Ethernet II framing ([LINKTYPE_ETHERNET]); pair with
+    [encode ~linktype:linktype_ethernet]. *)
+
+val to_packets : file -> (Packet.t, string) Stdlib.result list
+(** Parse each record body according to the file's link type: raw IPv4
+    datagrams, or Ethernet frames whose IPv4 payload is extracted
+    (non-IPv4 ethertypes are errors). *)

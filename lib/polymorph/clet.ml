@@ -1,0 +1,58 @@
+type generated = { code : string; pad_len : int; chi_square : float }
+
+let english_profile =
+  let p = Array.make 256 0.0005 in
+  let set c v = p.(Char.code c) <- v in
+  String.iteri
+    (fun i c ->
+      (* letter frequencies, descending *)
+      set c (0.085 *. (0.88 ** float_of_int i)))
+    "etaoinshrdlcumwfgypbvkjxqz";
+  set ' ' 0.14;
+  set '.' 0.01;
+  set ',' 0.008;
+  set '/' 0.012;
+  set ':' 0.006;
+  set '\r' 0.01;
+  set '\n' 0.01;
+  String.iter (fun c -> set c 0.004) "0123456789";
+  String.iter (fun c -> set c (p.(Char.code c) /. 4.0)) "ETAOINSHRDLU";
+  (* normalize *)
+  let total = Array.fold_left ( +. ) 0.0 p in
+  Array.map (fun v -> v /. total) p
+
+(* Sample a byte from a cumulative distribution. *)
+let sampler profile =
+  let cum = Array.make 256 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      acc := !acc +. v;
+      cum.(i) <- !acc)
+    profile;
+  fun rng ->
+    let x = Rng.float rng !acc in
+    let rec find lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < x then find (mid + 1) hi else find lo mid
+    in
+    Char.chr (find 0 255)
+
+let generate ?(target_profile = english_profile) ?(pad_factor = 2.0) rng ~payload =
+  let g =
+    Admmutate.generate ~family:Admmutate.Xor_loop ~out_of_order:false ~junk:2 rng
+      ~payload
+  in
+  let body = g.Admmutate.code in
+  let pad_len = int_of_float (pad_factor *. float_of_int (String.length body)) in
+  let sample = sampler target_profile in
+  (* The padding is dead data after the payload: execution never reaches
+     it, but it dominates the byte histogram. *)
+  let padding = String.init pad_len (fun _ -> sample rng) in
+  let code = body ^ padding in
+  let chi =
+    Entropy.chi_square ~observed:(Entropy.histogram code) ~expected:target_profile
+  in
+  { code; pad_len; chi_square = chi }

@@ -1,0 +1,27 @@
+(** Clet-equivalent polymorphic engine.
+
+    Clet obscures a xor decoder like ADMmutate, but its distinguishing
+    feature is {e spectrum analysis}: the generated buffer is padded with
+    bytes drawn from a target byte-frequency profile so the packet "looks
+    like normal traffic" to distribution-based detectors.  Detection in
+    the paper is still via the xor decryption template, which padding
+    cannot hide. *)
+
+type generated = {
+  code : string;  (** sled + decoder + encoded payload + shaped padding *)
+  pad_len : int;
+  chi_square : float;  (** distance of [code]'s histogram to the target *)
+}
+
+val english_profile : float array
+(** A 256-bin frequency profile resembling HTTP/text traffic; used as the
+    default shaping target. *)
+
+val generate :
+  ?target_profile:float array ->
+  ?pad_factor:float ->
+  Rng.t ->
+  payload:string ->
+  generated
+(** [pad_factor] (default 2.0) is the ratio of shaped padding to code
+    length. *)

@@ -1,0 +1,115 @@
+let i x = Asm.I x
+let reg r = Insn.Reg r
+let imm v = Insn.Imm v
+
+let dead_regs live =
+  List.filter
+    (fun r ->
+      (not (List.exists (Reg.equal r) live))
+      && not (Reg.equal r Reg.ESP)
+      && not (Reg.equal r Reg.EBP))
+    (Array.to_list Reg.all)
+
+let rand_imm rng = Int32.of_int (Rng.int rng 0x10000 - 0x8000)
+
+let arith_pool = [| Insn.Add; Insn.Sub; Insn.Xor; Insn.Or; Insn.And |]
+
+let items rng ~live n =
+  let dead = Array.of_list (dead_regs live) in
+  let have_dead = Array.length dead > 0 in
+  let pick_dead () = Rng.pick rng dead in
+  let any_reg () = Rng.pick rng Reg.all in
+  let rec gen k acc =
+    if k <= 0 then List.rev acc
+    else
+      let choice = Rng.int rng (if have_dead then 9 else 3) in
+      match choice with
+      | 0 -> gen (k - 1) (i Insn.Nop :: acc)
+      | 1 ->
+          gen (k - 1)
+            (i (Insn.Test (Insn.S32bit, reg (any_reg ()), reg (any_reg ()))) :: acc)
+      | 2 ->
+          gen (k - 1)
+            (i (Insn.Arith (Insn.Cmp, Insn.S32bit, reg (any_reg ()), imm (rand_imm rng)))
+            :: acc)
+      | 3 ->
+          gen (k - 1)
+            (i (Insn.Mov (Insn.S32bit, reg (pick_dead ()), imm (rand_imm rng))) :: acc)
+      | 4 ->
+          gen (k - 1)
+            (i
+               (Insn.Arith
+                  ( Rng.pick rng arith_pool,
+                    Insn.S32bit,
+                    reg (pick_dead ()),
+                    imm (rand_imm rng) ))
+            :: acc)
+      | 5 ->
+          let d = pick_dead () in
+          gen (k - 1)
+            (i (if Rng.bool rng then Insn.Inc (Insn.S32bit, reg d) else Insn.Dec (Insn.S32bit, reg d))
+            :: acc)
+      | 6 ->
+          (* balanced stack pair: push anything, pop a dead register *)
+          let d = pick_dead () in
+          gen (k - 2) (i (Insn.Pop_reg d) :: i (Insn.Push_reg (any_reg ())) :: acc)
+      | 7 ->
+          let d = pick_dead () in
+          gen (k - 1)
+            (i
+               (Insn.Lea
+                  (d, { Insn.base = Some (any_reg ()); index = None; disp = rand_imm rng }))
+            :: acc)
+      | _ ->
+          let d = pick_dead () in
+          gen (k - 1)
+            (i
+               (Insn.Shift
+                  ( Rng.pick rng [| Insn.Rol; Insn.Ror; Insn.Shl; Insn.Shr |],
+                    Insn.S32bit,
+                    reg d,
+                    1 + Rng.int rng 7 ))
+            :: acc)
+  in
+  gen n []
+
+let rotl32 v n =
+  let n = n land 31 in
+  if n = 0 then v
+  else Int32.logor (Int32.shift_left v n) (Int32.shift_right_logical v (32 - n))
+
+let const_route rng r v =
+  match Rng.int rng 7 with
+  | 0 -> [ i (Insn.Mov (Insn.S32bit, reg r, imm v)) ]
+  | 1 ->
+      let k = rand_imm rng in
+      [
+        i (Insn.Mov (Insn.S32bit, reg r, imm (Int32.sub v k)));
+        i (Insn.Arith (Insn.Add, Insn.S32bit, reg r, imm k));
+      ]
+  | 2 ->
+      let m = rand_imm rng in
+      [
+        i (Insn.Mov (Insn.S32bit, reg r, imm (Int32.logxor v m)));
+        i (Insn.Arith (Insn.Xor, Insn.S32bit, reg r, imm m));
+      ]
+  | 3 -> [ i (Insn.Push_imm v); i (Insn.Pop_reg r) ]
+  | 4 ->
+      [
+        i (Insn.Mov (Insn.S32bit, reg r, imm (Int32.lognot v)));
+        i (Insn.Not (Insn.S32bit, reg r));
+      ]
+  | 5 ->
+      let n = 1 + Rng.int rng 31 in
+      [
+        i (Insn.Mov (Insn.S32bit, reg r, imm (rotl32 v n)));
+        i (Insn.Shift (Insn.Ror, Insn.S32bit, reg r, n));
+      ]
+  | _ ->
+      (* memory-routed: the constant is fixed up in place on the stack *)
+      let m = rand_imm rng in
+      [
+        i (Insn.Push_imm (Int32.logxor v m));
+        i (Insn.Arith (Insn.Xor, Insn.S32bit, Insn.Mem (Insn.mem_base Reg.ESP), imm m));
+        i (Insn.Pop_reg r);
+      ]

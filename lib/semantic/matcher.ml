@@ -1,0 +1,403 @@
+type result = {
+  template : string;
+  entry : int;
+  offsets : int list;
+  reg_bindings : (Template.tvar * Reg.t) list;
+  const_bindings : (Template.cvar * int32) list;
+}
+
+type env = {
+  regs : (Template.tvar * Reg.t) list;
+  consts : (Template.cvar * int32) list;
+}
+
+let empty_env = { regs = []; consts = [] }
+
+(* Register bindings are injective: one variable per register and one
+   register per variable, so e.g. a decoder's pointer and working value
+   can never collapse onto the same register. *)
+let bind_reg env var reg =
+  match List.assoc_opt var env.regs with
+  | Some r -> if Reg.equal r reg then Some env else None
+  | None ->
+      if List.exists (fun (_, r) -> Reg.equal r reg) env.regs then None
+      else Some { env with regs = (var, reg) :: env.regs }
+
+let bind_const env var c =
+  match List.assoc_opt var env.consts with
+  | Some c' -> if Int32.equal c c' then Some env else None
+  | None -> Some { env with consts = (var, c) :: env.consts }
+
+let match_pval env (pv : Template.pval) (v : int32 option) =
+  match (pv, v) with
+  | Template.Any, _ -> Some env
+  | Template.Exact c, Some c' -> if Int32.equal c c' then Some env else None
+  | Template.Bind x, Some c -> bind_const env x c
+  | Template.Same x, Some c -> (
+      match List.assoc_opt x env.consts with
+      | Some c' -> if Int32.equal c c' then Some env else None
+      | None -> None)
+  | (Template.Exact _ | Template.Bind _ | Template.Same _), None -> None
+
+let width_ok (req : Template.width_req) (w : Insn.size) =
+  match (req, w) with
+  | Template.Wany, _ -> true
+  | Template.W8, Insn.S8bit -> true
+  | Template.W32, Insn.S32bit -> true
+  | Template.W8, Insn.S32bit | Template.W32, Insn.S8bit -> false
+
+(* Constant value of a source operand at the access width. *)
+let src_value state (w : Insn.size) (v : Sem.value) =
+  match w with
+  | Insn.S32bit -> Constprop.value state v
+  | Insn.S8bit -> (
+      match Constprop.value_low8 state v with
+      | Some b -> Some (Int32.of_int b)
+      | None -> None)
+
+let rop_mem_equal (a : Sem.rop) (b : Sem.rop) = a = b
+
+let consts_of_insn (i : Insn.t) : int32 list =
+  let of_op (o : Insn.operand) =
+    match o with
+    | Insn.Imm v -> [ v ]
+    | Insn.Mem m -> [ m.Insn.disp ]
+    | Insn.Reg _ | Insn.Reg8 _ -> []
+  in
+  match i with
+  | Insn.Mov (_, a, b) | Insn.Arith (_, _, a, b) | Insn.Test (_, a, b) ->
+      of_op a @ of_op b
+  | Insn.Not (_, o) | Insn.Neg (_, o) | Insn.Inc (_, o) | Insn.Dec (_, o)
+  | Insn.Shift (_, _, o, _) ->
+      of_op o
+  | Insn.Lea (_, m) -> [ m.Insn.disp ]
+  | Insn.Push_imm v -> [ v ]
+  | Insn.Movzx (_, o) | Insn.Movsx (_, o) | Insn.Mul (_, o) | Insn.Imul (_, o)
+  | Insn.Div (_, o) | Insn.Idiv (_, o) | Insn.Imul2 (_, o) ->
+      of_op o
+  | Insn.Imul3 (_, o, v) -> v :: of_op o
+  | Insn.Xchg _ | Insn.Push_reg _ | Insn.Pop_reg _ | Insn.Pushad | Insn.Popad
+  | Insn.Pushfd | Insn.Popfd | Insn.Jmp_rel _ | Insn.Jcc_rel _ | Insn.Call_rel _
+  | Insn.Loop _ | Insn.Loope _ | Insn.Loopne _ | Insn.Jecxz _ | Insn.Ret
+  | Insn.Int _ | Insn.Int3 | Insn.Nop | Insn.Cld | Insn.Std | Insn.Lodsb
+  | Insn.Lodsd | Insn.Stosb | Insn.Stosd | Insn.Movsb | Insn.Movsd | Insn.Scasb
+  | Insn.Cmpsb | Insn.Cdq | Insn.Cwde | Insn.Clc | Insn.Stc | Insn.Cmc
+  | Insn.Sahf | Insn.Lahf | Insn.Fwait | Insn.Rep_movsb | Insn.Rep_movsd
+  | Insn.Rep_stosb | Insn.Rep_stosd | Insn.Bad _ ->
+      []
+
+(* Match one template step against one semantic operation.  [first] is
+   [(trace_index, offset)] of the first matched step, and [index_of_off]
+   maps byte offsets to trace indices (for back-edge validation). *)
+(* Decoder loops address their working cell at (or very near) the walked
+   pointer; big fixed displacements are the signature of accidental
+   matches in random bytes. *)
+let small_disp d = Int32.abs d <= 8l
+
+(* Execution realism for matched loops: junk inside a real decoder never
+   dereferences wild pointers (it would fault), so every memory access in
+   the loop body must go through a template-bound register or the stack
+   frame.  Chance loop shapes in random bytes almost always violate
+   this. *)
+let body_memory_disciplined (trace : Trace.t) env ~from_idx ~to_idx =
+  let allowed r =
+    Reg.equal r Reg.ESP || Reg.equal r Reg.EBP
+    || List.exists (fun (_, b) -> Reg.equal b r) env.regs
+  in
+  (* operand-level: every memory operand must be addressed off an allowed
+     base (lea computes an address without touching memory — exempt) *)
+  let mem_ok (o : Insn.operand) =
+    match o with
+    | Insn.Mem m -> (
+        (match m.Insn.base with Some b -> allowed b | None -> false)
+        && match m.Insn.index with Some (r, _) -> allowed r | None -> true)
+    | Insn.Reg _ | Insn.Reg8 _ | Insn.Imm _ -> true
+  in
+  let insn_ok (i : Insn.t) =
+    match i with
+    | Insn.Mov (_, a, b) | Insn.Arith (_, _, a, b) | Insn.Test (_, a, b) ->
+        mem_ok a && mem_ok b
+    | Insn.Not (_, o) | Insn.Neg (_, o) | Insn.Inc (_, o) | Insn.Dec (_, o)
+    | Insn.Shift (_, _, o, _) ->
+        mem_ok o
+    | Insn.Movzx (_, o) | Insn.Movsx (_, o) | Insn.Mul (_, o) | Insn.Imul (_, o)
+    | Insn.Div (_, o) | Insn.Idiv (_, o) | Insn.Imul2 (_, o)
+    | Insn.Imul3 (_, o, _) ->
+        mem_ok o
+    | Insn.Lodsb | Insn.Lodsd -> allowed Reg.ESI
+    | Insn.Stosb | Insn.Stosd | Insn.Scasb -> allowed Reg.EDI
+    | Insn.Movsb | Insn.Movsd | Insn.Cmpsb | Insn.Rep_movsb | Insn.Rep_movsd ->
+        allowed Reg.ESI && allowed Reg.EDI
+    | Insn.Rep_stosb | Insn.Rep_stosd -> allowed Reg.EDI
+    | _ -> true
+  in
+  let ok = ref true in
+  for i = from_idx to to_idx do
+    if i >= 0 && i < Array.length trace then
+      if not (insn_ok trace.(i).Trace.insn) then ok := false
+  done;
+  !ok
+
+let match_pstep ~trace ~pos ~index_of_off ~post ~insn_continuation
+    (p : Template.pstep) (st : Trace.step) (sem : Sem.t) env first =
+  match (p, sem) with
+  | Template.Load { dst; ptr; width }, Sem.S_load l ->
+      if width_ok width l.width && small_disp l.disp then
+        Option.bind (bind_reg env dst l.dst) (fun env -> bind_reg env ptr l.ptr)
+      else None
+  | Template.Mem_transform { ops; ptr; key; width }, Sem.S_memop m ->
+      if
+        width_ok width m.width
+        && small_disp m.disp
+        && List.exists (rop_mem_equal m.op) ops
+      then
+        Option.bind (bind_reg env ptr m.ptr) (fun env ->
+            match_pval env key (src_value st.Trace.state m.width m.src))
+      else None
+  | Template.Reg_transform { ops; reg }, Sem.S_regop r ->
+      if List.exists (rop_mem_equal r.op) ops then bind_reg env reg r.dst else None
+  | Template.Reg_transform { ops; reg }, Sem.S_advance a ->
+      (* add/sub on the working value is a transform too *)
+      if
+        List.exists
+          (fun o -> o = Sem.Ra Insn.Add || o = Sem.Ra Insn.Sub)
+          ops
+      then bind_reg env reg a.reg
+      else None
+  | Template.Store { src; ptr; width }, Sem.S_store s -> (
+      match s.src with
+      | Sem.Vreg r when width_ok width s.width && small_disp s.disp ->
+          Option.bind (bind_reg env src r) (fun env -> bind_reg env ptr s.ptr)
+      | Sem.Vreg _ | Sem.Vconst _ | Sem.Vunknown -> None)
+  | Template.Ptr_advance { ptr }, Sem.S_advance a ->
+      (* a string instruction's implicit pointer bump only counts when an
+         earlier operation of the same instruction already matched (the
+         lods/stos-style decoders), never as a standalone advance *)
+      let amt = Int32.to_int a.amount in
+      if
+        amt <> 0
+        && abs amt <= 8
+        && ((not a.implicit) || insn_continuation)
+      then bind_reg env ptr a.reg
+      else None
+  | Template.Back_edge, Sem.S_branch b -> (
+      match b.kind with
+      | `Call -> None
+      | `Jmp | `Cond | `Loop | `Loop_cc | `Jecxz -> (
+          (* a real loop closes: the branch must target an instruction this
+             very trace executed, no later than the first matched step, and
+             no further past it in byte space than the first matched step
+             itself.  Chance branches in random data almost never land on a
+             visited instruction boundary, which is what keeps the benign
+             false-positive rate at zero *)
+          match first with
+          | Some (first_idx, first_off) -> (
+              let target = st.Trace.off + st.Trace.len + b.disp in
+              if target < 0 || target > first_off then None
+              else
+                match Hashtbl.find_opt index_of_off target with
+                | Some idx
+                  when idx <= first_idx
+                       && body_memory_disciplined trace env ~from_idx:idx
+                            ~to_idx:(pos - 1) ->
+                    Some env
+                | Some _ | None -> None)
+          | None -> None))
+  | Template.Syscall { vector; al; bl }, Sem.S_syscall v ->
+      if v = vector then
+        let low8 r =
+          match Constprop.reg_low8 st.Trace.state r with
+          | Some b -> Some (Int32.of_int b)
+          | None -> None
+        in
+        Option.bind (match_pval env al (low8 Reg.EAX)) (fun env ->
+            match_pval env bl (low8 Reg.EBX))
+      else None
+  | Template.Stack_const pv, Sem.S_push v ->
+      match_pval env pv (Constprop.value st.Trace.state v)
+  | Template.Stack_const pv, Sem.S_store s ->
+      match_pval env pv (src_value st.Trace.state s.width s.src)
+  | Template.Stack_const pv, Sem.S_memop m
+    when Reg.equal m.ptr Reg.ESP
+         && Int32.compare m.disp 0l >= 0
+         && Int32.rem m.disp 4l = 0l ->
+      (* a constant finished in place on the stack (push x; xor [esp], m):
+         read the folded slot from the post-instruction state *)
+      match_pval env pv (Constprop.slot_value post (Int32.to_int m.disp / 4))
+  | Template.Code_const c, _ ->
+      (* checked against the instruction itself; any sem of the insn works *)
+      if List.exists (Int32.equal c) (consts_of_insn st.Trace.insn) then Some env
+      else None
+  | ( ( Template.Load _ | Template.Mem_transform _ | Template.Reg_transform _
+      | Template.Store _ | Template.Ptr_advance _ | Template.Back_edge
+      | Template.Syscall _ | Template.Stack_const _ ),
+      _ ) ->
+      None
+
+(* Does skipping this instruction's remaining operations disturb any bound
+   register? *)
+let clobbers env sems =
+  List.exists
+    (fun sem ->
+      List.exists
+        (fun w -> List.exists (fun (_, r) -> Reg.equal r w) env.regs)
+        (Sem.writes sem))
+    sems
+
+type istep = Req of Template.pstep | More of Template.pstep
+
+let expand steps =
+  List.concat_map
+    (function
+      | Template.Once p -> [ Req p ]
+      | Template.Many p -> [ Req p; More p ])
+    steps
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let match_from ~index_of_off (t : Template.t) (trace : Trace.t) start =
+  let len = Array.length trace in
+  let finish env first offsets =
+    if List.for_all (Template.check_guard env.consts) t.guards then
+      Some (env, first, List.rev offsets)
+    else None
+  in
+  let rec go steps pos sem_idx env first offsets gap =
+    match steps with
+    | [] -> finish env first offsets
+    | More p :: rest -> (
+        (* non-greedy: try to move on first; the clobber rule forces the
+           loop to continue when the next instruction is another p *)
+        match go rest pos sem_idx env first offsets gap with
+        | Some r -> Some r
+        | None -> attempt p (More p :: rest) pos sem_idx env first offsets gap)
+    | Req p :: rest -> attempt p rest pos sem_idx env first offsets gap
+  and attempt p rest pos sem_idx env first offsets gap =
+    if pos >= len then None
+    else
+      let st = trace.(pos) in
+      let sems = st.Trace.sems in
+      let nsems = List.length sems in
+      let post =
+        if pos + 1 < len then trace.(pos + 1).Trace.state
+        else List.fold_left Constprop.step st.Trace.state sems
+      in
+      let rec try_sem k =
+        if k >= nsems then skip ()
+        else
+          let sem = List.nth sems k in
+          match
+            match_pstep ~trace ~pos ~index_of_off ~post
+              ~insn_continuation:(sem_idx > 0) p st sem env first
+          with
+          | Some env' -> (
+              let first' =
+                match first with None -> Some (pos, st.Trace.off) | s -> s
+              in
+              match
+                go rest pos (k + 1) env' first' (st.Trace.off :: offsets) 0
+              with
+              | Some r -> Some r
+              | None -> try_sem (k + 1))
+          | None -> try_sem (k + 1)
+      and skip () =
+        match first with
+        | None -> None (* start positions are enumerated by the caller *)
+        | Some _ ->
+            if gap >= t.max_gap then None
+            else if clobbers env (drop sem_idx sems) then None
+            else attempt p rest (pos + 1) 0 env first offsets (gap + 1)
+      in
+      try_sem sem_idx
+  in
+  go (expand t.steps) start 0 empty_env None [] 0
+
+let match_trace t trace ~entry =
+  let len = Array.length trace in
+  let index_of_off = Hashtbl.create (max 16 len) in
+  Array.iteri (fun i (s : Trace.step) -> Hashtbl.replace index_of_off s.Trace.off i) trace;
+  let rec try_start s =
+    if s >= len then None
+    else
+      match match_from ~index_of_off t trace s with
+      | Some (env, _, offsets) ->
+          Some
+            {
+              template = t.name;
+              entry;
+              offsets;
+              reg_bindings = List.rev env.regs;
+              const_bindings = List.rev env.consts;
+            }
+      | None -> try_start (s + 1)
+  in
+  try_start 0
+
+let scan ?entries ~templates code =
+  let n = String.length code in
+  let remaining = ref templates in
+  let results = ref [] in
+  if n = 0 then []
+  else begin
+    (* Byte offsets already visited by some trace: starting there again
+       could only rediscover a suffix of work already matched against.
+       This keeps the whole-buffer entry enumeration near-linear even on
+       sled-like inputs, with a work budget as a backstop. *)
+    let covered = Bytes.make n '\000' in
+    let budget = ref (max 4096 (4 * n)) in
+    (* variants share a name; once any variant matches, the whole family
+       is settled *)
+    let matched_names = ref [] in
+    let contains hay needle =
+      let n = String.length hay and m = String.length needle in
+      let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+      m = 0 || go 0
+    in
+    (* templates whose data requirements the region cannot meet are out
+       before any trace is built *)
+    remaining :=
+      List.filter
+        (fun (t : Template.t) -> List.for_all (contains code) t.Template.data)
+        !remaining;
+    let run_entry entry =
+      if !remaining <> [] && !budget > 0 then begin
+        let trace = Trace.build code ~entry in
+        budget := !budget - Array.length trace - 1;
+        Array.iter
+          (fun (s : Trace.step) ->
+            if s.Trace.off >= 0 && s.Trace.off < n then
+              Bytes.set covered s.Trace.off '\001')
+          trace;
+        remaining :=
+          List.filter
+            (fun (t : Template.t) ->
+              if List.mem t.Template.name !matched_names then false
+              else
+                match match_trace t trace ~entry with
+                | Some r ->
+                    results := r :: !results;
+                    matched_names := t.Template.name :: !matched_names;
+                    false
+                | None -> true)
+            !remaining
+      end
+    in
+    (match entries with
+    | Some es -> List.iter run_entry es
+    | None ->
+        for o = 0 to n - 1 do
+          if Bytes.get covered o = '\000' then run_entry o
+        done);
+    List.rev !results
+  end
+
+let satisfies t code = scan ~templates:[ t ] code <> []
+
+let pp_result ppf r =
+  Format.fprintf ppf "%s @@entry=0x%x offsets=[%s] regs={%s} consts={%s}"
+    r.template r.entry
+    (String.concat ";" (List.map (Printf.sprintf "0x%x") r.offsets))
+    (String.concat ";"
+       (List.map (fun (v, reg) -> Printf.sprintf "%s=%s" v (Reg.name reg)) r.reg_bindings))
+    (String.concat ";"
+       (List.map (fun (v, c) -> Printf.sprintf "%s=0x%lx" v c) r.const_bindings))

@@ -1,0 +1,34 @@
+(** The template-matching engine.
+
+    Matching runs over recovered execution traces ({!Trace}).  A match
+    binds template register variables to concrete registers (injectively)
+    and constant variables to folded constant values, allows up to
+    [max_gap] interleaved instructions between steps provided they do not
+    write any bound register, and finally checks the template's guards.
+
+    [scan] is the entry point used by the NIDS pipeline: it enumerates
+    candidate entry offsets, builds traces, and reports at most one match
+    per template for the code region. *)
+
+type result = {
+  template : string;
+  entry : int;  (** trace entry offset that produced the match *)
+  offsets : int list;  (** offsets of the matched instructions, in order *)
+  reg_bindings : (Template.tvar * Reg.t) list;
+  const_bindings : (Template.cvar * int32) list;
+}
+
+val match_trace : Template.t -> Trace.t -> entry:int -> result option
+(** Try every start position along one trace. *)
+
+val scan : ?entries:int list -> templates:Template.t list -> string -> result list
+(** Match templates against a raw code region.  By default every
+    not-yet-covered byte offset is tried as a trace entry (bounded by a
+    work budget); [entries] overrides that enumeration.  Templates
+    sharing a name are variants of one behaviour: at most one result per
+    template {e name}. *)
+
+val satisfies : Template.t -> string -> bool
+(** The paper's [P |= T] relation, for one region of code. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,188 @@
+open Template
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: xor decryption loop.
+
+   mem[ptr] ^= key ; ptr += small ; branch back — in either order of the
+   two independent middle steps.  The key may be an immediate or any
+   register holding a folded constant (contribution (c)). *)
+
+let decrypt_ops = [ Sem.Ra Insn.Xor ]
+
+let xor_decrypt =
+  let mem_step = Once (Mem_transform { ops = decrypt_ops; ptr = "ptr"; key = Bind "key"; width = Wany }) in
+  let adv = Once (Ptr_advance { ptr = "ptr" }) in
+  let back = Once Back_edge in
+  let guards = [ Nonzero "key" ] in
+  [
+    make ~name:"decrypt-loop" ~description:"xor-with-constant decryption loop"
+      ~guards [ mem_step; adv; back ];
+    make ~name:"decrypt-loop" ~description:"xor decryption loop, pointer advanced first"
+      ~guards [ adv; mem_step; back ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: ADMmutate's alternate decoder. A byte is loaded into a
+   register, massaged by a sequence of mov/or/and/not/xor/add/sub/rotate
+   operations, written back, and the pointer advances around a loop. *)
+
+let alt_ops =
+  [
+    Sem.Ra Insn.Or;
+    Sem.Ra Insn.And;
+    Sem.Ra Insn.Xor;
+    Sem.Ra Insn.Add;
+    Sem.Ra Insn.Sub;
+    Sem.Rnot;
+    Sem.Rneg;
+    Sem.Rshift Insn.Rol;
+    Sem.Rshift Insn.Ror;
+  ]
+
+let alt_decoder =
+  let load = Once (Load { dst = "val"; ptr = "ptr"; width = Wany }) in
+  let transform = Many (Reg_transform { ops = alt_ops; reg = "val" }) in
+  let store = Once (Store { src = "val"; ptr = "ptr"; width = Wany }) in
+  let adv = Once (Ptr_advance { ptr = "ptr" }) in
+  let back = Once Back_edge in
+  [
+    make ~name:"alt-decoder"
+      ~description:"load/transform/store decoder loop (ADMmutate second family)"
+      [ load; transform; store; adv; back ];
+    make ~name:"alt-decoder"
+      ~description:"load/transform/advance/store decoder loop"
+      [ load; transform; adv; store; back ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: Linux shell spawning.  "/bin//sh" is 2f 62 69 6e 2f 2f 73 68,
+   pushed as the little-endian words 0x68732f2f ("//sh") and 0x6e69622f
+   ("/bin"); execve is int 0x80 with EAX = 11 by any constant route. *)
+
+let hsh = 0x68732f2fl (* "//sh" *)
+let bin = 0x6e69622fl (* "/bin" *)
+
+let execve_syscall = Once (Syscall { vector = 0x80; al = Exact 11l; bl = Any })
+
+let shell_spawn =
+  [
+    make ~name:"shell-spawn"
+      ~description:"execve(\"/bin//sh\") built on the stack" ~max_gap:32
+      [
+        Once (Stack_const (Exact hsh));
+        Once (Stack_const (Exact bin));
+        execve_syscall;
+      ];
+    make ~name:"shell-spawn"
+      ~description:"execve(\"/bin//sh\"), string words stored in reverse order"
+      ~max_gap:32
+      [
+        Once (Stack_const (Exact bin));
+        Once (Stack_const (Exact hsh));
+        execve_syscall;
+      ];
+    make ~name:"shell-spawn"
+      ~description:"execve via int 0x80 with folded EAX = 11 (string address from code)"
+      ~max_gap:32
+      [ execve_syscall ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Port-binding extension: socketcall (socket, bind, listen/accept are all
+   int 0x80 with EAX = 102), descriptor duplication (dup2, EAX = 63), then
+   the shell spawn. *)
+
+let socketcall ?(subcall = Any) () = Syscall { vector = 0x80; al = Exact 102l; bl = subcall }
+let dup2 = Syscall { vector = 0x80; al = Exact 63l; bl = Any }
+
+let port_bind_shell =
+  [
+    make ~name:"port-bind-shell"
+      ~description:"socket/bind/listen, dup2, then execve: shell bound to a port"
+      ~max_gap:48
+      [
+        Once (socketcall ~subcall:(Exact 1l) ());
+        Once (socketcall ~subcall:(Exact 2l) ());
+        Once (socketcall ());
+        Once dup2;
+        execve_syscall;
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Connect-back (reverse) shell: socket, connect (socketcall subcall 3),
+   dup2, execve.  The bind/listen/accept subcalls never appear. *)
+
+let connect_back_shell =
+  [
+    make ~name:"connect-back-shell"
+      ~description:"socket then connect, dup2, execve: shell pushed to a remote host"
+      ~max_gap:48
+      [
+        Once (socketcall ~subcall:(Exact 1l) ());
+        Once (socketcall ~subcall:(Exact 3l) ());
+        Once dup2;
+        execve_syscall;
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Email worm propagation (the paper's stated future work): code that
+   connects out (socketcall subcall 3) while carrying SMTP protocol verbs
+   as data — the mass-mailer shape of the Netsky family. *)
+
+let mass_mailer =
+  [
+    make ~name:"mass-mailer"
+      ~description:"connect()ing code carrying SMTP verbs: email worm propagation"
+      ~max_gap:48
+      ~data:[ "MAIL FROM:"; "RCPT TO:" ]
+      [
+        Once (socketcall ~subcall:(Exact 1l) ());
+        Once (socketcall ~subcall:(Exact 3l) ());
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Code Red II initial exploitation vector: the unicode-encoded payload
+   repeats the IIS-specific address constant 0x7801cbd3 (Figure 5). *)
+
+let crii_const = 0x7801cbd3l
+
+let code_red_ii =
+  [
+    make ~name:"code-red-ii"
+      ~description:"repeated 0x7801cbd3 IIS addressing constant" ~max_gap:16
+      [ Once (Code_const crii_const); Once (Code_const crii_const); Once (Code_const crii_const) ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SQL Slammer vector: the sqlsort.dll jmp-esp address 0x42b0c9dc used
+   both as the overwritten return address and inside the worm body, next
+   to a self-send loop walking the worm image. *)
+
+let slammer_const = 0x42B0C9DCl
+
+let slammer =
+  [
+    make ~name:"slammer"
+      ~description:"sqlsort.dll jmp-esp constant with a self-send loop" ~max_gap:24
+      [
+        Once (Ptr_advance { ptr = "ptr" });
+        Once Back_edge;
+        Once (Code_const slammer_const);
+      ];
+  ]
+
+let default_set =
+  xor_decrypt @ alt_decoder @ shell_spawn @ port_bind_shell
+  @ connect_back_shell @ slammer @ mass_mailer @ code_red_ii
+
+let xor_decrypt_only = xor_decrypt
+
+let names ts =
+  List.rev
+    (List.fold_left
+       (fun acc (t : Template.t) ->
+         if List.mem t.name acc then acc else t.name :: acc)
+       [] ts)

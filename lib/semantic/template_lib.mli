@@ -1,0 +1,46 @@
+(** The template set used in the paper's evaluation.
+
+    Each entry is a list of variants sharing one name (orderings of
+    independent steps); alerts deduplicate by name.
+
+    - {!xor_decrypt} — Figure 2: the xor-with-constant decryption loop.
+      Matches all three Figure 1 routines and Clet-style decoders.
+    - {!alt_decoder} — Figure 7: ADMmutate's second decoder family, a
+      load / (mov-or-and-not-…)+ / store / advance loop on a single
+      (memory, register) pair.
+    - {!shell_spawn} — Figure 6: Linux [execve("/bin//sh")] behaviour via
+      [int 0x80] with EAX = 11, with the "/bin//sh" stack-construction
+      variant preferred and the bare folded-constant syscall as fallback.
+    - {!port_bind_shell} — the Figure 6 extension: socketcall
+      (socket/bind/listen), dup2, then execve.
+    - {!code_red_ii} — the Code Red II exploitation vector: the
+      characteristic repeated 0x7801cbd3 IIS addressing constant.  *)
+
+val xor_decrypt : Template.t list
+val alt_decoder : Template.t list
+val shell_spawn : Template.t list
+val port_bind_shell : Template.t list
+
+val connect_back_shell : Template.t list
+(** Beyond the paper's set (its stated future work): socket/connect,
+    dup2, execve — the reverse shell behaviour. *)
+
+val mass_mailer : Template.t list
+(** The paper's stated future work ("email worms"): outbound-connecting
+    code carrying SMTP verbs as data. *)
+
+val slammer : Template.t list
+(** Beyond the paper's set: the SQL Slammer vector (sqlsort.dll jmp-esp
+    constant plus a self-send loop over the worm image). *)
+
+val code_red_ii : Template.t list
+
+val default_set : Template.t list
+(** Everything above — the NIDS's shipped template set. *)
+
+val xor_decrypt_only : Template.t list
+(** Just {!xor_decrypt}: the template set of the paper's first ADMmutate
+    run (the 68%-detection configuration of Table 2). *)
+
+val names : Template.t list -> string list
+(** Deduplicated names, in first-appearance order. *)

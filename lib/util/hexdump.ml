@@ -1,0 +1,59 @@
+let hex_digit n = "0123456789abcdef".[n land 0xF]
+
+let encode s =
+  String.init (2 * String.length s) (fun i ->
+      let b = Char.code s.[i / 2] in
+      if i mod 2 = 0 then hex_digit (b lsr 4) else hex_digit b)
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Hexdump.decode: bad character %C" c)
+
+let decode s =
+  let digits = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> ()
+      | c -> Buffer.add_char digits c)
+    s;
+  let d = Buffer.contents digits in
+  if String.length d mod 2 <> 0 then
+    invalid_arg "Hexdump.decode: odd number of hex digits";
+  String.init
+    (String.length d / 2)
+    (fun i -> Char.chr ((digit_value d.[2 * i] lsl 4) lor digit_value d.[(2 * i) + 1]))
+
+let of_ints ints =
+  let n = List.length ints in
+  let a = Array.of_list ints in
+  String.init n (fun i ->
+      let v = a.(i) in
+      if v < 0 || v > 255 then invalid_arg "Hexdump.of_ints: byte out of range";
+      Char.chr v)
+
+let printable c = if Char.code c >= 0x20 && Char.code c < 0x7F then c else '.'
+
+let pp ppf s =
+  let n = String.length s in
+  let rows = (n + 15) / 16 in
+  for r = 0 to rows - 1 do
+    let off = r * 16 in
+    Format.fprintf ppf "%08x  " off;
+    for i = 0 to 15 do
+      if off + i < n then Format.fprintf ppf "%02x " (Char.code s.[off + i])
+      else Format.fprintf ppf "   ";
+      if i = 7 then Format.fprintf ppf " "
+    done;
+    Format.fprintf ppf " |";
+    for i = 0 to min 15 (n - off - 1) do
+      Format.fprintf ppf "%c" (printable s.[off + i])
+    done;
+    Format.fprintf ppf "|";
+    if r < rows - 1 then Format.fprintf ppf "@\n"
+  done
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,19 @@
+(** Hex encoding and canonical hexdump rendering for diagnostics. *)
+
+val encode : string -> string
+(** [encode s] is lowercase hex, two characters per byte, no separators. *)
+
+val decode : string -> string
+(** Inverse of [encode]; whitespace between byte pairs is ignored.
+    @raise Invalid_argument on odd digit counts or non-hex characters. *)
+
+val of_ints : int list -> string
+(** [of_ints [0x90; 0xcd; ...]] builds a byte string; each element must be
+    in [\[0, 255\]]. *)
+
+val pp : Format.formatter -> string -> unit
+(** Canonical 16-bytes-per-row dump: offset, hex columns, printable ASCII
+    gutter. *)
+
+val to_string : string -> string
+(** [pp] rendered to a string. *)

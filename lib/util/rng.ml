@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: the state advances by a fixed gamma and the output
+   is a bijective scramble of the new state. *)
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (int64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t bound =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  (* 53 uniform bits scaled to [0,1) *)
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let chance t p =
+  let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+  float t 1.0 < p
+
+let byte t = int t 256
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (byte t))
+
+let sample_geometric t p =
+  let p = if p <= 0.0 then 1e-9 else if p > 1.0 then 1.0 else p in
+  let rec loop k = if chance t p then k else loop (k + 1) in
+  loop 0

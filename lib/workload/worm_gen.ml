@@ -1,0 +1,104 @@
+type truth = {
+  total_packets : int;
+  crii_instances : int;
+  scan_packets : int;
+  infected_sources : Ipaddr.t list;
+}
+
+let pick_addr rng p =
+  let size = min (Ipaddr.prefix_size p) (1 lsl 16) in
+  Ipaddr.nth p (Rng.int rng size)
+
+let scan_packet rng ~ts ~src ~unused =
+  let dst = pick_addr rng unused in
+  Packet.build_tcp ~ts ~src ~dst ~src_port:(1024 + Rng.int rng 60000) ~dst_port:80
+    ~flags:Sanids_net.Tcp.flags_syn ""
+
+let slammer_trace rng ~benign ~infected ~sprays_per_host ~clients ~servers ~unused
+    ~duration =
+  let background =
+    Benign_gen.packets rng
+      ~rate:(float_of_int benign /. Float.max duration 1e-6)
+      ~n:benign ~t0:0.0 ~clients ~servers
+  in
+  let sources =
+    List.init infected (fun k ->
+        Ipaddr.of_octets 198 (24 + (k mod 4)) (Rng.int rng 256) (1 + Rng.int rng 250))
+  in
+  let attack =
+    List.concat_map
+      (fun src ->
+        let base = Rng.float rng (Float.max (duration -. 2.0) 1.0) in
+        let sprays =
+          List.init sprays_per_host (fun s ->
+              let dst = pick_addr rng unused in
+              let w =
+                Sanids_exploits.Slammer.packet
+                  ~ts:(base +. (0.02 *. float_of_int s))
+                  ~src ~dst ()
+              in
+              w)
+        in
+        let delivery =
+          Sanids_exploits.Slammer.packet
+            ~ts:(base +. (0.02 *. float_of_int sprays_per_host) +. 0.1)
+            ~src ~dst:(pick_addr rng servers) ()
+        in
+        sprays @ [ delivery ])
+      sources
+  in
+  let all =
+    List.sort (fun a b -> compare a.Packet.ts b.Packet.ts) (background @ attack)
+  in
+  ( all,
+    {
+      total_packets = List.length all;
+      crii_instances = infected;
+      scan_packets = infected * sprays_per_host;
+      infected_sources = sources;
+    } )
+
+let code_red_trace rng ~benign ~instances ~scans_per_instance ~clients ~servers
+    ~unused ~duration =
+  let background =
+    Benign_gen.packets rng
+      ~rate:(float_of_int benign /. Float.max duration 1e-6)
+      ~n:benign ~t0:0.0 ~clients ~servers
+  in
+  let infected =
+    List.init instances (fun k ->
+        (* infected hosts live outside the monitored nets *)
+        Ipaddr.of_octets 198 (18 + (k mod 4)) (Rng.int rng 256) (1 + Rng.int rng 250))
+  in
+  let attack =
+    List.concat
+      (List.mapi
+         (fun k src ->
+           let base = Rng.float rng (Float.max (duration -. 2.0) 1.0) in
+           let scans =
+             List.init scans_per_instance (fun s ->
+                 scan_packet rng
+                   ~ts:(base +. (0.05 *. float_of_int s))
+                   ~src ~unused)
+           in
+           let victim = pick_addr rng servers in
+           let exploit =
+             Sanids_exploits.Code_red.packet
+               ~ts:(base +. (0.05 *. float_of_int scans_per_instance) +. 0.2)
+               ~src ~dst:victim
+               ~src_port:(1024 + ((k * 13) mod 60000))
+               ()
+           in
+           scans @ [ exploit ])
+         infected)
+  in
+  let all =
+    List.sort (fun a b -> compare a.Packet.ts b.Packet.ts) (background @ attack)
+  in
+  ( all,
+    {
+      total_packets = List.length all;
+      crii_instances = instances;
+      scan_packets = instances * scans_per_instance;
+      infected_sources = infected;
+    } )

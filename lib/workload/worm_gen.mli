@@ -1,0 +1,51 @@
+(** Worm-outbreak synthesis with exact ground truth (Table 3 workload).
+
+    Infected hosts scan the monitored network — hitting unused address
+    space, which trips the scan classifier — and deliver the Code Red II
+    exploitation vector to web servers.  The builder reports exactly how
+    many exploit instances the trace contains, which is the number the
+    NIDS must find. *)
+
+type truth = {
+  total_packets : int;
+  crii_instances : int;  (** exploit deliveries present *)
+  scan_packets : int;
+  infected_sources : Ipaddr.t list;
+}
+
+val code_red_trace :
+  Rng.t ->
+  benign:int ->
+  instances:int ->
+  scans_per_instance:int ->
+  clients:Ipaddr.prefix ->
+  servers:Ipaddr.prefix ->
+  unused:Ipaddr.prefix ->
+  duration:float ->
+  Packet.t list * truth
+(** A [duration]-second trace: [benign] background packets, plus
+    [instances] exploit deliveries, each preceded by
+    [scans_per_instance] scans into the unused space from the same
+    infected source (so the classifier has flagged the source before
+    the exploit arrives).  Packets are time-sorted. *)
+
+val slammer_trace :
+  Rng.t ->
+  benign:int ->
+  infected:int ->
+  sprays_per_host:int ->
+  clients:Ipaddr.prefix ->
+  servers:Ipaddr.prefix ->
+  unused:Ipaddr.prefix ->
+  duration:float ->
+  Packet.t list * truth
+(** A UDP worm outbreak: every probe an infected host sends {e is} the
+    full Slammer datagram, so scanning and exploitation are the same
+    packet.  Each host sprays [sprays_per_host] probes into the unused
+    space (tripping the classifier) and one delivery at a live server;
+    [crii_instances] in the returned truth counts those deliveries. *)
+
+val scan_packet :
+  Rng.t -> ts:float -> src:Ipaddr.t -> unused:Ipaddr.prefix -> Packet.t
+(** One worm scan probe: an empty-ish TCP SYN-like packet to a random
+    unused address, port 80. *)

@@ -1,0 +1,105 @@
+type item =
+  | I of Insn.t
+  | Label of string
+  | Jmp of string
+  | Jcc of Insn.cc * string
+  | Call of string
+  | Loop_to of string
+  | Loope_to of string
+  | Loopne_to of string
+  | Jecxz_to of string
+  | Raw of string
+
+exception Error of string
+
+let size_of_item = function
+  | I i -> Encode.length i
+  | Label _ -> 0
+  | Jmp _ | Call _ -> 5
+  | Jcc _ -> 6
+  | Loop_to _ | Loope_to _ | Loopne_to _ | Jecxz_to _ -> 2
+  | Raw s -> String.length s
+
+let label_offsets items =
+  let tbl = Hashtbl.create 16 in
+  let _final =
+    List.fold_left
+      (fun off item ->
+        (match item with
+        | Label name ->
+            if Hashtbl.mem tbl name then
+              raise (Error (Printf.sprintf "duplicate label %S" name));
+            Hashtbl.add tbl name off
+        | I _ | Jmp _ | Jcc _ | Call _ | Loop_to _ | Loope_to _ | Loopne_to _
+        | Jecxz_to _ | Raw _ ->
+            ());
+        off + size_of_item item)
+      0 items
+  in
+  tbl
+
+let resolve tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some off -> off
+  | None -> raise (Error (Printf.sprintf "undefined label %S" name))
+
+(* Displacements are relative to the end of the branch instruction. *)
+let resolved_insns items =
+  let tbl = label_offsets items in
+  let rel off size name = resolve tbl name - (off + size) in
+  let rel8 off size name what =
+    let d = rel off size name in
+    if d < -128 || d > 127 then
+      raise (Error (Printf.sprintf "%s to %S out of rel8 range (%d)" what name d));
+    d
+  in
+  let _, rev =
+    List.fold_left
+      (fun (off, acc) item ->
+        let size = size_of_item item in
+        let acc =
+          match item with
+          | I i -> `Insn i :: acc
+          | Label _ -> acc
+          | Jmp name -> `Insn32 (Insn.Jmp_rel (rel off size name)) :: acc
+          | Jcc (cc, name) -> `Insn32 (Insn.Jcc_rel (cc, rel off size name)) :: acc
+          | Call name -> `Insn (Insn.Call_rel (rel off size name)) :: acc
+          | Loop_to name -> `Insn (Insn.Loop (rel8 off size name "loop")) :: acc
+          | Loope_to name -> `Insn (Insn.Loope (rel8 off size name "loope")) :: acc
+          | Loopne_to name ->
+              `Insn (Insn.Loopne (rel8 off size name "loopne")) :: acc
+          | Jecxz_to name -> `Insn (Insn.Jecxz (rel8 off size name "jecxz")) :: acc
+          | Raw s -> `Raw s :: acc
+        in
+        (off + size, acc))
+      (0, []) items
+  in
+  List.rev rev
+
+(* Label branches are sized as rel32 by [size_of_item], so they must also be
+   emitted as rel32 even when the displacement fits in a byte. *)
+let emit_rel32 w (i : Insn.t) =
+  let module W = Byte_io.Writer in
+  match i with
+  | Insn.Jmp_rel d ->
+      W.u8 w 0xE9;
+      W.u32_le_int w d
+  | Insn.Jcc_rel (cc, d) ->
+      W.u8 w 0x0F;
+      W.u8 w (0x80 + Insn.cc_code cc);
+      W.u32_le_int w d
+  | _ -> Encode.insn w i
+
+let assemble items =
+  let w = Byte_io.Writer.create ~capacity:256 () in
+  List.iter
+    (function
+      | `Insn i -> Encode.insn w i
+      | `Insn32 i -> emit_rel32 w i
+      | `Raw s -> Byte_io.Writer.string w s)
+    (resolved_insns items);
+  Byte_io.Writer.contents w
+
+let assemble_insns items =
+  let decoded = Decode.all (assemble items) in
+  Array.to_list (Array.map (fun (d : Decode.decoded) -> d.Decode.insn) decoded)

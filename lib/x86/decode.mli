@@ -1,0 +1,24 @@
+(** IA-32 linear-sweep disassembler.
+
+    This is the project's substitute for the commercial disassembler (IDA
+    Pro) used in the paper.  It never raises on arbitrary input: a byte
+    with no supported decoding becomes [Insn.Bad b] of length 1 and the
+    sweep continues, which is the right behaviour when sweeping encrypted
+    payload bytes looking for a decoder stub. *)
+
+type decoded = { off : int; len : int; insn : Insn.t }
+(** One decoded instruction: offset and length in bytes within the swept
+    region, and its AST. *)
+
+val all : ?pos:int -> ?len:int -> string -> decoded array
+(** Sweep a region front to back.  Offsets are relative to [pos]. *)
+
+val one : string -> Insn.t
+(** Decode the instruction at the start of the buffer.
+    @raise Invalid_argument on an empty buffer. *)
+
+val at : string -> int -> decoded option
+(** Decode a single instruction at a byte offset; [None] past the end. *)
+
+val pp_listing : Format.formatter -> decoded array -> unit
+(** Disassembly listing: offset, mnemonic per line. *)

@@ -1,0 +1,54 @@
+(** A concrete IA-32 interpreter for the modelled instruction subset.
+
+    Used to {e validate} the rest of the system: the polymorphic engines'
+    decoders are executed here to prove they really reconstruct the
+    original payload (including through self-modifying code), and the
+    test suite cross-checks the abstract {!Sanids_ir.Constprop} domain
+    against concrete register values.
+
+    The machine is a single flat arena: code is loaded at {!code_base},
+    the stack grows down from the top of the arena.  Instructions are
+    re-decoded from memory at each step, so self-modifying decoders
+    work.  Unmapped access, undecodable bytes and exhausted step budgets
+    stop execution with a descriptive outcome. *)
+
+type t
+
+type outcome =
+  | Running
+  | Syscall of int  (** hit [int n]; execution can be resumed *)
+  | Halted of string  (** ret at top level, int3, fault, or bad opcode *)
+
+val code_base : int32
+(** Where the code image is loaded (0x08048000, the classic ELF text
+    base). *)
+
+val create : ?arena_size:int -> code:string -> unit -> t
+(** Fresh machine with [code] loaded at {!code_base}, ESP at the top of
+    the arena, all other registers zero. *)
+
+val reg : t -> Reg.t -> int32
+val set_reg : t -> Reg.t -> int32 -> unit
+
+val eip : t -> int32
+val set_eip : t -> int32 -> unit
+
+val read_mem : t -> int32 -> int -> string
+(** @raise Invalid_argument when outside the arena. *)
+
+val write_mem : t -> int32 -> string -> unit
+
+val flag_zf : t -> bool
+val flag_sf : t -> bool
+val flag_cf : t -> bool
+
+val step : t -> outcome
+(** Execute one instruction. *)
+
+val run : ?max_steps:int -> ?stop_at:int32 -> t -> outcome * int
+(** Step until a non-[Running] outcome, until EIP equals [stop_at], or
+    until [max_steps] (default 100_000).  Returns the final outcome
+    ([Running] means stopped at [stop_at] or out of budget) and the
+    number of steps taken. *)
+
+val steps_taken : t -> int

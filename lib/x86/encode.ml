@@ -1,0 +1,367 @@
+module W = Byte_io.Writer
+
+let fits_i8_32 v = Int32.compare v (-128l) >= 0 && Int32.compare v 127l <= 0
+let fits_i8 d = d >= -128 && d <= 127
+
+let scale_bits = function
+  | Insn.S1 -> 0
+  | Insn.S2 -> 1
+  | Insn.S4 -> 2
+  | Insn.S8 -> 3
+
+(* ModRM/SIB for a memory operand, with [reg_field] in bits 5:3.  The
+   canonical choices: no SIB unless the base is ESP or an index is present;
+   disp8 when the displacement fits and is needed; mod=00 zero-disp form
+   except for EBP, which requires an explicit displacement. *)
+let modrm_mem w reg_field (m : Insn.mem) =
+  (match m.index with
+  | Some (r, _) when Reg.equal r Reg.ESP ->
+      invalid_arg "Encode: ESP cannot be an index register"
+  | Some _ | None -> ());
+  let emit_modrm md rm = W.u8 w ((md lsl 6) lor (reg_field lsl 3) lor rm) in
+  let emit_sib scale idx base = W.u8 w ((scale lsl 6) lor (idx lsl 3) lor base) in
+  match (m.base, m.index) with
+  | None, None ->
+      (* absolute: mod=00 rm=101 disp32 *)
+      emit_modrm 0 5;
+      W.u32_le w m.disp
+  | None, Some (idx, sc) ->
+      (* index without base: SIB with base=101 under mod=00 means disp32 *)
+      emit_modrm 0 4;
+      emit_sib (scale_bits sc) (Reg.code idx) 5;
+      W.u32_le w m.disp
+  | Some base, index ->
+      let needs_sib = index <> None || Reg.equal base Reg.ESP in
+      let md =
+        if m.disp = 0l && not (Reg.equal base Reg.EBP) then 0
+        else if fits_i8_32 m.disp then 1
+        else 2
+      in
+      let rm = if needs_sib then 4 else Reg.code base in
+      emit_modrm md rm;
+      if needs_sib then begin
+        match index with
+        | None -> emit_sib 0 4 (Reg.code base) (* idx=100 means none *)
+        | Some (idx, sc) -> emit_sib (scale_bits sc) (Reg.code idx) (Reg.code base)
+      end;
+      (match md with
+      | 0 -> ()
+      | 1 -> W.u8 w (Int32.to_int m.disp land 0xFF)
+      | _ -> W.u32_le w m.disp)
+
+let modrm_reg w reg_field rm_code = W.u8 w (0xC0 lor (reg_field lsl 3) lor rm_code)
+
+(* rm operand dispatch: [reg_field] is the /digit or register field. *)
+let modrm w reg_field (rm : Insn.operand) ~size =
+  match (rm, size) with
+  | Insn.Reg r, Insn.S32bit -> modrm_reg w reg_field (Reg.code r)
+  | Insn.Reg8 r, Insn.S8bit -> modrm_reg w reg_field (Reg.code8 r)
+  | Insn.Mem m, _ -> modrm_mem w reg_field m
+  | Insn.Reg _, Insn.S8bit -> invalid_arg "Encode: 32-bit register in 8-bit context"
+  | Insn.Reg8 _, Insn.S32bit -> invalid_arg "Encode: 8-bit register in 32-bit context"
+  | Insn.Imm _, _ -> invalid_arg "Encode: immediate where r/m operand expected"
+
+let check_imm8 v =
+  if Int32.compare v 0l < 0 || Int32.compare v 255l > 0 then
+    invalid_arg "Encode: 8-bit immediate out of range [0,255]"
+
+let check_rel8 what d =
+  if not (fits_i8 d) then
+    invalid_arg (Printf.sprintf "Encode: %s displacement %d out of rel8 range" what d)
+
+let shift_digit = function
+  | Insn.Rol -> 0
+  | Insn.Ror -> 1
+  | Insn.Shl -> 4
+  | Insn.Shr -> 5
+  | Insn.Sar -> 7
+
+let arith_digit (op : Insn.arith) =
+  match op with
+  | Insn.Add -> 0
+  | Insn.Or -> 1
+  | Insn.Adc -> 2
+  | Insn.Sbb -> 3
+  | Insn.And -> 4
+  | Insn.Sub -> 5
+  | Insn.Xor -> 6
+  | Insn.Cmp -> 7
+
+let insn w (i : Insn.t) =
+  match i with
+  | Insn.Mov (Insn.S32bit, Insn.Reg r, Insn.Imm v) ->
+      W.u8 w (0xB8 + Reg.code r);
+      W.u32_le w v
+  | Insn.Mov (Insn.S8bit, Insn.Reg8 r, Insn.Imm v) ->
+      check_imm8 v;
+      W.u8 w (0xB0 + Reg.code8 r);
+      W.u8 w (Int32.to_int v)
+  | Insn.Mov (Insn.S32bit, (Insn.Mem _ as dst), Insn.Imm v) ->
+      W.u8 w 0xC7;
+      modrm w 0 dst ~size:Insn.S32bit;
+      W.u32_le w v
+  | Insn.Mov (Insn.S8bit, (Insn.Mem _ as dst), Insn.Imm v) ->
+      check_imm8 v;
+      W.u8 w 0xC6;
+      modrm w 0 dst ~size:Insn.S8bit;
+      W.u8 w (Int32.to_int v)
+  | Insn.Mov (Insn.S32bit, (Insn.Mem _ as dst), Insn.Reg src) ->
+      W.u8 w 0x89;
+      modrm w (Reg.code src) dst ~size:Insn.S32bit
+  | Insn.Mov (Insn.S32bit, Insn.Reg dst, Insn.Reg src) ->
+      W.u8 w 0x89;
+      modrm_reg w (Reg.code src) (Reg.code dst)
+  | Insn.Mov (Insn.S32bit, Insn.Reg dst, (Insn.Mem _ as src)) ->
+      W.u8 w 0x8B;
+      modrm w (Reg.code dst) src ~size:Insn.S32bit
+  | Insn.Mov (Insn.S8bit, (Insn.Mem _ as dst), Insn.Reg8 src) ->
+      W.u8 w 0x88;
+      modrm w (Reg.code8 src) dst ~size:Insn.S8bit
+  | Insn.Mov (Insn.S8bit, Insn.Reg8 dst, Insn.Reg8 src) ->
+      W.u8 w 0x88;
+      modrm_reg w (Reg.code8 src) (Reg.code8 dst)
+  | Insn.Mov (Insn.S8bit, Insn.Reg8 dst, (Insn.Mem _ as src)) ->
+      W.u8 w 0x8A;
+      modrm w (Reg.code8 dst) src ~size:Insn.S8bit
+  | Insn.Mov _ -> invalid_arg "Encode: unsupported mov operand combination"
+  | Insn.Arith (op, Insn.S32bit, dst, Insn.Imm v) ->
+      if fits_i8_32 v then begin
+        W.u8 w 0x83;
+        modrm w (arith_digit op) dst ~size:Insn.S32bit;
+        W.u8 w (Int32.to_int v land 0xFF)
+      end
+      else begin
+        W.u8 w 0x81;
+        modrm w (arith_digit op) dst ~size:Insn.S32bit;
+        W.u32_le w v
+      end
+  | Insn.Arith (op, Insn.S8bit, dst, Insn.Imm v) ->
+      check_imm8 v;
+      W.u8 w 0x80;
+      modrm w (arith_digit op) dst ~size:Insn.S8bit;
+      W.u8 w (Int32.to_int v)
+  | Insn.Arith (op, Insn.S32bit, (Insn.Mem _ as dst), Insn.Reg src) ->
+      W.u8 w ((arith_digit op * 8) + 0x01);
+      modrm w (Reg.code src) dst ~size:Insn.S32bit
+  | Insn.Arith (op, Insn.S32bit, Insn.Reg dst, Insn.Reg src) ->
+      W.u8 w ((arith_digit op * 8) + 0x01);
+      modrm_reg w (Reg.code src) (Reg.code dst)
+  | Insn.Arith (op, Insn.S32bit, Insn.Reg dst, (Insn.Mem _ as src)) ->
+      W.u8 w ((arith_digit op * 8) + 0x03);
+      modrm w (Reg.code dst) src ~size:Insn.S32bit
+  | Insn.Arith (op, Insn.S8bit, (Insn.Mem _ as dst), Insn.Reg8 src) ->
+      W.u8 w (arith_digit op * 8);
+      modrm w (Reg.code8 src) dst ~size:Insn.S8bit
+  | Insn.Arith (op, Insn.S8bit, Insn.Reg8 dst, Insn.Reg8 src) ->
+      W.u8 w (arith_digit op * 8);
+      modrm_reg w (Reg.code8 src) (Reg.code8 dst)
+  | Insn.Arith (op, Insn.S8bit, Insn.Reg8 dst, (Insn.Mem _ as src)) ->
+      W.u8 w ((arith_digit op * 8) + 0x02);
+      modrm w (Reg.code8 dst) src ~size:Insn.S8bit
+  | Insn.Arith _ -> invalid_arg "Encode: unsupported arith operand combination"
+  | Insn.Test (Insn.S32bit, rm, Insn.Reg src) ->
+      W.u8 w 0x85;
+      modrm w (Reg.code src) rm ~size:Insn.S32bit
+  | Insn.Test (Insn.S8bit, rm, Insn.Reg8 src) ->
+      W.u8 w 0x84;
+      modrm w (Reg.code8 src) rm ~size:Insn.S8bit
+  | Insn.Test (Insn.S32bit, rm, Insn.Imm v) ->
+      W.u8 w 0xF7;
+      modrm w 0 rm ~size:Insn.S32bit;
+      W.u32_le w v
+  | Insn.Test (Insn.S8bit, rm, Insn.Imm v) ->
+      check_imm8 v;
+      W.u8 w 0xF6;
+      modrm w 0 rm ~size:Insn.S8bit;
+      W.u8 w (Int32.to_int v)
+  | Insn.Test _ -> invalid_arg "Encode: unsupported test operand combination"
+  | Insn.Not (sz, rm) ->
+      W.u8 w (match sz with Insn.S8bit -> 0xF6 | Insn.S32bit -> 0xF7);
+      modrm w 2 rm ~size:sz
+  | Insn.Neg (sz, rm) ->
+      W.u8 w (match sz with Insn.S8bit -> 0xF6 | Insn.S32bit -> 0xF7);
+      modrm w 3 rm ~size:sz
+  | Insn.Inc (Insn.S32bit, Insn.Reg r) -> W.u8 w (0x40 + Reg.code r)
+  | Insn.Inc (Insn.S32bit, rm) ->
+      W.u8 w 0xFF;
+      modrm w 0 rm ~size:Insn.S32bit
+  | Insn.Inc (Insn.S8bit, rm) ->
+      W.u8 w 0xFE;
+      modrm w 0 rm ~size:Insn.S8bit
+  | Insn.Dec (Insn.S32bit, Insn.Reg r) -> W.u8 w (0x48 + Reg.code r)
+  | Insn.Dec (Insn.S32bit, rm) ->
+      W.u8 w 0xFF;
+      modrm w 1 rm ~size:Insn.S32bit
+  | Insn.Dec (Insn.S8bit, rm) ->
+      W.u8 w 0xFE;
+      modrm w 1 rm ~size:Insn.S8bit
+  | Insn.Shift (op, sz, rm, count) ->
+      if count < 1 || count > 31 then
+        invalid_arg "Encode: shift count out of range [1,31]";
+      if count = 1 then begin
+        W.u8 w (match sz with Insn.S8bit -> 0xD0 | Insn.S32bit -> 0xD1);
+        modrm w (shift_digit op) rm ~size:sz
+      end
+      else begin
+        W.u8 w (match sz with Insn.S8bit -> 0xC0 | Insn.S32bit -> 0xC1);
+        modrm w (shift_digit op) rm ~size:sz;
+        W.u8 w count
+      end
+  | Insn.Lea (r, m) ->
+      W.u8 w 0x8D;
+      modrm_mem w (Reg.code r) m
+  | Insn.Xchg (a, b) ->
+      W.u8 w 0x87;
+      modrm_reg w (Reg.code b) (Reg.code a)
+  | Insn.Push_reg r -> W.u8 w (0x50 + Reg.code r)
+  | Insn.Pop_reg r -> W.u8 w (0x58 + Reg.code r)
+  | Insn.Push_imm v ->
+      if fits_i8_32 v then begin
+        W.u8 w 0x6A;
+        W.u8 w (Int32.to_int v land 0xFF)
+      end
+      else begin
+        W.u8 w 0x68;
+        W.u32_le w v
+      end
+  | Insn.Pushad -> W.u8 w 0x60
+  | Insn.Popad -> W.u8 w 0x61
+  | Insn.Pushfd -> W.u8 w 0x9C
+  | Insn.Popfd -> W.u8 w 0x9D
+  | Insn.Jmp_rel d ->
+      if fits_i8 d then begin
+        W.u8 w 0xEB;
+        W.u8 w (d land 0xFF)
+      end
+      else begin
+        W.u8 w 0xE9;
+        W.u32_le_int w d
+      end
+  | Insn.Jcc_rel (cc, d) ->
+      if fits_i8 d then begin
+        W.u8 w (0x70 + Insn.cc_code cc);
+        W.u8 w (d land 0xFF)
+      end
+      else begin
+        W.u8 w 0x0F;
+        W.u8 w (0x80 + Insn.cc_code cc);
+        W.u32_le_int w d
+      end
+  | Insn.Call_rel d ->
+      W.u8 w 0xE8;
+      W.u32_le_int w d
+  | Insn.Loop d ->
+      check_rel8 "loop" d;
+      W.u8 w 0xE2;
+      W.u8 w (d land 0xFF)
+  | Insn.Loope d ->
+      check_rel8 "loope" d;
+      W.u8 w 0xE1;
+      W.u8 w (d land 0xFF)
+  | Insn.Loopne d ->
+      check_rel8 "loopne" d;
+      W.u8 w 0xE0;
+      W.u8 w (d land 0xFF)
+  | Insn.Jecxz d ->
+      check_rel8 "jecxz" d;
+      W.u8 w 0xE3;
+      W.u8 w (d land 0xFF)
+  | Insn.Ret -> W.u8 w 0xC3
+  | Insn.Int n ->
+      if n < 0 || n > 255 then invalid_arg "Encode: interrupt vector out of range";
+      W.u8 w 0xCD;
+      W.u8 w n
+  | Insn.Int3 -> W.u8 w 0xCC
+  | Insn.Nop -> W.u8 w 0x90
+  | Insn.Cld -> W.u8 w 0xFC
+  | Insn.Std -> W.u8 w 0xFD
+  | Insn.Lodsb -> W.u8 w 0xAC
+  | Insn.Lodsd -> W.u8 w 0xAD
+  | Insn.Stosb -> W.u8 w 0xAA
+  | Insn.Stosd -> W.u8 w 0xAB
+  | Insn.Movsb -> W.u8 w 0xA4
+  | Insn.Movsd -> W.u8 w 0xA5
+  | Insn.Scasb -> W.u8 w 0xAE
+  | Insn.Cmpsb -> W.u8 w 0xA6
+  | Insn.Cdq -> W.u8 w 0x99
+  | Insn.Cwde -> W.u8 w 0x98
+  | Insn.Clc -> W.u8 w 0xF8
+  | Insn.Stc -> W.u8 w 0xF9
+  | Insn.Cmc -> W.u8 w 0xF5
+  | Insn.Sahf -> W.u8 w 0x9E
+  | Insn.Lahf -> W.u8 w 0x9F
+  | Insn.Fwait -> W.u8 w 0x9B
+  | Insn.Rep_movsb ->
+      W.u8 w 0xF3;
+      W.u8 w 0xA4
+  | Insn.Rep_movsd ->
+      W.u8 w 0xF3;
+      W.u8 w 0xA5
+  | Insn.Rep_stosb ->
+      W.u8 w 0xF3;
+      W.u8 w 0xAA
+  | Insn.Rep_stosd ->
+      W.u8 w 0xF3;
+      W.u8 w 0xAB
+  | Insn.Movzx (d, src) -> (
+      match src with
+      | (Insn.Reg8 _ | Insn.Mem _) as rm ->
+          W.u8 w 0x0F;
+          W.u8 w 0xB6;
+          modrm w (Reg.code d) rm ~size:Insn.S8bit
+      | Insn.Reg _ | Insn.Imm _ -> invalid_arg "Encode: movzx wants a byte source")
+  | Insn.Movsx (d, src) -> (
+      match src with
+      | (Insn.Reg8 _ | Insn.Mem _) as rm ->
+          W.u8 w 0x0F;
+          W.u8 w 0xBE;
+          modrm w (Reg.code d) rm ~size:Insn.S8bit
+      | Insn.Reg _ | Insn.Imm _ -> invalid_arg "Encode: movsx wants a byte source")
+  | Insn.Mul (sz, rm) ->
+      W.u8 w (match sz with Insn.S8bit -> 0xF6 | Insn.S32bit -> 0xF7);
+      modrm w 4 rm ~size:sz
+  | Insn.Imul (sz, rm) ->
+      W.u8 w (match sz with Insn.S8bit -> 0xF6 | Insn.S32bit -> 0xF7);
+      modrm w 5 rm ~size:sz
+  | Insn.Div (sz, rm) ->
+      W.u8 w (match sz with Insn.S8bit -> 0xF6 | Insn.S32bit -> 0xF7);
+      modrm w 6 rm ~size:sz
+  | Insn.Idiv (sz, rm) ->
+      W.u8 w (match sz with Insn.S8bit -> 0xF6 | Insn.S32bit -> 0xF7);
+      modrm w 7 rm ~size:sz
+  | Insn.Imul2 (d, rm) -> (
+      match rm with
+      | (Insn.Reg _ | Insn.Mem _) as rm ->
+          W.u8 w 0x0F;
+          W.u8 w 0xAF;
+          modrm w (Reg.code d) rm ~size:Insn.S32bit
+      | Insn.Reg8 _ | Insn.Imm _ -> invalid_arg "Encode: imul2 wants a dword source")
+  | Insn.Imul3 (d, rm, v) -> (
+      match rm with
+      | (Insn.Reg _ | Insn.Mem _) as rm ->
+          if fits_i8_32 v then begin
+            W.u8 w 0x6B;
+            modrm w (Reg.code d) rm ~size:Insn.S32bit;
+            W.u8 w (Int32.to_int v land 0xFF)
+          end
+          else begin
+            W.u8 w 0x69;
+            modrm w (Reg.code d) rm ~size:Insn.S32bit;
+            W.u32_le w v
+          end
+      | Insn.Reg8 _ | Insn.Imm _ -> invalid_arg "Encode: imul3 wants a dword source")
+  | Insn.Bad b ->
+      if b < 0 || b > 255 then invalid_arg "Encode: Bad byte out of range";
+      W.u8 w b
+
+let insn_to_bytes i =
+  let w = W.create ~capacity:16 () in
+  insn w i;
+  W.contents w
+
+let program insns =
+  let w = W.create ~capacity:(16 * List.length insns) () in
+  List.iter (insn w) insns;
+  W.contents w
+
+let length i = String.length (insn_to_bytes i)

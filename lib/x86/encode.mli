@@ -1,0 +1,21 @@
+(** IA-32 binary encoder.
+
+    Produces one canonical encoding per instruction; {!Decode} accepts
+    strictly more encodings than {!Encode} produces, and the two are
+    related by the round-trip law [Decode.one (insn_to_bytes i) = i]
+    (property-tested in the test suite). *)
+
+val insn : Byte_io.Writer.t -> Insn.t -> unit
+(** Append the canonical encoding of one instruction.
+    @raise Invalid_argument on operand combinations that have no IA-32
+    encoding (memory-to-memory moves, byte-sized 32-bit registers,
+    out-of-range short branch displacements, ...). *)
+
+val insn_to_bytes : Insn.t -> string
+(** Encoding of a single instruction as a fresh string. *)
+
+val program : Insn.t list -> string
+(** Concatenated encodings. *)
+
+val length : Insn.t -> int
+(** Encoded size in bytes, without materializing the output. *)

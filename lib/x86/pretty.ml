@@ -1,0 +1,123 @@
+let pp_hex32 ppf v =
+  if Int32.compare v 0l >= 0 && Int32.compare v 9l <= 0 then
+    Format.fprintf ppf "%ld" v
+  else Format.fprintf ppf "0x%lx" (Int32.logand v 0xFFFFFFFFl)
+
+let scale_int = function Insn.S1 -> 1 | Insn.S2 -> 2 | Insn.S4 -> 4 | Insn.S8 -> 8
+
+let pp_mem ppf (m : Insn.mem) =
+  Format.fprintf ppf "[";
+  let printed = ref false in
+  (match m.base with
+  | Some b ->
+      Format.fprintf ppf "%a" Reg.pp b;
+      printed := true
+  | None -> ());
+  (match m.index with
+  | Some (idx, sc) ->
+      if !printed then Format.fprintf ppf "+";
+      Format.fprintf ppf "%a" Reg.pp idx;
+      if scale_int sc <> 1 then Format.fprintf ppf "*%d" (scale_int sc);
+      printed := true
+  | None -> ());
+  (if m.disp <> 0l || not !printed then
+     if not !printed then Format.fprintf ppf "%a" pp_hex32 m.disp
+     else if Int32.compare m.disp 0l < 0 then
+       Format.fprintf ppf "-%a" pp_hex32 (Int32.neg m.disp)
+     else Format.fprintf ppf "+%a" pp_hex32 m.disp);
+  Format.fprintf ppf "]"
+
+let size_prefix (sz : Insn.size) =
+  match sz with Insn.S8bit -> "byte ptr " | Insn.S32bit -> "dword ptr "
+
+let pp_operand ppf (o : Insn.operand) =
+  match o with
+  | Insn.Reg r -> Reg.pp ppf r
+  | Insn.Reg8 r -> Reg.pp8 ppf r
+  | Insn.Imm v -> pp_hex32 ppf v
+  | Insn.Mem m -> pp_mem ppf m
+
+(* Memory operands need an explicit size when no register operand pins it. *)
+let pp_sized sz ppf (o : Insn.operand) =
+  match o with
+  | Insn.Mem _ -> Format.fprintf ppf "%s%a" (size_prefix sz) pp_operand o
+  | Insn.Reg _ | Insn.Reg8 _ | Insn.Imm _ -> pp_operand ppf o
+
+let pp_rel ppf d =
+  if d >= 0 then Format.fprintf ppf "$+%d" d else Format.fprintf ppf "$%d" d
+
+let pp ppf (i : Insn.t) =
+  match i with
+  | Insn.Mov (sz, dst, src) ->
+      Format.fprintf ppf "mov %a, %a" (pp_sized sz) dst (pp_sized sz) src
+  | Insn.Arith (op, sz, dst, src) ->
+      Format.fprintf ppf "%s %a, %a" (Insn.arith_name op) (pp_sized sz) dst
+        (pp_sized sz) src
+  | Insn.Test (sz, a, b) ->
+      Format.fprintf ppf "test %a, %a" (pp_sized sz) a (pp_sized sz) b
+  | Insn.Not (sz, o) -> Format.fprintf ppf "not %a" (pp_sized sz) o
+  | Insn.Neg (sz, o) -> Format.fprintf ppf "neg %a" (pp_sized sz) o
+  | Insn.Inc (sz, o) -> Format.fprintf ppf "inc %a" (pp_sized sz) o
+  | Insn.Dec (sz, o) -> Format.fprintf ppf "dec %a" (pp_sized sz) o
+  | Insn.Shift (op, sz, o, n) ->
+      Format.fprintf ppf "%s %a, %d" (Insn.shift_name op) (pp_sized sz) o n
+  | Insn.Lea (r, m) -> Format.fprintf ppf "lea %a, %a" Reg.pp r pp_mem m
+  | Insn.Xchg (a, b) -> Format.fprintf ppf "xchg %a, %a" Reg.pp a Reg.pp b
+  | Insn.Push_reg r -> Format.fprintf ppf "push %a" Reg.pp r
+  | Insn.Pop_reg r -> Format.fprintf ppf "pop %a" Reg.pp r
+  | Insn.Push_imm v -> Format.fprintf ppf "push %a" pp_hex32 v
+  | Insn.Pushad -> Format.fprintf ppf "pushad"
+  | Insn.Popad -> Format.fprintf ppf "popad"
+  | Insn.Pushfd -> Format.fprintf ppf "pushfd"
+  | Insn.Popfd -> Format.fprintf ppf "popfd"
+  | Insn.Jmp_rel d -> Format.fprintf ppf "jmp %a" pp_rel d
+  | Insn.Jcc_rel (cc, d) -> Format.fprintf ppf "j%s %a" (Insn.cc_name cc) pp_rel d
+  | Insn.Call_rel d -> Format.fprintf ppf "call %a" pp_rel d
+  | Insn.Loop d -> Format.fprintf ppf "loop %a" pp_rel d
+  | Insn.Loope d -> Format.fprintf ppf "loope %a" pp_rel d
+  | Insn.Loopne d -> Format.fprintf ppf "loopne %a" pp_rel d
+  | Insn.Jecxz d -> Format.fprintf ppf "jecxz %a" pp_rel d
+  | Insn.Ret -> Format.fprintf ppf "ret"
+  | Insn.Int n -> Format.fprintf ppf "int 0x%x" n
+  | Insn.Int3 -> Format.fprintf ppf "int3"
+  | Insn.Nop -> Format.fprintf ppf "nop"
+  | Insn.Cld -> Format.fprintf ppf "cld"
+  | Insn.Std -> Format.fprintf ppf "std"
+  | Insn.Lodsb -> Format.fprintf ppf "lodsb"
+  | Insn.Lodsd -> Format.fprintf ppf "lodsd"
+  | Insn.Stosb -> Format.fprintf ppf "stosb"
+  | Insn.Stosd -> Format.fprintf ppf "stosd"
+  | Insn.Movsb -> Format.fprintf ppf "movsb"
+  | Insn.Movsd -> Format.fprintf ppf "movsd"
+  | Insn.Scasb -> Format.fprintf ppf "scasb"
+  | Insn.Cmpsb -> Format.fprintf ppf "cmpsb"
+  | Insn.Cdq -> Format.fprintf ppf "cdq"
+  | Insn.Cwde -> Format.fprintf ppf "cwde"
+  | Insn.Clc -> Format.fprintf ppf "clc"
+  | Insn.Stc -> Format.fprintf ppf "stc"
+  | Insn.Cmc -> Format.fprintf ppf "cmc"
+  | Insn.Sahf -> Format.fprintf ppf "sahf"
+  | Insn.Lahf -> Format.fprintf ppf "lahf"
+  | Insn.Fwait -> Format.fprintf ppf "fwait"
+  | Insn.Rep_movsb -> Format.fprintf ppf "rep movsb"
+  | Insn.Rep_movsd -> Format.fprintf ppf "rep movsd"
+  | Insn.Rep_stosb -> Format.fprintf ppf "rep stosb"
+  | Insn.Rep_stosd -> Format.fprintf ppf "rep stosd"
+  | Insn.Movzx (d, src) ->
+      Format.fprintf ppf "movzx %a, %a" Reg.pp d (pp_sized Insn.S8bit) src
+  | Insn.Movsx (d, src) ->
+      Format.fprintf ppf "movsx %a, %a" Reg.pp d (pp_sized Insn.S8bit) src
+  | Insn.Mul (sz, o) -> Format.fprintf ppf "mul %a" (pp_sized sz) o
+  | Insn.Imul (sz, o) -> Format.fprintf ppf "imul %a" (pp_sized sz) o
+  | Insn.Div (sz, o) -> Format.fprintf ppf "div %a" (pp_sized sz) o
+  | Insn.Idiv (sz, o) -> Format.fprintf ppf "idiv %a" (pp_sized sz) o
+  | Insn.Imul2 (d, o) ->
+      Format.fprintf ppf "imul %a, %a" Reg.pp d (pp_sized Insn.S32bit) o
+  | Insn.Imul3 (d, o, v) ->
+      Format.fprintf ppf "imul %a, %a, %a" Reg.pp d (pp_sized Insn.S32bit) o pp_hex32 v
+  | Insn.Bad b -> Format.fprintf ppf "(bad) 0x%02x" b
+
+let to_string i = Format.asprintf "%a" pp i
+
+let program_to_string insns =
+  String.concat "\n" (List.map to_string insns)

@@ -1,0 +1,11 @@
+(** Intel-syntax rendering of instructions, for listings and alerts. *)
+
+val pp_operand : Format.formatter -> Insn.operand -> unit
+val pp_mem : Format.formatter -> Insn.mem -> unit
+
+val pp : Format.formatter -> Insn.t -> unit
+(** One instruction, e.g. [xor byte ptr \[eax\], 0x95]. *)
+
+val to_string : Insn.t -> string
+val program_to_string : Insn.t list -> string
+(** Newline-separated listing. *)

@@ -1,0 +1,62 @@
+The shellcode corpus is stable and complete:
+
+  $ sanids corpus
+  classic        24 B  direct pushes, mov al,11
+  push-pop       24 B  push/pop constant routing
+  math-route     41 B  string and syscall number built arithmetically
+  call-pop       35 B  jmp/call/pop string addressing
+  stack-store    40 B  string written with stores, dec to 11
+  mask-route     32 B  syscall number masked out of a wide constant
+  bind-4444     136 B  bind shell on port 4444, unrolled dup2  [binds port]
+  bind-31337    121 B  bind shell on port 31337, looped dup2  [binds port]
+
+The shipped template set names every behaviour:
+
+  $ sanids templates | awk '{print $1}' | sort -u
+  alt-decoder
+  code-red-ii
+  connect-back-shell
+  decrypt-loop
+  mass-mailer
+  port-bind-shell
+  shell-spawn
+  slammer
+
+A plain shellcode disassembles and matches:
+
+  $ sanids gen-exploit --shellcode classic -o classic.bin --seed 4
+  wrote classic.bin (24 bytes)
+  $ sanids disasm classic.bin
+  0000: xor eax, eax
+  0002: push eax
+  0003: push 0x68732f2f
+  0008: push 0x6e69622f
+  000d: mov ebx, esp
+  000f: push eax
+  0010: push ebx
+  0011: mov ecx, esp
+  0013: cdq
+  0014: mov al, 0xb
+  0016: int 0x80
+  $ sanids match classic.bin
+  shell-spawn @entry=0x0 offsets=[0x3;0x8;0x16] regs={} consts={}
+
+A polymorphic instance evades nothing semantically:
+
+  $ sanids gen-exploit --shellcode classic --polymorphic -o poly.bin --seed 9
+  wrote poly.bin (162 bytes)
+  $ sanids match poly.bin | cut -d' ' -f1
+  decrypt-loop
+
+And executes correctly in the sandboxed interpreter:
+
+  $ sanids emulate poly.bin | head -n 1 | sed 's/after [0-9]* steps/after N steps/'
+  syscall int 0x80 after N steps: eax=0xb ebx=0x8087fd9 ecx=0x8087fd1 edx=0x0
+
+End-to-end over a capture file:
+
+  $ sanids gen-trace trace.pcap --kind codered --packets 500 --seed 3
+  ground truth: 521 packets, 3 CRII instances, 18 scans (unused space: 10.2.200.0/21)
+  wrote trace.pcap (521 packets)
+  $ sanids scan trace.pcap --unused 10.2.200.0/21 | grep -c 'ALERT code-red-ii'
+  3

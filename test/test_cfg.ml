@@ -1,0 +1,146 @@
+(* Tests for control-flow graph recovery. *)
+
+open Sanids_x86
+open Sanids_ir
+
+let i x = Asm.I x
+let reg r = Insn.Reg r
+let imm v = Insn.Imm v
+
+let test_straight_line () =
+  let code = Encode.program [ Insn.Nop; Insn.Nop; Insn.Ret ] in
+  let g = Cfg.build code in
+  Alcotest.(check int) "one block" 1 (Cfg.block_count g);
+  match Cfg.blocks g with
+  | [ b ] ->
+      Alcotest.(check int) "starts at 0" 0 b.Cfg.start;
+      Alcotest.(check int) "three insns" 3 (List.length b.Cfg.insns);
+      Alcotest.(check bool) "returns" true (b.Cfg.terminator = Cfg.Return);
+      Alcotest.(check (list int)) "no successors" [] (Cfg.successors g b)
+  | _ -> Alcotest.fail "expected one block"
+
+let test_diamond () =
+  (* if/else: cmp; je L1; A; jmp L2; L1: B; L2: ret *)
+  let code =
+    Asm.assemble
+      [
+        i (Insn.Arith (Insn.Cmp, Insn.S32bit, reg Reg.EAX, imm 0l));
+        Asm.Jcc (Insn.E, "else_");
+        i (Insn.Mov (Insn.S32bit, reg Reg.EBX, imm 1l));
+        Asm.Jmp "join";
+        Asm.Label "else_";
+        i (Insn.Mov (Insn.S32bit, reg Reg.EBX, imm 2l));
+        Asm.Label "join";
+        i Insn.Ret;
+      ]
+  in
+  let g = Cfg.build code in
+  Alcotest.(check int) "four blocks" 4 (Cfg.block_count g);
+  (* entry has two successors *)
+  (match Cfg.block_at g 0 with
+  | Some b -> Alcotest.(check int) "branchy entry" 2 (List.length (Cfg.successors g b))
+  | None -> Alcotest.fail "no entry block");
+  Alcotest.(check (list (pair int int))) "no back edges" [] (Cfg.back_edges g)
+
+let test_loop_back_edge () =
+  let code =
+    Asm.assemble
+      [
+        i (Insn.Mov (Insn.S32bit, reg Reg.ECX, imm 5l));
+        Asm.Label "top";
+        i (Insn.Arith (Insn.Add, Insn.S32bit, reg Reg.EAX, reg Reg.ECX));
+        Asm.Loop_to "top";
+        i Insn.Ret;
+      ]
+  in
+  let g = Cfg.build code in
+  match Cfg.back_edges g with
+  | [ (_, target) ] -> Alcotest.(check int) "loops to top" 5 target
+  | other -> Alcotest.failf "expected one back edge, got %d" (List.length other)
+
+let test_figure_1c_structure () =
+  (* the paper's out-of-order decoder: several blocks stitched by jmps,
+     exactly one loop-closing back edge *)
+  let code =
+    Asm.assemble
+      [
+        Asm.Label "decode";
+        i (Insn.Mov (Insn.S32bit, reg Reg.ECX, imm 0l));
+        i (Insn.Inc (Insn.S32bit, reg Reg.ECX));
+        i (Insn.Inc (Insn.S32bit, reg Reg.ECX));
+        Asm.Jmp "one";
+        Asm.Label "two";
+        i (Insn.Arith (Insn.Add, Insn.S32bit, reg Reg.EAX, imm 1l));
+        Asm.Jmp "three";
+        Asm.Label "one";
+        i (Insn.Mov (Insn.S32bit, reg Reg.EBX, imm 0x31l));
+        i (Insn.Arith (Insn.Add, Insn.S32bit, reg Reg.EBX, imm 0x64l));
+        i (Insn.Arith (Insn.Xor, Insn.S8bit, Insn.Mem (Insn.mem_base Reg.EAX), Insn.Reg8 Reg.BL));
+        Asm.Jmp "two";
+        Asm.Label "three";
+        Asm.Loop_to "decode";
+      ]
+  in
+  let g = Cfg.build code in
+  Alcotest.(check bool) "several blocks" true (Cfg.block_count g >= 4);
+  let back = Cfg.back_edges g in
+  Alcotest.(check bool) "loop edge to offset 0" true
+    (List.exists (fun (_, t) -> t = 0) back)
+
+let test_call_edges () =
+  let code =
+    Asm.assemble
+      [ Asm.Call "sub"; i Insn.Ret; Asm.Label "sub"; i Insn.Nop; i Insn.Ret ]
+  in
+  let g = Cfg.build code in
+  match Cfg.block_at g 0 with
+  | Some b -> (
+      match b.Cfg.terminator with
+      | Cfg.Call { target; return_to } ->
+          Alcotest.(check int) "target" 6 target;
+          Alcotest.(check int) "return site" 5 return_to;
+          Alcotest.(check int) "two successors" 2 (List.length (Cfg.successors g b))
+      | _ -> Alcotest.fail "expected call terminator")
+  | None -> Alcotest.fail "no entry"
+
+let test_out_of_region () =
+  let code = Encode.program [ Insn.Jmp_rel 1000 ] in
+  let g = Cfg.build code in
+  match Cfg.blocks g with
+  | [ b ] -> Alcotest.(check bool) "escapes" true (b.Cfg.terminator = Cfg.Out_of_region)
+  | _ -> Alcotest.fail "expected one block"
+
+let test_pp_smoke () =
+  let code = Encode.program [ Insn.Nop; Insn.Ret ] in
+  Alcotest.(check bool) "renders" true
+    (String.length (Format.asprintf "%a" Cfg.pp (Cfg.build code)) > 0)
+
+let prop_blocks_partition =
+  QCheck2.Test.make ~name:"cfg blocks partition the sweep" ~count:200
+    QCheck2.Gen.(string_size (int_range 1 300))
+    (fun s ->
+      let g = Cfg.build s in
+      let total =
+        List.fold_left
+          (fun acc (b : Cfg.block) ->
+            acc
+            + List.fold_left (fun a (d : Decode.decoded) -> a + d.Decode.len) 0 b.Cfg.insns)
+          0 (Cfg.blocks g)
+      in
+      total = String.length s)
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "straight line" `Quick test_straight_line;
+          Alcotest.test_case "diamond" `Quick test_diamond;
+          Alcotest.test_case "loop back edge" `Quick test_loop_back_edge;
+          Alcotest.test_case "figure 1c" `Quick test_figure_1c_structure;
+          Alcotest.test_case "call edges" `Quick test_call_edges;
+          Alcotest.test_case "out of region" `Quick test_out_of_region;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_blocks_partition ]);
+    ]

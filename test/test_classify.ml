@@ -1,0 +1,197 @@
+(* Direct unit tests for the traffic-classification components (paper
+   §4.1) plus the smaller NIDS support modules. *)
+
+open Sanids_net
+open Sanids_classify
+
+let ip = Ipaddr.of_string
+
+(* ------------------------------------------------------------------ *)
+(* honeypot registry *)
+
+let test_honeypot_marking () =
+  let h = Honeypot.create [ ip "10.0.0.9" ] in
+  Alcotest.(check bool) "decoy known" true (Honeypot.is_honeypot h (ip "10.0.0.9"));
+  Alcotest.(check bool) "other not decoy" false (Honeypot.is_honeypot h (ip "10.0.0.1"));
+  (* touching the decoy marks the source, permanently *)
+  Alcotest.(check bool) "first touch marks" true
+    (Honeypot.observe h ~src:(ip "1.2.3.4") ~dst:(ip "10.0.0.9"));
+  Alcotest.(check bool) "marked on later benign traffic" true
+    (Honeypot.observe h ~src:(ip "1.2.3.4") ~dst:(ip "10.0.0.1"));
+  Alcotest.(check bool) "others unmarked" false
+    (Honeypot.observe h ~src:(ip "5.6.7.8") ~dst:(ip "10.0.0.1"));
+  Alcotest.(check int) "one marked source" 1 (Honeypot.marked_count h)
+
+let test_honeypot_add_dynamic () =
+  let h = Honeypot.create [] in
+  Alcotest.(check bool) "no decoys yet" false
+    (Honeypot.observe h ~src:(ip "1.1.1.1") ~dst:(ip "10.0.0.9"));
+  Honeypot.add h (ip "10.0.0.9");
+  Alcotest.(check bool) "now a decoy" true
+    (Honeypot.observe h ~src:(ip "1.1.1.1") ~dst:(ip "10.0.0.9"))
+
+(* ------------------------------------------------------------------ *)
+(* scan detector *)
+
+let unused = [ Ipaddr.prefix_of_string "192.0.2.0/24" ]
+
+let test_scan_distinct_addresses () =
+  let s = Scan_detector.create ~threshold:3 unused in
+  let src = ip "8.8.8.8" in
+  (* the same unused address repeatedly is ONE distinct touch *)
+  for _ = 1 to 10 do
+    ignore (Scan_detector.observe s ~src ~dst:(ip "192.0.2.1"))
+  done;
+  Alcotest.(check int) "one distinct" 1 (Scan_detector.count s src);
+  Alcotest.(check bool) "not flagged" false (Scan_detector.is_scanner s src);
+  ignore (Scan_detector.observe s ~src ~dst:(ip "192.0.2.2"));
+  ignore (Scan_detector.observe s ~src ~dst:(ip "192.0.2.3"));
+  Alcotest.(check bool) "flagged at threshold" true (Scan_detector.is_scanner s src)
+
+let test_scan_used_space_ignored () =
+  let s = Scan_detector.create ~threshold:2 unused in
+  let src = ip "8.8.4.4" in
+  for k = 1 to 20 do
+    ignore (Scan_detector.observe s ~src ~dst:(Ipaddr.of_octets 10 0 0 k))
+  done;
+  Alcotest.(check int) "used space never counts" 0 (Scan_detector.count s src);
+  Alcotest.(check bool) "never flagged" false (Scan_detector.is_scanner s src)
+
+let test_scan_flag_sticks () =
+  let s = Scan_detector.create ~threshold:2 unused in
+  let src = ip "9.9.9.9" in
+  ignore (Scan_detector.observe s ~src ~dst:(ip "192.0.2.10"));
+  ignore (Scan_detector.observe s ~src ~dst:(ip "192.0.2.11"));
+  (* a later packet to used space still reports the flag *)
+  Alcotest.(check bool) "flag visible on used-space traffic" true
+    (Scan_detector.observe s ~src ~dst:(ip "10.1.1.1"));
+  Alcotest.(check int) "one scanner" 1 (Scan_detector.scanner_count s)
+
+let test_scan_threshold_validation () =
+  match Scan_detector.create ~threshold:0 unused with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold 0 must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* combined classifier *)
+
+let packet ~src ~dst =
+  Packet.build_tcp ~ts:0.0 ~src ~dst ~src_port:1024 ~dst_port:80 "x"
+
+let test_classifier_reasons () =
+  let c =
+    Classifier.create ~honeypots:[ ip "10.0.0.9" ]
+      ~unused:[ Ipaddr.prefix_of_string "192.0.2.0/24" ]
+      ~scan_threshold:2 ()
+  in
+  Alcotest.(check bool) "benign by default" true
+    (Classifier.classify c (packet ~src:(ip "1.1.1.1") ~dst:(ip "10.0.0.1"))
+    = Classifier.Benign);
+  ignore (Classifier.classify c (packet ~src:(ip "2.2.2.2") ~dst:(ip "10.0.0.9")));
+  Alcotest.(check bool) "honeypot reason" true
+    (Classifier.classify c (packet ~src:(ip "2.2.2.2") ~dst:(ip "10.0.0.1"))
+    = Classifier.Suspicious Classifier.Honeypot_sender);
+  ignore (Classifier.classify c (packet ~src:(ip "3.3.3.3") ~dst:(ip "192.0.2.1")));
+  ignore (Classifier.classify c (packet ~src:(ip "3.3.3.3") ~dst:(ip "192.0.2.2")));
+  Alcotest.(check bool) "scanner reason" true
+    (Classifier.classify c (packet ~src:(ip "3.3.3.3") ~dst:(ip "10.0.0.1"))
+    = Classifier.Suspicious Classifier.Scanner)
+
+let test_classifier_disabled_keeps_state () =
+  (* state accrues while disabled, so the verdict is immediate if the
+     deployment is re-created with the same components *)
+  let c = Classifier.create ~honeypots:[ ip "10.0.0.9" ] ~enabled:false () in
+  (match Classifier.classify c (packet ~src:(ip "4.4.4.4") ~dst:(ip "10.0.0.9")) with
+  | Classifier.Suspicious Classifier.Classification_disabled -> ()
+  | _ -> Alcotest.fail "disabled classifier analyzes everything");
+  Alcotest.(check bool) "honeypot state accrued" true
+    (Honeypot.is_marked (Classifier.honeypot c) (ip "4.4.4.4"))
+
+let test_reason_strings () =
+  Alcotest.(check string) "honeypot" "honeypot-sender"
+    (Classifier.reason_to_string Classifier.Honeypot_sender);
+  Alcotest.(check string) "scanner" "scanner"
+    (Classifier.reason_to_string Classifier.Scanner)
+
+(* ------------------------------------------------------------------ *)
+(* support modules *)
+
+let test_stats_reset () =
+  let s = Sanids_nids.Stats.create () in
+  s.Sanids_nids.Stats.packets <- 7;
+  s.Sanids_nids.Stats.alerts <- 3;
+  Sanids_nids.Stats.reset s;
+  Alcotest.(check int) "packets reset" 0 s.Sanids_nids.Stats.packets;
+  Alcotest.(check int) "alerts reset" 0 s.Sanids_nids.Stats.alerts
+
+let test_config_builders () =
+  let open Sanids_nids in
+  let cfg =
+    Config.default
+    |> Config.with_honeypots [ ip "10.0.0.9" ]
+    |> Config.with_unused [ Ipaddr.prefix_of_string "192.0.2.0/24" ]
+    |> Config.with_classification false
+    |> Config.with_extraction false
+    |> Config.with_reassembly true
+  in
+  Alcotest.(check int) "honeypots" 1 (List.length cfg.Config.honeypots);
+  Alcotest.(check bool) "classification" false cfg.Config.classification_enabled;
+  Alcotest.(check bool) "extraction" false cfg.Config.extraction_enabled;
+  Alcotest.(check bool) "reassembly" true cfg.Config.reassemble
+
+let test_template_guards () =
+  let open Sanids_semantic.Template in
+  let consts = [ ("k", 5l); ("m", 0l) ] in
+  Alcotest.(check bool) "nonzero sat" true (check_guard consts (Nonzero "k"));
+  Alcotest.(check bool) "nonzero fail" false (check_guard consts (Nonzero "m"));
+  Alcotest.(check bool) "equals" true (check_guard consts (Equals ("k", 5l)));
+  Alcotest.(check bool) "one_of" true (check_guard consts (One_of ("k", [ 1l; 5l ])));
+  Alcotest.(check bool) "one_of fail" false (check_guard consts (One_of ("k", [ 1l; 2l ])));
+  Alcotest.(check bool) "differ" true (check_guard consts (Differ ("k", "m")));
+  Alcotest.(check bool) "unbound fails" false (check_guard consts (Nonzero "zz"))
+
+let test_template_make_validation () =
+  match Sanids_semantic.Template.make ~name:"x" ~description:"" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty template must be rejected"
+
+let test_template_names () =
+  let names = Sanids_semantic.Template_lib.names Sanids_semantic.Template_lib.default_set in
+  Alcotest.(check (list string))
+    "shipped names"
+    [
+      "decrypt-loop"; "alt-decoder"; "shell-spawn"; "port-bind-shell";
+      "connect-back-shell"; "slammer"; "mass-mailer"; "code-red-ii";
+    ]
+    names
+
+let () =
+  Alcotest.run "classify"
+    [
+      ( "honeypot",
+        [
+          Alcotest.test_case "marking" `Quick test_honeypot_marking;
+          Alcotest.test_case "dynamic add" `Quick test_honeypot_add_dynamic;
+        ] );
+      ( "scan-detector",
+        [
+          Alcotest.test_case "distinct addresses" `Quick test_scan_distinct_addresses;
+          Alcotest.test_case "used space ignored" `Quick test_scan_used_space_ignored;
+          Alcotest.test_case "flag sticks" `Quick test_scan_flag_sticks;
+          Alcotest.test_case "threshold validation" `Quick test_scan_threshold_validation;
+        ] );
+      ( "classifier",
+        [
+          Alcotest.test_case "reasons" `Quick test_classifier_reasons;
+          Alcotest.test_case "disabled keeps state" `Quick test_classifier_disabled_keeps_state;
+          Alcotest.test_case "reason strings" `Quick test_reason_strings;
+        ] );
+      ( "support",
+        [
+          Alcotest.test_case "stats reset" `Quick test_stats_reset;
+          Alcotest.test_case "config builders" `Quick test_config_builders;
+          Alcotest.test_case "template guards" `Quick test_template_guards;
+          Alcotest.test_case "template validation" `Quick test_template_make_validation;
+          Alcotest.test_case "shipped template names" `Quick test_template_names;
+        ] );
+    ]

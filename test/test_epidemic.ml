@@ -1,0 +1,142 @@
+(* Tests for the worm propagation and containment models. *)
+
+open Sanids_epidemic
+
+let params =
+  {
+    Model.population = 100_000;
+    address_space = 4294967296.0;
+    scan_rate = 200.0;
+    initial = 10;
+  }
+
+let test_logistic_boundary () =
+  Alcotest.(check (float 0.5)) "i(0) = initial" 10.0 (Model.logistic params 0.0);
+  let late = Model.logistic params 1.0e7 in
+  Alcotest.(check bool) "saturates at population" true
+    (late > 0.999 *. float_of_int params.Model.population)
+
+let test_logistic_monotone () =
+  let prev = ref 0.0 in
+  for k = 0 to 100 do
+    let v = Model.logistic params (float_of_int k *. 50.0) in
+    if v < !prev -. 1e-9 then Alcotest.fail "logistic must be monotone";
+    prev := v
+  done
+
+let test_time_to_fraction_inverts () =
+  List.iter
+    (fun f ->
+      let t = Model.time_to_fraction params f in
+      let i = Model.logistic params t in
+      let expected = f *. float_of_int params.Model.population in
+      Alcotest.(check bool)
+        (Printf.sprintf "inverse at %.2f" f)
+        true
+        (Float.abs (i -. expected) /. expected < 1e-6))
+    [ 0.01; 0.1; 0.5; 0.9; 0.99 ]
+
+let test_faster_scanning_spreads_faster () =
+  let slow = Model.time_to_fraction params 0.5 in
+  let fast = Model.time_to_fraction { params with Model.scan_rate = 400.0 } 0.5 in
+  Alcotest.(check bool) "doubling scan rate halves the half-time" true
+    (Float.abs ((slow /. fast) -. 2.0) < 0.01)
+
+let test_simulation_tracks_logistic () =
+  let rng = Rng.create 0xE91D_0001L in
+  let horizon = Model.time_to_fraction params 0.5 in
+  let s = Model.simulate rng params ~duration:horizon ~on_tick:(fun _ -> ()) in
+  let expected = Model.logistic params horizon in
+  let ratio = float_of_int s.Model.infected /. expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "stochastic within 2x of deterministic (ratio %.2f)" ratio)
+    true
+    (ratio > 0.5 && ratio < 2.0)
+
+let test_simulation_stops_at_saturation () =
+  let rng = Rng.create 0xE91D_0002L in
+  let fast = { params with Model.scan_rate = 20_000.0; initial = 100 } in
+  let s = Model.simulate rng fast ~duration:1.0e6 ~on_tick:(fun _ -> ()) in
+  Alcotest.(check int) "everyone infected" fast.Model.population s.Model.infected
+
+let test_invalid_params () =
+  let bad f = match f () with exception Invalid_argument _ -> () | _ -> Alcotest.fail "expected Invalid_argument" in
+  bad (fun () -> Model.logistic { params with Model.population = 0 } 1.0);
+  bad (fun () -> Model.logistic { params with Model.initial = 0 } 1.0);
+  bad (fun () -> Model.time_to_fraction params 1.5)
+
+(* ------------------------------------------------------------------ *)
+
+let containment_params reaction_time =
+  {
+    Containment.epidemic = params;
+    monitored_fraction = 0.1;
+    threshold = 5;
+    reaction_time;
+  }
+
+let test_instant_reaction_contains () =
+  let rng = Rng.create 0xE91D_0003L in
+  let o = Containment.simulate rng (containment_params 1.0) ~duration:3600.0 in
+  Alcotest.(check bool) "under 1% infected" true
+    (Containment.infected_fraction o params < 0.01);
+  Alcotest.(check bool) "hosts were quarantined" true (o.Containment.quarantined > 0)
+
+let test_slow_reaction_fails () =
+  let rng = Rng.create 0xE91D_0003L in
+  let o = Containment.simulate rng (containment_params 1800.0) ~duration:3600.0 in
+  Alcotest.(check bool) "majority infected" true
+    (Containment.infected_fraction o params > 0.5)
+
+let test_reaction_time_monotone () =
+  let rng = Rng.create 0xE91D_0004L in
+  let sweep =
+    Containment.sweep_reaction_times rng (containment_params 0.0) ~duration:3600.0
+      [ 1.0; 60.0; 600.0; 1800.0 ]
+  in
+  let fractions = List.map (fun (_, o) -> Containment.infected_fraction o params) sweep in
+  let rec non_decreasing = function
+    | a :: (b :: _ as tl) -> a <= b +. 0.02 && non_decreasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "worse with slower reaction" true (non_decreasing fractions)
+
+let test_no_monitoring_no_notice () =
+  let rng = Rng.create 0xE91D_0005L in
+  let p = { (containment_params 1.0) with Containment.monitored_fraction = 0.0 } in
+  let o = Containment.simulate rng p ~duration:600.0 in
+  Alcotest.(check bool) "never noticed" true (o.Containment.first_notice = None);
+  Alcotest.(check int) "nothing quarantined" 0 o.Containment.quarantined
+
+let test_notice_time_scales_with_threshold () =
+  let rng = Rng.create 0xE91D_0006L in
+  let notice threshold =
+    let p = { (containment_params 1.0e9) with Containment.threshold = threshold } in
+    match (Containment.simulate (Rng.copy rng) p ~duration:600.0).Containment.first_notice with
+    | Some t -> t
+    | None -> Alcotest.fail "expected a notice"
+  in
+  Alcotest.(check bool) "higher threshold notices later" true (notice 200 > notice 5)
+
+let () =
+  Alcotest.run "epidemic"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "logistic boundary" `Quick test_logistic_boundary;
+          Alcotest.test_case "monotone" `Quick test_logistic_monotone;
+          Alcotest.test_case "time_to_fraction inverts" `Quick test_time_to_fraction_inverts;
+          Alcotest.test_case "scan rate scaling" `Quick test_faster_scanning_spreads_faster;
+          Alcotest.test_case "simulation tracks logistic" `Quick test_simulation_tracks_logistic;
+          Alcotest.test_case "saturation" `Quick test_simulation_stops_at_saturation;
+          Alcotest.test_case "invalid params" `Quick test_invalid_params;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "instant reaction contains" `Quick test_instant_reaction_contains;
+          Alcotest.test_case "slow reaction fails" `Quick test_slow_reaction_fails;
+          Alcotest.test_case "monotone in reaction time" `Quick test_reaction_time_monotone;
+          Alcotest.test_case "no monitoring no notice" `Quick test_no_monitoring_no_notice;
+          Alcotest.test_case "threshold delays notice" `Quick test_notice_time_scales_with_threshold;
+        ] );
+    ]

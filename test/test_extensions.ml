@@ -1,0 +1,252 @@
+(* Tests for capabilities beyond the paper's evaluation: TCP-stream
+   reassembly in the pipeline (anti-fragmentation), the connect-back
+   template with socketcall-subcall constraints, and the emulator-backed
+   behavioural ground truth for the extended corpus. *)
+
+open Sanids_net
+open Sanids_x86
+open Sanids_nids
+open Sanids_semantic
+open Sanids_exploits
+module Admmutate_alias = Sanids_polymorph.Admmutate
+
+let ip = Ipaddr.of_string
+let attacker = ip "203.0.113.66"
+let victim = ip "10.0.0.80"
+
+let satisfies_any templates code =
+  List.exists (fun t -> Matcher.satisfies t code) templates
+
+(* ------------------------------------------------------------------ *)
+(* fragmentation evasion *)
+
+let exploit_payload () =
+  let rng = Rng.create 42L in
+  Exploit_gen.http_exploit rng ~shellcode:(Shellcodes.find "classic").Shellcodes.code
+
+let fragments payload k =
+  (* split into k roughly equal TCP segments of one flow *)
+  let n = String.length payload in
+  let piece i =
+    let lo = i * n / k in
+    let hi = (i + 1) * n / k in
+    (Int32.add 1000l (Int32.of_int lo), String.sub payload lo (hi - lo))
+  in
+  List.init k (fun i ->
+      let seq, data = piece i in
+      Packet.build_tcp ~ts:(0.1 *. float_of_int i) ~src:attacker ~dst:victim
+        ~src_port:3127 ~dst_port:80 ~seq data)
+
+let test_fragmented_exploit_evades_per_packet () =
+  let cfg = Config.default |> Config.with_classification false in
+  let nids = Pipeline.create cfg in
+  let alerts = Pipeline.process_packets nids (fragments (exploit_payload ()) 16) in
+  Alcotest.(check int) "per-packet pipeline misses the split exploit" 0
+    (List.length alerts)
+
+let test_reassembly_defeats_fragmentation () =
+  let cfg =
+    Config.default |> Config.with_classification false |> Config.with_reassembly true
+  in
+  let nids = Pipeline.create cfg in
+  let alerts = Pipeline.process_packets nids (fragments (exploit_payload ()) 16) in
+  Alcotest.(check bool) "stream mode detects it" true
+    (List.exists (fun a -> a.Alert.template = "shell-spawn") alerts)
+
+let test_reassembly_no_duplicate_alerts () =
+  let cfg =
+    Config.default |> Config.with_classification false |> Config.with_reassembly true
+  in
+  let nids = Pipeline.create cfg in
+  (* deliver, then retransmit everything: alerts must not double *)
+  let frags = fragments (exploit_payload ()) 16 in
+  let first = Pipeline.process_packets nids frags in
+  let again = Pipeline.process_packets nids frags in
+  Alcotest.(check bool) "alerted once" true
+    (List.length (List.filter (fun a -> a.Alert.template = "shell-spawn") first) = 1);
+  Alcotest.(check int) "no duplicate alert on retransmit" 0 (List.length again)
+
+let test_out_of_order_delivery () =
+  let cfg =
+    Config.default |> Config.with_classification false |> Config.with_reassembly true
+  in
+  let nids = Pipeline.create cfg in
+  let frags = fragments (exploit_payload ()) 4 in
+  let shuffled = match frags with [ a; b; c; d ] -> [ a; d; c; b ] | l -> l in
+  let alerts = Pipeline.process_packets nids shuffled in
+  Alcotest.(check bool) "out-of-order segments still detected" true
+    (List.exists (fun a -> a.Alert.template = "shell-spawn") alerts)
+
+let test_single_packet_still_works_in_stream_mode () =
+  let cfg =
+    Config.default |> Config.with_classification false |> Config.with_reassembly true
+  in
+  let nids = Pipeline.create cfg in
+  let rng = Rng.create 43L in
+  let pkt =
+    Exploit_gen.packet rng ~ts:0.0 ~src:attacker ~dst:victim
+      ~shellcode:(Shellcodes.find "classic").Shellcodes.code
+  in
+  Alcotest.(check bool) "whole exploit in one packet" true
+    (Pipeline.process_packet nids pkt <> [])
+
+(* ------------------------------------------------------------------ *)
+(* connect-back template and subcall constraints *)
+
+let reverse = (Shellcodes.find "reverse-4444").Shellcodes.code
+let binder = (Shellcodes.find "bind-4444").Shellcodes.code
+
+let test_reverse_shell_detected () =
+  Alcotest.(check bool) "connect-back template fires" true
+    (satisfies_any Template_lib.connect_back_shell reverse)
+
+let test_reverse_shell_is_not_a_binder () =
+  Alcotest.(check bool) "port-bind template stays quiet" false
+    (satisfies_any Template_lib.port_bind_shell reverse)
+
+let test_binder_is_not_connect_back () =
+  Alcotest.(check bool) "connect-back quiet on binder" false
+    (satisfies_any Template_lib.connect_back_shell binder);
+  Alcotest.(check bool) "port-bind still fires on binder" true
+    (satisfies_any Template_lib.port_bind_shell binder)
+
+let test_reverse_shell_spawns_shell_too () =
+  Alcotest.(check bool) "generic shell-spawn also fires" true
+    (satisfies_any Template_lib.shell_spawn reverse)
+
+let test_subcall_constraint_enforced () =
+  (* a lone socket() call must not satisfy a template demanding connect *)
+  let socket_only =
+    Sanids_x86.Encode.program
+      [
+        Insn.Arith (Insn.Xor, Insn.S32bit, Insn.Reg Reg.EBX, Insn.Reg Reg.EBX);
+        Insn.Mov (Insn.S8bit, Insn.Reg8 Reg.BL, Insn.Imm 1l);
+        Insn.Arith (Insn.Xor, Insn.S32bit, Insn.Reg Reg.EAX, Insn.Reg Reg.EAX);
+        Insn.Mov (Insn.S8bit, Insn.Reg8 Reg.AL, Insn.Imm 102l);
+        Insn.Int 0x80;
+      ]
+  in
+  Alcotest.(check bool) "socket alone is not a reverse shell" false
+    (satisfies_any Template_lib.connect_back_shell socket_only)
+
+let test_reverse_shell_executes () =
+  (* dynamic ground truth: the reverse shell's syscall chain is
+     socket(1), connect(3), dup2 x3, execve *)
+  let emu = Sanids_x86.Emulator.create ~code:reverse () in
+  let subcalls = ref [] in
+  let rec drive guard =
+    if guard = 0 then Alcotest.fail "too many syscalls"
+    else
+      match Sanids_x86.Emulator.run ~max_steps:50_000 emu with
+      | Sanids_x86.Emulator.Syscall 0x80, _ ->
+          let eax = Int32.logand (Sanids_x86.Emulator.reg emu Reg.EAX) 0xFFl in
+          let ebx = Int32.logand (Sanids_x86.Emulator.reg emu Reg.EBX) 0xFFl in
+          subcalls := (Int32.to_int eax, Int32.to_int ebx) :: !subcalls;
+          if Int32.equal eax 11l then ()
+          else begin
+            Sanids_x86.Emulator.set_reg emu Reg.EAX 5l;
+            drive (guard - 1)
+          end
+      | Sanids_x86.Emulator.Halted m, _ -> Alcotest.failf "halted: %s" m
+      | _, _ -> Alcotest.fail "lost"
+  in
+  drive 16;
+  match List.rev !subcalls with
+  | (102, 1) :: (102, 3) :: rest ->
+      let dup2s = List.filter (fun (ax, _) -> ax = 63) rest in
+      Alcotest.(check int) "three dup2 calls" 3 (List.length dup2s);
+      Alcotest.(check bool) "ends in execve" true
+        (match List.rev rest with (11, _) :: _ -> true | _ -> false)
+  | _ -> Alcotest.fail "wrong syscall chain prefix"
+
+(* ------------------------------------------------------------------ *)
+(* multi-stage encoding *)
+
+let classic = (Shellcodes.find "classic").Shellcodes.code
+
+let test_staged_detected () =
+  let rng = Rng.create 0x57A6_0001L in
+  let missed = ref 0 in
+  for _ = 1 to 30 do
+    let g = Admmutate_alias.generate_staged ~stages:2 rng ~payload:classic in
+    if
+      Matcher.scan
+        ~templates:(Template_lib.xor_decrypt @ Template_lib.alt_decoder)
+        g.Sanids_polymorph.Admmutate.code
+      = []
+    then incr missed
+  done;
+  Alcotest.(check int) "every double-encoded instance detected" 0 !missed
+
+let test_staged_executes () =
+  (* the emulator unwraps both stages and reaches execve *)
+  let rng = Rng.create 0x57A6_0002L in
+  for _ = 1 to 15 do
+    let g = Admmutate_alias.generate_staged ~stages:2 rng ~payload:classic in
+    let emu = Emulator.create ~code:g.Sanids_polymorph.Admmutate.code () in
+    match Emulator.run ~max_steps:500_000 emu with
+    | Emulator.Syscall 0x80, _ ->
+        Alcotest.(check int32) "execve" 11l
+          (Int32.logand (Emulator.reg emu Reg.EAX) 0xFFl)
+    | Emulator.Halted m, _ -> Alcotest.failf "staged instance crashed: %s" m
+    | _, _ -> Alcotest.fail "staged instance never reached its syscall"
+  done
+
+let test_staged_hides_inner_decoder_bytes () =
+  (* the inner stage's bytes must not appear in the outer ciphertext *)
+  let rng = Rng.create 0x57A6_0003L in
+  let inner = Admmutate_alias.generate ~junk:2 rng ~payload:classic in
+  let outer =
+    Admmutate_alias.generate ~junk:2 rng ~payload:inner.Sanids_polymorph.Admmutate.code
+  in
+  let cipher =
+    String.sub outer.Sanids_polymorph.Admmutate.code
+      outer.Sanids_polymorph.Admmutate.payload_off
+      outer.Sanids_polymorph.Admmutate.payload_len
+  in
+  Alcotest.(check bool) "inner hidden" true
+    (cipher <> inner.Sanids_polymorph.Admmutate.code)
+
+(* ------------------------------------------------------------------ *)
+(* the extended default set keeps its zero-FP property *)
+
+let test_default_set_quiet_on_benign () =
+  let rng = Rng.create 44L in
+  for _ = 1 to 150 do
+    let p = Sanids_workload.Benign_gen.payload rng in
+    if Matcher.scan ~templates:Template_lib.default_set p <> [] then
+      Alcotest.fail "extended template set false-positived on benign payload"
+  done
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "reassembly",
+        [
+          Alcotest.test_case "fragmentation evades per-packet" `Quick
+            test_fragmented_exploit_evades_per_packet;
+          Alcotest.test_case "reassembly defeats it" `Quick
+            test_reassembly_defeats_fragmentation;
+          Alcotest.test_case "no duplicate alerts" `Quick test_reassembly_no_duplicate_alerts;
+          Alcotest.test_case "out of order delivery" `Quick test_out_of_order_delivery;
+          Alcotest.test_case "single packet still works" `Quick
+            test_single_packet_still_works_in_stream_mode;
+        ] );
+      ( "connect-back",
+        [
+          Alcotest.test_case "reverse shell detected" `Quick test_reverse_shell_detected;
+          Alcotest.test_case "not a binder" `Quick test_reverse_shell_is_not_a_binder;
+          Alcotest.test_case "binder not connect-back" `Quick test_binder_is_not_connect_back;
+          Alcotest.test_case "also a shell-spawn" `Quick test_reverse_shell_spawns_shell_too;
+          Alcotest.test_case "subcall constraint" `Quick test_subcall_constraint_enforced;
+          Alcotest.test_case "executes correct chain" `Quick test_reverse_shell_executes;
+        ] );
+      ( "multi-stage",
+        [
+          Alcotest.test_case "detected" `Quick test_staged_detected;
+          Alcotest.test_case "executes through both stages" `Quick test_staged_executes;
+          Alcotest.test_case "inner hidden" `Quick test_staged_hides_inner_decoder_bytes;
+        ] );
+      ( "regression",
+        [ Alcotest.test_case "benign quiet" `Quick test_default_set_quiet_on_benign ] );
+    ]

@@ -1,0 +1,231 @@
+(* Tests for HTTP parsing, unicode decoding, repetition and the binary
+   frame extractor (paper §4.2). *)
+
+open Sanids_extract
+
+let test_http_parse_get () =
+  let payload = "GET /index.html HTTP/1.1\r\nHost: www\r\nAccept: */*\r\n\r\n" in
+  match Http.parse_request payload with
+  | Ok r ->
+      Alcotest.(check string) "method" "GET" r.Http.meth;
+      Alcotest.(check string) "target" "/index.html" r.Http.target;
+      Alcotest.(check string) "version" "HTTP/1.1" r.Http.version;
+      Alcotest.(check (option string)) "host header" (Some "www")
+        (List.assoc_opt "Host" r.Http.headers);
+      Alcotest.(check string) "empty body" "" r.Http.body
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_http_parse_post_body () =
+  let payload = "POST /x HTTP/1.0\r\nContent-Length: 3\r\n\r\nabc" in
+  match Http.parse_request payload with
+  | Ok r -> Alcotest.(check string) "body" "abc" r.Http.body
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_http_reject_non_http () =
+  Alcotest.(check bool) "smtp is not http" false (Http.is_request "EHLO mail\r\n");
+  match Http.parse_request "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+let test_http_target_offset () =
+  match Http.parse_request "GET /abc HTTP/1.0\r\n\r\n" with
+  | Ok r -> Alcotest.(check int) "target offset" 4 r.Http.target_off
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let test_unicode_single_escape () =
+  match Unicode.decode_u_escape "%u9090" 0 with
+  | Some (v, next) ->
+      Alcotest.(check int) "value" 0x9090 v;
+      Alcotest.(check int) "next" 6 next
+  | None -> Alcotest.fail "must decode"
+
+let test_unicode_run_decoding () =
+  (* the Code Red II idiom: little-endian pairs *)
+  let s = "AAAA%u6858%ucbd3%u7801%u9090BBBB" in
+  match Unicode.unicode_runs ~min_run:4 s with
+  | [ r ] ->
+      Alcotest.(check int) "offset" 4 r.Unicode.off;
+      Alcotest.(check int) "count" 4 r.Unicode.count;
+      Alcotest.(check string) "bytes" "\x58\x68\xd3\xcb\x01\x78\x90\x90" r.Unicode.decoded
+  | other -> Alcotest.failf "expected one run, got %d" (List.length other)
+
+let test_unicode_short_run_ignored () =
+  Alcotest.(check int) "below min_run" 0
+    (List.length (Unicode.unicode_runs ~min_run:4 "x%u1234%u5678x"))
+
+let test_unicode_malformed () =
+  Alcotest.(check int) "bad digits" 0
+    (List.length (Unicode.unicode_runs "%uZZZZ%u12"))
+
+let test_percent_decode () =
+  Alcotest.(check string) "basic" "a b/c" (Unicode.percent_decode "a+b%2Fc");
+  Alcotest.(check string) "passthrough" "100%" (Unicode.percent_decode "100%")
+
+(* ------------------------------------------------------------------ *)
+
+let test_repetition_runs () =
+  let s = "ab" ^ String.make 40 'X' ^ "cd" ^ String.make 10 'Y' in
+  match Repetition.runs ~min_len:32 s with
+  | [ r ] ->
+      Alcotest.(check int) "offset" 2 r.Repetition.off;
+      Alcotest.(check char) "byte" 'X' r.Repetition.byte;
+      Alcotest.(check int) "len" 40 r.Repetition.len
+  | other -> Alcotest.failf "expected one run, got %d" (List.length other)
+
+let test_repetition_longest () =
+  match Repetition.longest "aaabbbbcc" with
+  | Some r ->
+      Alcotest.(check char) "byte" 'b' r.Repetition.byte;
+      Alcotest.(check int) "len" 4 r.Repetition.len
+  | None -> Alcotest.fail "expected a run"
+
+let test_sled_like_polymorphic () =
+  (* a polymorphic sled has differing bytes, all NOP-like *)
+  let rng = Sanids_util.Rng.create 7L in
+  let sled = Sanids_polymorph.Nops.sled_bytes rng 64 in
+  match Repetition.sled_like ~min_len:32 ("text" ^ sled ^ "text") with
+  | [ r ] -> Alcotest.(check int) "length" 64 r.Repetition.len
+  | other -> Alcotest.failf "expected one sled, got %d" (List.length other)
+
+let test_ret_address_runs () =
+  (* an exploit's return-address region: one address, LSB jittered *)
+  let rng = Sanids_util.Rng.create 12L in
+  let region =
+    Sanids_exploits.Exploit_gen.raw_overflow rng
+      ~shellcode:(Sanids_exploits.Shellcodes.find "classic").Sanids_exploits.Shellcodes.code
+  in
+  (match Repetition.ret_address_runs region with
+  | r :: _ ->
+      Alcotest.(check int32) "base is the jittered address" 0xBFFFF200l
+        (Int32.logand r.Repetition.base 0xFFFFFF00l);
+      Alcotest.(check bool) "full region found" true (r.Repetition.count >= 8)
+  | [] -> Alcotest.fail "expected a return-address run");
+  (* uniform text must not look like a return region *)
+  Alcotest.(check int) "text run rejected" 0
+    (List.length (Repetition.ret_address_runs (String.make 64 'a')));
+  (* and below the count threshold nothing fires *)
+  let w = Sanids_util.Byte_io.Writer.create () in
+  for _ = 1 to 3 do
+    Sanids_util.Byte_io.Writer.u32_le w 0xBFFFF210l
+  done;
+  Alcotest.(check int) "short run rejected" 0
+    (List.length
+       (Repetition.ret_address_runs (Sanids_util.Byte_io.Writer.contents w)))
+
+(* ------------------------------------------------------------------ *)
+
+let benign_get = "GET /a/b.html HTTP/1.1\r\nHost: x\r\nUser-Agent: test\r\n\r\n"
+
+let test_extract_benign_empty () =
+  Alcotest.(check int) "no frames" 0 (List.length (Extractor.extract benign_get));
+  Alcotest.(check bool) "not suspicious" false (Extractor.suspicious benign_get)
+
+let test_extract_code_red () =
+  let req = Sanids_exploits.Code_red.request () in
+  Alcotest.(check bool) "suspicious" true (Extractor.suspicious req);
+  let frames = Extractor.extract req in
+  let unicode =
+    List.filter (fun f -> f.Extractor.origin = Extractor.Unicode_escape) frames
+  in
+  Alcotest.(check bool) "has unicode frame" true (unicode <> []);
+  (* the decoded frame contains the push of the IIS constant *)
+  let has_const =
+    List.exists
+      (fun f ->
+        let ds = Sanids_x86.Decode.all f.Extractor.data in
+        Array.exists
+          (fun (d : Sanids_x86.Decode.decoded) ->
+            match d.Sanids_x86.Decode.insn with
+            | Sanids_x86.Insn.Push_imm 0x7801cbd3l -> true
+            | _ -> false)
+          ds)
+      unicode
+  in
+  Alcotest.(check bool) "decoded push const" true has_const
+
+let test_extract_raw_binary_with_context () =
+  let payload = benign_get ^ String.make 100 'A' ^ Sanids_util.Rng.bytes (Sanids_util.Rng.create 9L) 80 in
+  let frames = Extractor.extract payload in
+  match frames with
+  | [ f ] ->
+      Alcotest.(check bool) "origin raw" true (f.Extractor.origin = Extractor.Raw_binary);
+      (* context must reach back into the printable filler *)
+      Alcotest.(check bool) "context included" true
+        (f.Extractor.off < String.length benign_get + 100)
+  | other -> Alcotest.failf "expected one frame, got %d" (List.length other)
+
+let test_extract_gap_merge () =
+  (* two binary chunks separated by a few text bytes merge into one frame *)
+  let rng = Sanids_util.Rng.create 11L in
+  let bin n = String.concat "" (List.init n (fun _ -> "\x01\xfe")) in
+  ignore rng;
+  let payload = "head" ^ bin 20 ^ "gap-text" ^ bin 20 ^ "tail" in
+  Alcotest.(check int) "merged" 1 (List.length (Extractor.extract payload))
+
+let test_extract_max_frames () =
+  let cfg = { Extractor.default_config with Extractor.max_frames = 2; gap_merge = 0; context_before = 0; context_after = 0 } in
+  let chunk = String.make 30 '\x01' in
+  let payload =
+    String.concat (String.make 64 'a') [ chunk; chunk; chunk; chunk ]
+  in
+  Alcotest.(check int) "capped" 2 (List.length (Extractor.extract ~config:cfg payload))
+
+let prop_extract_never_raises =
+  QCheck2.Test.make ~name:"extractor total on arbitrary bytes" ~count:500
+    QCheck2.Gen.(string_size (int_bound 2000))
+    (fun s ->
+      let frames = Extractor.extract s in
+      List.for_all
+        (fun f ->
+          f.Extractor.off >= 0
+          && f.Extractor.off <= String.length s
+          && String.length f.Extractor.data > 0)
+        frames
+      || frames = [])
+
+let prop_suspicious_monotone_unicode =
+  QCheck2.Test.make ~name:"appending a unicode run makes payload suspicious" ~count:100
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0x61 0x7a)) (int_bound 200))
+    (fun s -> Extractor.suspicious (s ^ "%u9090%u9090%u9090%u9090%u9090"))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_extract_never_raises; prop_suspicious_monotone_unicode ]
+
+let () =
+  Alcotest.run "extract"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "parse get" `Quick test_http_parse_get;
+          Alcotest.test_case "parse post body" `Quick test_http_parse_post_body;
+          Alcotest.test_case "reject non-http" `Quick test_http_reject_non_http;
+          Alcotest.test_case "target offset" `Quick test_http_target_offset;
+        ] );
+      ( "unicode",
+        [
+          Alcotest.test_case "single escape" `Quick test_unicode_single_escape;
+          Alcotest.test_case "run decoding" `Quick test_unicode_run_decoding;
+          Alcotest.test_case "short run ignored" `Quick test_unicode_short_run_ignored;
+          Alcotest.test_case "malformed" `Quick test_unicode_malformed;
+          Alcotest.test_case "percent decode" `Quick test_percent_decode;
+        ] );
+      ( "repetition",
+        [
+          Alcotest.test_case "runs" `Quick test_repetition_runs;
+          Alcotest.test_case "longest" `Quick test_repetition_longest;
+          Alcotest.test_case "polymorphic sled" `Quick test_sled_like_polymorphic;
+          Alcotest.test_case "return-address region" `Quick test_ret_address_runs;
+        ] );
+      ( "extractor",
+        [
+          Alcotest.test_case "benign empty" `Quick test_extract_benign_empty;
+          Alcotest.test_case "code red frames" `Quick test_extract_code_red;
+          Alcotest.test_case "raw with context" `Quick test_extract_raw_binary_with_context;
+          Alcotest.test_case "gap merge" `Quick test_extract_gap_merge;
+          Alcotest.test_case "max frames" `Quick test_extract_max_frames;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,163 @@
+(* Tests for the hybrid semantic→syntactic fast path and the dedicated
+   workload generators. *)
+
+open Sanids_net
+open Sanids_nids
+open Sanids_exploits
+
+let ip = Ipaddr.of_string
+let attacker k = Ipaddr.of_octets 198 51 100 k
+let victim = ip "10.0.0.80"
+
+let cfg = Config.default |> Config.with_classification false
+
+(* ------------------------------------------------------------------ *)
+(* hybrid: stable-framing campaign gets a deployed signature *)
+
+let crii_packet k ts =
+  Code_red.packet ~ts ~src:(attacker k) ~dst:victim ~src_port:(1024 + k) ()
+
+let test_signature_deploys_for_codered () =
+  let h = Hybrid.create ~pool_size:3 cfg in
+  for k = 1 to 3 do
+    let alerts = Hybrid.process_packet h (crii_packet k (float_of_int k)) in
+    Alcotest.(check bool) "semantic path alerts" true
+      (List.exists (fun a -> a.Alert.template = "code-red-ii") alerts)
+  done;
+  Alcotest.(check bool) "signature deployed after pool fills" true
+    (List.mem_assoc "code-red-ii" (Hybrid.deployed_signatures h));
+  (* the next instance takes the fast path *)
+  let before = Hybrid.fast_path_hits h in
+  let alerts = Hybrid.process_packet h (crii_packet 9 9.0) in
+  Alcotest.(check bool) "still alerts" true
+    (List.exists (fun a -> a.Alert.template = "code-red-ii") alerts);
+  Alcotest.(check int) "fast path used" (before + 1) (Hybrid.fast_path_hits h)
+
+let test_no_signature_for_polymorphic () =
+  (* raw polymorphic shellcode (no protocol wrapper): the instances share
+     no byte invariant, so inference must not deploy anything and every
+     instance keeps taking the semantic path.  (When the same campaign is
+     delivered in fixed HTTP framing, signing the wrapper IS possible and
+     correct — that is Polygraph's observation, covered in test_siggen.) *)
+  let h = Hybrid.create ~pool_size:3 cfg in
+  let rng = Rng.create 0x4B1D_0001L in
+  let classic = (Shellcodes.find "classic").Shellcodes.code in
+  for k = 1 to 6 do
+    let g = Sanids_polymorph.Admmutate.generate rng ~payload:classic in
+    let p =
+      Packet.build_tcp ~ts:(float_of_int k) ~src:(attacker k) ~dst:victim
+        ~src_port:(3000 + k) ~dst_port:80 g.Sanids_polymorph.Admmutate.code
+    in
+    let alerts = Hybrid.process_packet h p in
+    Alcotest.(check bool) "semantic path still catches it" true (alerts <> [])
+  done;
+  Alcotest.(check int) "no fast-path hits for polymorphic campaign" 0
+    (Hybrid.fast_path_hits h)
+
+let test_signature_from_framed_campaign_is_sound () =
+  (* HTTP-framed polymorphic campaign: the wrapper may be signed (that is
+     fine and real), but the deployed fast path must not fire on benign *)
+  let h = Hybrid.create ~pool_size:3 cfg in
+  let rng = Rng.create 0x4B1D_0003L in
+  let classic = (Shellcodes.find "classic").Shellcodes.code in
+  for k = 1 to 5 do
+    let g = Sanids_polymorph.Admmutate.generate rng ~payload:classic in
+    let p =
+      Exploit_gen.packet rng ~ts:(float_of_int k) ~src:(attacker k) ~dst:victim
+        ~shellcode:g.Sanids_polymorph.Admmutate.code
+    in
+    ignore (Hybrid.process_packet h p)
+  done;
+  let benign =
+    Sanids_workload.Benign_gen.packets (Rng.create 0x4B1D_0004L) ~n:300 ~t0:0.0
+      ~clients:(Ipaddr.prefix_of_string "10.1.0.0/16")
+      ~servers:(Ipaddr.prefix_of_string "10.2.0.0/16")
+  in
+  Alcotest.(check int) "fast path quiet on benign" 0
+    (List.length (Hybrid.process_packets h benign))
+
+let test_fast_path_does_not_false_positive () =
+  let h = Hybrid.create ~pool_size:3 cfg in
+  for k = 1 to 3 do
+    ignore (Hybrid.process_packet h (crii_packet k (float_of_int k)))
+  done;
+  let rng = Rng.create 0x4B1D_0002L in
+  let clients = Ipaddr.prefix_of_string "10.1.0.0/16" in
+  let servers = Ipaddr.prefix_of_string "10.2.0.0/16" in
+  let benign = Sanids_workload.Benign_gen.packets rng ~n:400 ~t0:0.0 ~clients ~servers in
+  let alerts = Hybrid.process_packets h benign in
+  Alcotest.(check int) "benign stays quiet past the fast path" 0 (List.length alerts)
+
+(* ------------------------------------------------------------------ *)
+(* workload generators *)
+
+let clients = Ipaddr.prefix_of_string "10.1.0.0/16"
+let servers = Ipaddr.prefix_of_string "10.2.0.0/16"
+
+let test_benign_deterministic () =
+  let mk seed = Sanids_workload.Benign_gen.packets (Rng.create seed) ~n:50 ~t0:0.0 ~clients ~servers in
+  let render pkts = List.map Packet.to_bytes pkts in
+  Alcotest.(check bool) "same seed same trace" true (render (mk 5L) = render (mk 5L));
+  Alcotest.(check bool) "different seed different trace" true
+    (render (mk 5L) <> render (mk 6L))
+
+let test_benign_timestamps_increase () =
+  let pkts = Sanids_workload.Benign_gen.packets (Rng.create 7L) ~n:200 ~t0:10.0 ~clients ~servers in
+  let rec increasing = function
+    | a :: (b :: _ as tl) -> a.Packet.ts <= b.Packet.ts && increasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (increasing pkts);
+  Alcotest.(check bool) "starts after t0" true ((List.hd pkts).Packet.ts >= 10.0)
+
+let test_benign_rate_controls_span () =
+  let span rate =
+    let pkts = Sanids_workload.Benign_gen.packets ~rate (Rng.create 8L) ~n:500 ~t0:0.0 ~clients ~servers in
+    (List.nth pkts 499).Packet.ts
+  in
+  Alcotest.(check bool) "higher rate compresses time" true (span 10000.0 < span 100.0)
+
+let test_benign_payloads_parse () =
+  (* every generated packet round-trips through the codecs *)
+  let pkts = Sanids_workload.Benign_gen.packets (Rng.create 9L) ~n:300 ~t0:0.0 ~clients ~servers in
+  List.iter
+    (fun p ->
+      match Packet.parse ~ts:p.Packet.ts (Packet.to_bytes p) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "generated packet failed to parse: %s" e)
+    pkts
+
+let test_mix_proportions () =
+  let rng = Rng.create 10L in
+  let pkts = Sanids_workload.Benign_gen.packets rng ~n:2000 ~t0:0.0 ~clients ~servers in
+  let http =
+    List.length
+      (List.filter (fun p -> match Packet.ports p with Some (_, 80) -> true | _ -> false) pkts)
+  in
+  let dns =
+    List.length
+      (List.filter (fun p -> match Packet.ports p with Some (_, 53) -> true | _ -> false) pkts)
+  in
+  (* default mix: 72% http + 8% binary on port 80, 10% dns *)
+  Alcotest.(check bool) "port 80 near 80%" true (http > 1400 && http < 1800);
+  Alcotest.(check bool) "dns near 10%" true (dns > 120 && dns < 280)
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "fast path",
+        [
+          Alcotest.test_case "deploys for code red" `Quick test_signature_deploys_for_codered;
+          Alcotest.test_case "no deploy for polymorphic" `Quick test_no_signature_for_polymorphic;
+          Alcotest.test_case "no fast-path FPs" `Quick test_fast_path_does_not_false_positive;
+          Alcotest.test_case "framed campaign sound" `Quick test_signature_from_framed_campaign_is_sound;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick test_benign_deterministic;
+          Alcotest.test_case "timestamps increase" `Quick test_benign_timestamps_increase;
+          Alcotest.test_case "rate controls span" `Quick test_benign_rate_controls_span;
+          Alcotest.test_case "payloads parse" `Quick test_benign_payloads_parse;
+          Alcotest.test_case "mix proportions" `Quick test_mix_proportions;
+        ] );
+    ]

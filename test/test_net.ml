@@ -1,0 +1,281 @@
+(* Tests for the network substrate: addresses, codecs, flows, pcap. *)
+
+open Sanids_net
+
+let ip = Ipaddr.of_string
+
+let test_ipaddr_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Ipaddr.to_string (ip s)))
+    [ "0.0.0.0"; "10.1.2.3"; "192.168.255.1"; "255.255.255.255" ]
+
+let test_ipaddr_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option reject)) s None
+        (Option.map (fun _ -> ()) (Ipaddr.of_string_opt s)))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "a.b.c.d"; "1..2.3" ]
+
+let test_prefix_mem () =
+  let p = Ipaddr.prefix_of_string "192.168.0.0/16" in
+  Alcotest.(check bool) "inside" true (Ipaddr.mem (ip "192.168.31.7") p);
+  Alcotest.(check bool) "outside" false (Ipaddr.mem (ip "192.169.0.1") p);
+  Alcotest.(check bool) "base" true (Ipaddr.mem (ip "192.168.0.0") p);
+  let p0 = Ipaddr.prefix (ip "1.2.3.4") 0 in
+  Alcotest.(check bool) "len 0 covers all" true (Ipaddr.mem (ip "9.9.9.9") p0);
+  let p32 = Ipaddr.prefix (ip "10.0.0.1") 32 in
+  Alcotest.(check bool) "len 32 exact" true (Ipaddr.mem (ip "10.0.0.1") p32);
+  Alcotest.(check bool) "len 32 other" false (Ipaddr.mem (ip "10.0.0.2") p32)
+
+let test_prefix_nth () =
+  let p = Ipaddr.prefix_of_string "10.0.0.0/24" in
+  Alcotest.(check string) "nth 5" "10.0.0.5" (Ipaddr.to_string (Ipaddr.nth p 5));
+  Alcotest.(check int) "size" 256 (Ipaddr.prefix_size p)
+
+let test_unsigned_compare () =
+  (* 200.0.0.0 must compare above 100.0.0.0 despite the sign bit *)
+  Alcotest.(check bool) "unsigned order" true
+    (Ipaddr.compare (ip "200.0.0.0") (ip "100.0.0.0") > 0)
+
+let test_checksum_known () =
+  (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d *)
+  Alcotest.(check int) "rfc1071" 0x220D
+    (Checksum.ones_complement "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7")
+
+let a = ip "10.0.0.1"
+let b = ip "10.0.0.2"
+
+let test_ipv4_roundtrip () =
+  let t = { Ipv4.src = a; dst = b; proto = 6; ttl = 63; ident = 77; payload = "hello" } in
+  match Ipv4.decode (Ipv4.encode t) with
+  | Ok t' ->
+      Alcotest.(check string) "payload" "hello" t'.Ipv4.payload;
+      Alcotest.(check bool) "src" true (Ipaddr.equal t'.Ipv4.src a);
+      Alcotest.(check int) "ttl" 63 t'.Ipv4.ttl;
+      Alcotest.(check int) "ident" 77 t'.Ipv4.ident
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_ipv4_corrupt_checksum () =
+  let raw = Bytes.of_string (Ipv4.encode { Ipv4.src = a; dst = b; proto = 6; ttl = 1; ident = 0; payload = "" }) in
+  Bytes.set raw 8 '\xFF';
+  (* ttl tampered *)
+  match Ipv4.decode (Bytes.to_string raw) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered header must not decode"
+
+let test_tcp_roundtrip () =
+  let seg =
+    {
+      Tcp.src_port = 3127;
+      dst_port = 80;
+      seq = 0xDEAD0000l;
+      ack_no = 5l;
+      flags = Tcp.flags_pshack;
+      window = 1024;
+      payload = "GET / HTTP/1.0\r\n\r\n";
+    }
+  in
+  match Tcp.decode ~src:a ~dst:b (Tcp.encode ~src:a ~dst:b seg) with
+  | Ok seg' ->
+      Alcotest.(check int) "sport" 3127 seg'.Tcp.src_port;
+      Alcotest.(check string) "payload" seg.Tcp.payload seg'.Tcp.payload;
+      Alcotest.(check bool) "flags" true (seg'.Tcp.flags = Tcp.flags_pshack)
+  | Error e -> Alcotest.failf "tcp decode: %s" e
+
+let test_tcp_wrong_pseudo_header () =
+  let seg =
+    {
+      Tcp.src_port = 1; dst_port = 2; seq = 0l; ack_no = 0l;
+      flags = Tcp.flags_ack; window = 1; payload = "x";
+    }
+  in
+  let bytes = Tcp.encode ~src:a ~dst:b seg in
+  (* decoding against a different address must fail the checksum (note:
+     merely swapping src and dst would NOT change a one's-complement sum,
+     which is commutative over the pseudo-header words) *)
+  match Tcp.decode ~src:(ip "10.9.9.9") ~dst:b bytes with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "checksum must bind addresses"
+
+let test_udp_roundtrip () =
+  let d = { Udp.src_port = 5353; dst_port = 53; payload = "query" } in
+  match Udp.decode ~src:a ~dst:b (Udp.encode ~src:a ~dst:b d) with
+  | Ok d' -> Alcotest.(check string) "payload" "query" d'.Udp.payload
+  | Error e -> Alcotest.failf "udp decode: %s" e
+
+let test_packet_roundtrip () =
+  let p =
+    Packet.build_tcp ~ts:1.5 ~src:a ~dst:b ~src_port:1234 ~dst_port:80 "payload!"
+  in
+  match Packet.parse ~ts:1.5 (Packet.to_bytes p) with
+  | Ok p' ->
+      Alcotest.(check string) "payload" "payload!" (Packet.payload p');
+      Alcotest.(check (option (pair int int))) "ports" (Some (1234, 80)) (Packet.ports p')
+  | Error e -> Alcotest.failf "packet parse: %s" e
+
+let test_flow_reassembly () =
+  let r = Flow.create_reassembler () in
+  let seg seq payload =
+    Packet.build_tcp ~ts:0.0 ~src:a ~dst:b ~src_port:99 ~dst_port:80 ~seq payload
+  in
+  (* in-order, then a gap, then the gap fills *)
+  Alcotest.(check (option string)) "first" (Some "hello ") (Flow.push r (seg 1000l "hello "));
+  Alcotest.(check (option string)) "gap buffered" None (Flow.push r (seg 1011l "!"));
+  Alcotest.(check (option string)) "gap filled" (Some "hello world!")
+    (Flow.push r (seg 1006l "world"));
+  Alcotest.(check int) "one flow" 1 (Flow.flow_count r)
+
+let test_flow_duplicate_ignored () =
+  let r = Flow.create_reassembler () in
+  let seg seq payload =
+    Packet.build_tcp ~ts:0.0 ~src:a ~dst:b ~src_port:99 ~dst_port:80 ~seq payload
+  in
+  ignore (Flow.push r (seg 2000l "abc"));
+  Alcotest.(check (option string)) "dup dropped" None (Flow.push r (seg 2000l "abc"))
+
+let test_pcap_roundtrip () =
+  let pkts =
+    [
+      Packet.build_tcp ~ts:0.25 ~src:a ~dst:b ~src_port:1 ~dst_port:2 "one";
+      Packet.build_udp ~ts:1.75 ~src:b ~dst:a ~src_port:3 ~dst_port:4 "two";
+    ]
+  in
+  let f = Sanids_pcap.Pcap.decode (Sanids_pcap.Pcap.encode (Sanids_pcap.Pcap.of_packets pkts)) in
+  Alcotest.(check int) "linktype" Sanids_pcap.Pcap.linktype_raw f.Sanids_pcap.Pcap.linktype;
+  match Sanids_pcap.Pcap.to_packets f with
+  | [ Ok p1; Ok p2 ] ->
+      Alcotest.(check string) "p1" "one" (Packet.payload p1);
+      Alcotest.(check string) "p2" "two" (Packet.payload p2);
+      Alcotest.(check (float 0.001)) "ts" 1.75 p2.Packet.ts
+  | _ -> Alcotest.fail "expected two parsed packets"
+
+let test_pcap_bad_magic () =
+  match Sanids_pcap.Pcap.decode (String.make 40 'z') with
+  | exception Sanids_pcap.Pcap.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed"
+
+let test_pcap_file_io () =
+  let path = Filename.temp_file "sanids" ".pcap" in
+  let pkts = [ Packet.build_tcp ~ts:3.5 ~src:a ~dst:b ~src_port:5 ~dst_port:6 "disk" ] in
+  Sanids_pcap.Pcap.write_file path (Sanids_pcap.Pcap.of_packets pkts);
+  let f = Sanids_pcap.Pcap.read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "one record" 1 (List.length f.Sanids_pcap.Pcap.records)
+
+(* property: arbitrary payloads round-trip through TCP packets *)
+let prop_packet_roundtrip =
+  QCheck2.Test.make ~name:"packet encode/parse roundtrip" ~count:300
+    QCheck2.Gen.(string_size (int_bound 1200))
+    (fun payload ->
+      let p = Packet.build_tcp ~ts:0.0 ~src:a ~dst:b ~src_port:10 ~dst_port:20 payload in
+      match Packet.parse ~ts:0.0 (Packet.to_bytes p) with
+      | Ok p' -> Packet.payload p' = payload
+      | Error _ -> false)
+
+let prop_checksum_detects_flip =
+  QCheck2.Test.make ~name:"single byte flip breaks ipv4 decode or payload differs" ~count:200
+    QCheck2.Gen.(pair (string_size (int_range 1 100)) (int_bound 10000))
+    (fun (payload, flip) ->
+      let raw =
+        Ipv4.encode { Ipv4.src = a; dst = b; proto = 200; ttl = 9; ident = 1; payload }
+      in
+      let pos = flip mod min 20 (String.length raw) in
+      let bytes = Bytes.of_string raw in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x5A));
+      match Ipv4.decode (Bytes.to_string bytes) with
+      | Error _ -> true
+      | Ok t ->
+          (* flips that survive decoding must not masquerade as intact:
+             only flips that keep the checksum valid would, which a single
+             bit flip cannot *)
+          t.Ipv4.payload <> payload || false)
+
+let test_ethernet_mac () =
+  let m = Ethernet.mac_of_string "aa:bb:cc:00:11:ff" in
+  Alcotest.(check string) "roundtrip" "aa:bb:cc:00:11:ff" (Ethernet.mac_to_string m);
+  (match Ethernet.mac_of_string "nonsense" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad mac must raise");
+  Alcotest.(check bool) "broadcast differs" false
+    (Ethernet.mac_equal m Ethernet.mac_broadcast)
+
+let test_ethernet_frame_roundtrip () =
+  let t =
+    {
+      Ethernet.dst = Ethernet.mac_broadcast;
+      src = Ethernet.mac_of_string "02:00:00:00:00:09";
+      ethertype = Ethernet.ethertype_ipv4;
+      payload = "datagram-bytes";
+    }
+  in
+  match Ethernet.decode (Ethernet.encode t) with
+  | Ok t' ->
+      Alcotest.(check string) "payload" "datagram-bytes" t'.Ethernet.payload;
+      Alcotest.(check int) "ethertype" Ethernet.ethertype_ipv4 t'.Ethernet.ethertype;
+      Alcotest.(check bool) "dst" true (Ethernet.mac_equal t'.Ethernet.dst Ethernet.mac_broadcast)
+  | Error e -> Alcotest.failf "decode: %s" e
+
+let test_ethernet_short_frame () =
+  match Ethernet.decode "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short frame must not decode"
+
+let test_pcap_ethernet_linktype () =
+  let pkts =
+    [ Packet.build_tcp ~ts:0.5 ~src:a ~dst:b ~src_port:7 ~dst_port:8 "framed" ]
+  in
+  let bytes =
+    Sanids_pcap.Pcap.encode ~linktype:Sanids_pcap.Pcap.linktype_ethernet
+      (Sanids_pcap.Pcap.of_packets_ethernet pkts)
+  in
+  let f = Sanids_pcap.Pcap.decode bytes in
+  Alcotest.(check int) "linktype" Sanids_pcap.Pcap.linktype_ethernet
+    f.Sanids_pcap.Pcap.linktype;
+  match Sanids_pcap.Pcap.to_packets f with
+  | [ Ok p ] -> Alcotest.(check string) "payload through framing" "framed" (Packet.payload p)
+  | _ -> Alcotest.fail "expected one parsed packet"
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest [ prop_packet_roundtrip; prop_checksum_detects_flip ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "ipaddr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipaddr_roundtrip;
+          Alcotest.test_case "invalid" `Quick test_ipaddr_invalid;
+          Alcotest.test_case "prefix membership" `Quick test_prefix_mem;
+          Alcotest.test_case "prefix nth" `Quick test_prefix_nth;
+          Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "checksum rfc1071" `Quick test_checksum_known;
+          Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "ipv4 corrupt" `Quick test_ipv4_corrupt_checksum;
+          Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "tcp pseudo header" `Quick test_tcp_wrong_pseudo_header;
+          Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "packet roundtrip" `Quick test_packet_roundtrip;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "reassembly" `Quick test_flow_reassembly;
+          Alcotest.test_case "duplicates" `Quick test_flow_duplicate_ignored;
+        ] );
+      ( "ethernet",
+        [
+          Alcotest.test_case "mac parsing" `Quick test_ethernet_mac;
+          Alcotest.test_case "frame roundtrip" `Quick test_ethernet_frame_roundtrip;
+          Alcotest.test_case "short frame" `Quick test_ethernet_short_frame;
+        ] );
+      ( "pcap",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pcap_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic;
+          Alcotest.test_case "file io" `Quick test_pcap_file_io;
+          Alcotest.test_case "ethernet linktype" `Quick test_pcap_ethernet_linktype;
+        ] );
+      ("properties", properties);
+    ]

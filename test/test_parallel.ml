@@ -1,0 +1,124 @@
+(* Tests for the multicore bulk-processing path: shard-equivalence with
+   the sequential pipeline, determinism, and cross-batch state. *)
+
+open Sanids_net
+open Sanids_nids
+open Sanids_exploits
+
+let ip = Ipaddr.of_string
+let clients = Ipaddr.prefix_of_string "172.18.0.0/16"
+let servers = Ipaddr.prefix_of_string "172.19.0.0/16"
+let unused = Ipaddr.prefix_of_string "172.19.200.0/21"
+let honeypot = ip "172.19.0.250"
+
+let config =
+  Config.default
+  |> Config.with_honeypots [ honeypot ]
+  |> Config.with_unused [ unused ]
+
+(* a mixed workload with known malicious content *)
+let workload () =
+  let rng = Rng.create 0x9A7A_11E1L in
+  let benign = Sanids_workload.Benign_gen.packets rng ~n:2000 ~t0:0.0 ~clients ~servers in
+  let attack1 =
+    let src = ip "198.51.100.1" in
+    List.init 6 (fun s ->
+        Sanids_workload.Worm_gen.scan_packet rng ~ts:(float_of_int s) ~src ~unused)
+    @ [
+        Exploit_gen.packet rng ~ts:7.0 ~src ~dst:(Ipaddr.nth servers 80)
+          ~shellcode:(Shellcodes.find "classic").Shellcodes.code;
+      ]
+  in
+  let attack2 =
+    let src = ip "203.0.113.7" in
+    [
+      Packet.build_tcp ~ts:10.0 ~src ~dst:honeypot ~src_port:55 ~dst_port:80 "probe";
+      Code_red.packet ~ts:11.0 ~src ~dst:(Ipaddr.nth servers 81) ();
+    ]
+  in
+  List.sort (fun a b -> compare a.Packet.ts b.Packet.ts) (benign @ attack1 @ attack2)
+
+let alert_key a =
+  Format.asprintf "%s|%s|%s" a.Alert.template (Ipaddr.to_string a.Alert.src)
+    (Ipaddr.to_string a.Alert.dst)
+
+let sorted_keys alerts = List.sort compare (List.map alert_key alerts)
+
+let test_matches_sequential () =
+  let pkts = workload () in
+  let seq_nids = Pipeline.create config in
+  let seq_alerts = Pipeline.process_packets seq_nids pkts in
+  List.iter
+    (fun domains ->
+      let par_alerts, stats = Parallel.process ~domains config pkts in
+      Alcotest.(check (list string))
+        (Printf.sprintf "same alerts with %d domains" domains)
+        (sorted_keys seq_alerts) (sorted_keys par_alerts);
+      Alcotest.(check int)
+        (Printf.sprintf "packet count with %d domains" domains)
+        (List.length pkts) stats.Stats.packets)
+    [ 1; 2; 4 ]
+
+let test_deterministic () =
+  let pkts = workload () in
+  let a1, _ = Parallel.process ~domains:4 config pkts in
+  let a2, _ = Parallel.process ~domains:4 config pkts in
+  Alcotest.(check (list string)) "repeatable" (sorted_keys a1) (sorted_keys a2)
+
+let test_sharding_consistent () =
+  (* all packets of one source land in one shard *)
+  let src = ip "198.51.100.1" in
+  let k = Parallel.shard_of src ~shards:4 in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "stable shard" k (Parallel.shard_of src ~shards:4)
+  done
+
+let test_streaming_cross_batch_state () =
+  (* scans in one batch, exploit in a later batch: the scan counters must
+     persist across the batch boundary *)
+  let rng = Rng.create 0x9A7A_11E2L in
+  let src = ip "198.51.100.9" in
+  let scans =
+    List.init 6 (fun s ->
+        Sanids_workload.Worm_gen.scan_packet rng ~ts:(float_of_int s) ~src ~unused)
+  in
+  let exploit =
+    Exploit_gen.packet rng ~ts:9.0 ~src ~dst:(Ipaddr.nth servers 9)
+      ~shellcode:(Shellcodes.find "classic").Shellcodes.code
+  in
+  let all = scans @ [ exploit ] in
+  let collected = ref [] in
+  let stats =
+    Parallel.process_seq ~domains:2 ~batch:3 config (List.to_seq all) (fun alerts ->
+        collected := alerts @ !collected)
+  in
+  Alcotest.(check bool) "exploit detected across batches" true
+    (List.exists (fun a -> a.Alert.template = "shell-spawn") !collected);
+  Alcotest.(check int) "all packets counted" (List.length all) stats.Stats.packets
+
+let test_streaming_matches_batch () =
+  let pkts = workload () in
+  let batch_alerts, _ = Parallel.process ~domains:2 config pkts in
+  let collected = ref [] in
+  let _ =
+    Parallel.process_seq ~domains:2 ~batch:500 config (List.to_seq pkts)
+      (fun alerts -> collected := alerts @ !collected)
+  in
+  Alcotest.(check (list string)) "stream equals batch"
+    (sorted_keys batch_alerts) (sorted_keys !collected)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "sharding consistent" `Quick test_sharding_consistent;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "cross-batch state" `Quick test_streaming_cross_batch_state;
+          Alcotest.test_case "stream equals batch" `Quick test_streaming_matches_batch;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for automatic signature generation (Autograph/Polygraph-style)
+   and its contrast with semantic detection — the paper's related-work
+   argument made executable. *)
+
+open Sanids_baseline
+open Sanids_exploits
+
+let classic = (Shellcodes.find "classic").Shellcodes.code
+
+let crii_pool n =
+  (* Code Red II deliveries differ only in jitter outside the vector *)
+  List.init n (fun _ -> Code_red.request ())
+
+let polymorphic_pool rng n =
+  List.init n (fun _ ->
+      (Sanids_polymorph.Admmutate.generate rng ~payload:classic)
+        .Sanids_polymorph.Admmutate.code)
+
+let test_infer_requires_pool () =
+  match Siggen.infer [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pool must be rejected"
+
+let test_crii_signature_found () =
+  let s = Siggen.infer (crii_pool 20) in
+  Alcotest.(check bool) "tokens found" true (s.Siggen.tokens <> []);
+  Alcotest.(check bool) "substantial signature" true (Siggen.specificity s >= 32);
+  (* generalizes to an unseen instance *)
+  Alcotest.(check bool) "matches fresh instance" true
+    (Siggen.matches s (Code_red.request ()))
+
+let test_crii_signature_specific () =
+  let s = Siggen.infer (crii_pool 20) in
+  let rng = Rng.create 0x51661L in
+  for _ = 1 to 200 do
+    let benign = Sanids_workload.Benign_gen.payload rng in
+    if Siggen.matches s benign then
+      Alcotest.fail "auto signature matched benign traffic"
+  done
+
+let test_polymorphic_pool_collapses () =
+  (* the paper's motivating failure: a fully polymorphic pool shares no
+     long invariant, so automatic signature generation yields nothing
+     (or something too weak to match fresh instances) *)
+  let rng = Rng.create 0x51662L in
+  let s = Siggen.infer ~min_token_len:8 (polymorphic_pool rng 20) in
+  let fresh = polymorphic_pool rng 30 in
+  let caught = List.length (List.filter (Siggen.matches s) fresh) in
+  Alcotest.(check bool)
+    (Printf.sprintf "signature useless on fresh instances (%d/30)" caught)
+    true (caught <= 3);
+  (* while the semantic templates hold at 100% on the same instances *)
+  let templates = Sanids_semantic.Template_lib.default_set in
+  Alcotest.(check int) "semantic detection unaffected" 30
+    (List.length
+       (List.filter
+          (fun c -> Sanids_semantic.Matcher.scan ~templates c <> [])
+          fresh))
+
+let test_plain_pool_works () =
+  (* identical payload delivered repeatedly: trivially signable *)
+  let rng = Rng.create 0x51663L in
+  let pool =
+    List.init 10 (fun _ -> Exploit_gen.http_exploit rng ~shellcode:classic)
+  in
+  let s = Siggen.infer pool in
+  Alcotest.(check bool) "signature found" true (s.Siggen.tokens <> []);
+  let fresh = Exploit_gen.http_exploit rng ~shellcode:classic in
+  Alcotest.(check bool) "matches fresh delivery" true (Siggen.matches s fresh)
+
+let test_coverage_knob () =
+  (* a token present in only half the pool is kept at coverage 0.4 but
+     dropped at 0.9 *)
+  let pool =
+    List.init 10 (fun i ->
+        if i < 5 then "prefix-COMMONCOMMON-half-ALPHAALPHA"
+        else "prefix-COMMONCOMMON-half-BRAVOBRAVO!")
+  in
+  let strict = Siggen.infer ~min_token_len:10 ~coverage:0.9 pool in
+  let loose = Siggen.infer ~min_token_len:10 ~coverage:0.4 pool in
+  Alcotest.(check bool) "strict keeps only the shared core" true
+    (List.for_all
+       (fun tok ->
+         let contains hay needle =
+           let n = String.length hay and m = String.length needle in
+           let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+           go 0
+         in
+         contains "prefix-COMMONCOMMON-half-" tok || String.length tok <= 25)
+       strict.Siggen.tokens);
+  Alcotest.(check bool) "loose signature is more specific" true
+    (Siggen.specificity loose >= Siggen.specificity strict)
+
+let test_empty_signature_matches_nothing () =
+  let s = { Siggen.tokens = []; trained_on = 0 } in
+  Alcotest.(check bool) "no tokens, no match" false (Siggen.matches s "anything")
+
+(* properties *)
+
+let prop_tokens_cover_pool =
+  QCheck2.Test.make ~name:"every inferred token meets the coverage bound" ~count:60
+    QCheck2.Gen.(pair (string_size (int_range 40 200)) (int_range 3 10))
+    (fun (base, n) ->
+      (* pool: the base string with small random suffixes *)
+      let pool = List.init n (fun i -> base ^ String.make (i mod 3) 'x') in
+      let s = Siggen.infer ~coverage:1.0 pool in
+      let contains hay needle =
+        let hn = String.length hay and m = String.length needle in
+        let rec go i = i + m <= hn && (String.sub hay i m = needle || go (i + 1)) in
+        m = 0 || go 0
+      in
+      List.for_all (fun tok -> List.for_all (fun p -> contains p tok) pool)
+        s.Siggen.tokens)
+
+let prop_signature_matches_training_members =
+  QCheck2.Test.make ~name:"signature matches its own full-coverage pool" ~count:60
+    QCheck2.Gen.(string_size (int_range 40 300))
+    (fun base ->
+      let pool = List.init 5 (fun _ -> base) in
+      let s = Siggen.infer ~coverage:1.0 pool in
+      s.Siggen.tokens = [] || List.for_all (Siggen.matches s) pool)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_tokens_cover_pool; prop_signature_matches_training_members ]
+
+let () =
+  Alcotest.run "siggen"
+    [
+      ( "inference",
+        [
+          Alcotest.test_case "requires pool" `Quick test_infer_requires_pool;
+          Alcotest.test_case "code red signature" `Quick test_crii_signature_found;
+          Alcotest.test_case "code red specificity" `Quick test_crii_signature_specific;
+          Alcotest.test_case "polymorphic collapse" `Quick test_polymorphic_pool_collapses;
+          Alcotest.test_case "plain pool works" `Quick test_plain_pool_works;
+          Alcotest.test_case "coverage knob" `Quick test_coverage_knob;
+          Alcotest.test_case "empty matches nothing" `Quick test_empty_signature_matches_nothing;
+        ] );
+      ("properties", properties);
+    ]

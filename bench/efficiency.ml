@@ -37,7 +37,139 @@ let inputs () =
     ("netsky.p (22KB)", List.assoc "netsky.p" (Netsky.variants ()));
   ]
 
-let run () =
+(* Worm-outbreak replay: the suspicious set explodes and millions of
+   near-identical payloads hit the analyzer.  The verdict cache must turn
+   that repetition into O(1) lookups without changing a single verdict. *)
+let outbreak_replay ~packets () =
+  Bench_util.sub
+    (Printf.sprintf "Outbreak replay (%d packets): verdict cache on vs off"
+       packets);
+  let rng = Rng.create 0x0B0B0B0BL in
+  (* an outbreak is the same few payloads delivered over and over *)
+  let variants =
+    [|
+      Exploit_gen.http_exploit rng
+        ~shellcode:(Shellcodes.find "classic").Shellcodes.code;
+      Code_red.request ();
+      Iis_asp.request ();
+      (Sanids_polymorph.Admmutate.generate rng
+         ~payload:(Shellcodes.find "classic").Shellcodes.code)
+        .Sanids_polymorph.Admmutate.code;
+    |]
+  in
+  let stream =
+    List.init packets (fun i -> variants.(i mod Array.length variants))
+  in
+  let cached = Pipeline.create (Config.default |> Config.with_classification false) in
+  let uncached =
+    Pipeline.create
+      (Config.default |> Config.with_classification false
+     |> Config.with_verdict_cache 0)
+  in
+  let replay p =
+    List.fold_left
+      (fun acc payload -> acc + List.length (Pipeline.analyze_payload p payload))
+      0 stream
+  in
+  let ac, tc = Bench_util.time (fun () -> replay cached) in
+  let au, tu = Bench_util.time (fun () -> replay uncached) in
+  let throughput t =
+    if t > 0.0 then Printf.sprintf "%.0f pkt/s" (float_of_int packets /. t)
+    else "n/a"
+  in
+  let sc = Pipeline.stats cached in
+  Bench_util.table
+    [ "config"; "time"; "throughput"; "alerts"; "cache h/m" ]
+    [
+      [
+        "verdict cache on";
+        Printf.sprintf "%.4f s" tc;
+        throughput tc;
+        string_of_int ac;
+        Printf.sprintf "%d/%d" sc.Stats.verdict_cache_hits
+          sc.Stats.verdict_cache_misses;
+      ];
+      [
+        "verdict cache off";
+        Printf.sprintf "%.4f s" tu;
+        throughput tu;
+        string_of_int au;
+        "-";
+      ];
+    ];
+  Bench_util.note "speedup %.1fx, verdicts %s (%d vs %d alerts)"
+    (tu /. Float.max tc 1e-9)
+    (if ac = au then "identical" else "DIFFER")
+    ac au
+
+(* Sled-heavy input: every candidate entry decodes through the same NOP
+   sled, which is exactly what the per-offset decode memo deduplicates. *)
+let decode_memo ~sled () =
+  Bench_util.sub
+    (Printf.sprintf "Decode memo on sled-heavy input (%d-byte sled)" sled);
+  let rng = Rng.create 0x51EDBEEFL in
+  let code =
+    String.make sled '\x90'
+    ^ (Sanids_polymorph.Admmutate.generate rng
+         ~payload:(Shellcodes.find "classic").Shellcodes.code)
+        .Sanids_polymorph.Admmutate.code
+  in
+  let entries = Sanids_ir.Trace.entry_points code in
+  let templates = Sanids_semantic.Template_lib.default_set in
+  (* per-stage (trace recovery only): every entry re-walks the sled *)
+  let reps = 20 in
+  let _, tb_direct =
+    Bench_util.time (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun e -> ignore (Sanids_ir.Trace.build code ~entry:e))
+            entries
+        done)
+  in
+  let _, tb_memo =
+    Bench_util.time (fun () ->
+        for _ = 1 to reps do
+          let cache = Sanids_ir.Icache.create code in
+          List.iter
+            (fun e -> ignore (Sanids_ir.Trace.build_cached cache ~entry:e))
+            entries
+        done)
+  in
+  (* full scan (trace recovery + matching) with decode accounting *)
+  let stats = Sanids_semantic.Matcher.scan_stats () in
+  let rm, tm =
+    Bench_util.time (fun () ->
+        Sanids_semantic.Matcher.scan ~entries ~stats ~templates code)
+  in
+  let rd, td =
+    Bench_util.time (fun () ->
+        Sanids_semantic.Matcher.scan ~entries ~memoize:false ~templates code)
+  in
+  let total = stats.Sanids_semantic.Matcher.decode_hits
+              + stats.Sanids_semantic.Matcher.decode_misses in
+  Bench_util.table
+    [ "stage"; "direct"; "memoized"; "speedup" ]
+    [
+      [
+        Printf.sprintf "trace recovery x%d entries" (List.length entries);
+        Printf.sprintf "%.4f s" tb_direct;
+        Printf.sprintf "%.4f s" tb_memo;
+        Printf.sprintf "%.1fx" (tb_direct /. Float.max tb_memo 1e-9);
+      ];
+      [
+        "full scan";
+        Printf.sprintf "%.4f s" td;
+        Printf.sprintf "%.4f s" tm;
+        Printf.sprintf "%.1fx" (td /. Float.max tm 1e-9);
+      ];
+    ];
+  Bench_util.note "decode-memo hit ratio %.2f (%d of %d lookups decoded), results %s"
+    (float_of_int stats.Sanids_semantic.Matcher.decode_hits
+    /. Float.max (float_of_int total) 1.0)
+    stats.Sanids_semantic.Matcher.decode_misses total
+    (if rm = rd then "identical" else "DIFFER")
+
+let run ?(outbreak = 240) ?(sled = 512) () =
   Bench_util.hr "Efficiency: pruned pipeline vs whole-payload analysis ([5]-style)";
   let pruned = Pipeline.create (Config.default |> Config.with_classification false) in
   let unpruned =
@@ -64,4 +196,6 @@ let run () =
     [ "input"; "size"; "pruned"; "unpruned ([5]-style)"; "speedup"; "verdicts" ]
     rows;
   Bench_util.note
-    "paper shape: extraction pruning keeps semantic analysis affordable (~6.5s vs ~40s in 2006 terms) without changing verdicts"
+    "paper shape: extraction pruning keeps semantic analysis affordable (~6.5s vs ~40s in 2006 terms) without changing verdicts";
+  outbreak_replay ~packets:outbreak ();
+  decode_memo ~sled ()

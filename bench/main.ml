@@ -3,6 +3,9 @@
 
      --full          paper-scale workloads (Table 3 traces >200k packets,
                      month-scale false-positive corpus)
+     --smoke         tiny workloads; every section runs in seconds, which
+                     is what the `@bench-smoke` dune alias uses to catch
+                     bench bit-rot (`dune build @bench-smoke`)
      --section NAME  run one section: table1 table2 table3 fp efficiency
                      baseline micro
 *)
@@ -12,6 +15,7 @@ let sections =
 
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
+  let smoke = (not full) && Array.exists (( = ) "--smoke") Sys.argv in
   let selected =
     let rec find i =
       if i >= Array.length Sys.argv - 1 then None
@@ -27,19 +31,23 @@ let () =
       exit 2
   | Some _ | None -> ());
   Printf.printf "sanids benchmark harness — %s mode\n"
-    (if full then "full (paper-scale)" else "quick");
+    (if full then "full (paper-scale)"
+     else if smoke then "smoke (bit-rot check)"
+     else "quick");
   Printf.printf "(shapes, not absolute 2006 numbers, are the reproduction target)\n";
-  let instances = 100 in
-  let packets_per_trace = if full then 200_000 else 20_000 in
-  let fp_packets = if full then 1_000_000 else 50_000 in
+  let instances = if smoke then 4 else 100 in
+  let packets_per_trace = if full then 200_000 else if smoke then 400 else 20_000 in
+  let fp_packets = if full then 1_000_000 else if smoke then 400 else 50_000 in
   if want "table1" then Table1.run ();
   if want "table2" then Table2.run ~instances ();
   if want "table3" then Table3.run ~packets_per_trace ();
   if want "fp" then False_pos.run ~packets:fp_packets ();
-  if want "efficiency" then Efficiency.run ();
+  if want "efficiency" then
+    if smoke then Efficiency.run ~outbreak:40 ~sled:96 ()
+    else Efficiency.run ();
   if want "baseline" then Baseline_contrast.run ~instances ();
   if want "ablation" then Ablation.run ();
   if want "containment" then Containment_bench.run ();
   if want "parallel" then Parallel_bench.run ~packets:fp_packets ();
-  if want "micro" then Micro.run ();
+  if want "micro" then Micro.run ~quota:(if smoke then 0.02 else 0.25) ();
   print_newline ()

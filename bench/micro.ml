@@ -43,13 +43,13 @@ let tests () =
       mk "stage/aho-corasick" (fun () -> Sanids_baseline.Signatures.scan poly);
     ]
 
-let run () =
+let run ?(quota = 0.25) () =
   Bench_util.hr "Micro-benchmarks (bechamel, monotonic clock)";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = [ Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances (tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in

@@ -1,0 +1,50 @@
+type entry = { insn : Insn.t; len : int; sems : Sem.t array }
+
+(* slots.(off): None = never decoded; Some None = decoded, no instruction;
+   Some (Some e) = decoded instruction. *)
+type t = {
+  code : string;
+  slots : entry option option array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create code =
+  {
+    code;
+    slots = Array.make (max 1 (String.length code)) None;
+    hits = 0;
+    misses = 0;
+  }
+
+let code t = t.code
+
+let decode t off =
+  if off < 0 || off >= String.length t.code then None
+  else
+    match t.slots.(off) with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        e
+    | None ->
+        t.misses <- t.misses + 1;
+        let e =
+          match Decode.at t.code off with
+          | None -> None
+          | Some d ->
+              Some
+                {
+                  insn = d.Decode.insn;
+                  len = d.Decode.len;
+                  sems = Array.of_list (Sem.lift d.Decode.insn);
+                }
+        in
+        t.slots.(off) <- Some e;
+        e
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

@@ -1,0 +1,39 @@
+(** Per-region instruction cache: memoized decode + lift.
+
+    [Matcher.scan] enumerates many candidate entry offsets over one code
+    region, and the traces they spawn overlap heavily (an n-byte NOP sled
+    costs ~n × trace-length decodes without sharing).  An [Icache.t]
+    decodes and lifts each byte offset at most once; every later trace
+    walking through that offset reuses the [(insn, len, sems)] entry.
+
+    Only path-independent data is memoized — the {!Constprop} state is a
+    property of the walk, not the offset, and stays per-trace — so a
+    cached walk is byte-for-byte identical to an uncached one. *)
+
+type entry = {
+  insn : Insn.t;
+  len : int;
+  sems : Sem.t array;  (** [Sem.lift insn], pre-converted for indexing *)
+}
+
+type t
+
+val create : string -> t
+(** A fresh, empty cache over one code region. *)
+
+val code : t -> string
+(** The cached region. *)
+
+val decode : t -> int -> entry option
+(** Decode at a byte offset, memoized.  [None] out of range or when the
+    byte has no decoding ([Decode.at] returning [None]); the negative
+    result is memoized too. *)
+
+val hits : t -> int
+(** Lookups served from the table. *)
+
+val misses : t -> int
+(** Lookups that had to decode. *)
+
+val hit_ratio : t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)

@@ -2,14 +2,16 @@ type step = {
   off : int;
   len : int;
   insn : Insn.t;
-  sems : Sem.t list;
+  sems : Sem.t array;
   state : Constprop.t;
 }
 
 type t = step array
 
-let build ?(max_len = 1024) code ~entry =
-  let n = String.length code in
+(* The walker is shared by the direct and the memoized builders; [decode]
+   abstracts where (insn, len, sems) comes from. *)
+let walk ~max_len ~region_len ~decode ~entry =
+  let n = region_len in
   if entry < 0 || entry >= n then [||]
   else begin
     let visited = Hashtbl.create 64 in
@@ -21,15 +23,15 @@ let build ?(max_len = 1024) code ~entry =
     while !continue && !count < max_len && !off >= 0 && !off < n
           && not (Hashtbl.mem visited !off) do
       Hashtbl.add visited !off ();
-      match Decode.at code !off with
+      match decode !off with
       | None -> continue := false
-      | Some d ->
-          let insn = d.Decode.insn in
-          let sems = Sem.lift insn in
-          acc := { off = !off; len = d.Decode.len; insn; sems; state = !state } :: !acc;
+      | Some (e : Icache.entry) ->
+          let insn = e.Icache.insn in
+          let sems = e.Icache.sems in
+          acc := { off = !off; len = e.Icache.len; insn; sems; state = !state } :: !acc;
           incr count;
-          state := List.fold_left Constprop.step !state sems;
-          let next = !off + d.Decode.len in
+          state := Array.fold_left Constprop.step !state sems;
+          let next = !off + e.Icache.len in
           (match insn with
           | Insn.Jmp_rel disp -> off := next + disp
           | Insn.Call_rel disp -> off := next + disp
@@ -52,6 +54,25 @@ let build ?(max_len = 1024) code ~entry =
     done;
     Array.of_list (List.rev !acc)
   end
+
+let build ?(max_len = 1024) code ~entry =
+  let decode off =
+    match Decode.at code off with
+    | None -> None
+    | Some d ->
+        Some
+          {
+            Icache.insn = d.Decode.insn;
+            len = d.Decode.len;
+            sems = Array.of_list (Sem.lift d.Decode.insn);
+          }
+  in
+  walk ~max_len ~region_len:(String.length code) ~decode ~entry
+
+let build_cached ?(max_len = 1024) cache ~entry =
+  walk ~max_len
+    ~region_len:(String.length (Icache.code cache))
+    ~decode:(Icache.decode cache) ~entry
 
 let entry_points ?(limit = 256) code =
   let n = String.length code in

@@ -12,7 +12,7 @@ type step = {
   off : int;  (** byte offset of the instruction within the region *)
   len : int;
   insn : Insn.t;
-  sems : Sem.t list;
+  sems : Sem.t array;  (** [Sem.lift insn], indexable without [List.nth] *)
   state : Constprop.t;  (** abstract state {e before} the instruction *)
 }
 
@@ -21,6 +21,12 @@ type t = step array
 val build : ?max_len:int -> string -> entry:int -> t
 (** Trace of at most [max_len] (default 1024) instructions starting at
     byte offset [entry].  Empty when [entry] is out of range. *)
+
+val build_cached : ?max_len:int -> Icache.t -> entry:int -> t
+(** Same walk as {!build} over the cache's region, but each byte offset
+    is decoded and lifted at most once per {!Icache.t} — traces from
+    different entries share the per-offset work.  Produces exactly the
+    trace [build (Icache.code cache) ~entry] would. *)
 
 val entry_points : ?limit:int -> string -> int list
 (** Candidate entry offsets for a code region, most promising first:

@@ -7,6 +7,7 @@ type t = {
   templates : Template.t list;
   min_payload : int;
   reassemble : bool;
+  verdict_cache_size : int;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     templates = Template_lib.default_set;
     min_payload = 16;
     reassemble = false;
+    verdict_cache_size = 4096;
   }
 
 let with_honeypots honeypots t = { t with honeypots }
@@ -27,3 +29,4 @@ let with_templates templates t = { t with templates }
 let with_classification classification_enabled t = { t with classification_enabled }
 let with_extraction extraction_enabled t = { t with extraction_enabled }
 let with_reassembly reassemble t = { t with reassemble }
+let with_verdict_cache verdict_cache_size t = { t with verdict_cache_size }

@@ -16,11 +16,17 @@ type t = {
       (** track TCP flows from suspicious sources and analyze the
           reassembled stream, defeating exploit delivery that is split
           across segments *)
+  verdict_cache_size : int;
+      (** bound on the payload-keyed verdict cache that short-circuits
+          extract+disassemble+match for repeated payloads (the worm
+          outbreak shape); [0] disables caching.  Cached and uncached
+          pipelines produce identical alerts. *)
 }
 
 val default : t
 (** Empty honeypot/unused lists, classification and extraction on, the
-    full {!Template_lib.default_set}, [min_payload = 16]. *)
+    full {!Template_lib.default_set}, [min_payload = 16],
+    [verdict_cache_size = 4096]. *)
 
 val with_honeypots : Ipaddr.t list -> t -> t
 val with_unused : Ipaddr.prefix list -> t -> t
@@ -28,3 +34,6 @@ val with_templates : Template.t list -> t -> t
 val with_classification : bool -> t -> t
 val with_extraction : bool -> t -> t
 val with_reassembly : bool -> t -> t
+
+val with_verdict_cache : int -> t -> t
+(** Size the verdict cache; [0] disables it. *)

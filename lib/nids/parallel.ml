@@ -13,7 +13,19 @@ let merge_stats (acc : Stats.t) (s : Stats.t) =
   acc.Stats.frames <- acc.Stats.frames + s.Stats.frames;
   acc.Stats.frame_bytes <- acc.Stats.frame_bytes + s.Stats.frame_bytes;
   acc.Stats.alerts <- acc.Stats.alerts + s.Stats.alerts;
-  acc.Stats.analysis_seconds <- acc.Stats.analysis_seconds +. s.Stats.analysis_seconds
+  acc.Stats.analysis_seconds <- acc.Stats.analysis_seconds +. s.Stats.analysis_seconds;
+  acc.Stats.verdict_cache_hits <-
+    acc.Stats.verdict_cache_hits + s.Stats.verdict_cache_hits;
+  acc.Stats.verdict_cache_misses <-
+    acc.Stats.verdict_cache_misses + s.Stats.verdict_cache_misses;
+  acc.Stats.verdict_cache_evictions <-
+    acc.Stats.verdict_cache_evictions + s.Stats.verdict_cache_evictions;
+  acc.Stats.decode_memo_hits <-
+    acc.Stats.decode_memo_hits + s.Stats.decode_memo_hits;
+  acc.Stats.decode_memo_misses <-
+    acc.Stats.decode_memo_misses + s.Stats.decode_memo_misses;
+  acc.Stats.scan_budget_exhausted <-
+    acc.Stats.scan_budget_exhausted + s.Stats.scan_budget_exhausted
 
 let shard_packets packets ~shards =
   let buckets = Array.make shards [] in

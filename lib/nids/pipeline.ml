@@ -12,6 +12,9 @@ type t = {
   reasm : Flow.reassembler option;
   flow_alerted : (string, unit) Hashtbl.t;
       (* flow-key ^ template pairs already alerted, for stream mode *)
+  verdicts : (string, (Extractor.frame * Matcher.result) list) Lru.t option;
+      (* analyzed buffer -> deduplicated matches; keys are the full buffer
+         bytes, so a hit is exact content equality, never a hash collision *)
 }
 
 let create (cfg : Config.t) =
@@ -24,12 +27,29 @@ let create (cfg : Config.t) =
     stats = Stats.create ();
     reasm = (if cfg.Config.reassemble then Some (Flow.create_reassembler ()) else None);
     flow_alerted = Hashtbl.create 64;
+    verdicts =
+      (if cfg.Config.verdict_cache_size > 0 then
+         Some (Lru.create cfg.Config.verdict_cache_size)
+       else None);
   }
 
 let frames_of t payload =
   if t.cfg.Config.extraction_enabled then Extractor.extract payload
   else
     [ { Extractor.off = 0; data = payload; origin = Extractor.Raw_binary } ]
+
+(* Template scan over one frame, folding the matcher's decode-memo and
+   budget counters into the pipeline statistics. *)
+let scan_frame t data =
+  let ss = Matcher.scan_stats () in
+  let results = Matcher.scan ~stats:ss ~templates:t.cfg.Config.templates data in
+  t.stats.Stats.decode_memo_hits <-
+    t.stats.Stats.decode_memo_hits + ss.Matcher.decode_hits;
+  t.stats.Stats.decode_memo_misses <-
+    t.stats.Stats.decode_memo_misses + ss.Matcher.decode_misses;
+  t.stats.Stats.scan_budget_exhausted <-
+    t.stats.Stats.scan_budget_exhausted + ss.Matcher.budget_exhausted;
+  results
 
 (* Analysis stages shared by live processing and the timing harness. *)
 let analyze_frames t payload =
@@ -44,9 +64,7 @@ let analyze_frames t payload =
         t.stats.Stats.frames <- t.stats.Stats.frames + 1;
         t.stats.Stats.frame_bytes <-
           t.stats.Stats.frame_bytes + String.length frame.Extractor.data;
-        List.map
-          (fun r -> (frame, r))
-          (Matcher.scan ~templates:t.cfg.Config.templates frame.Extractor.data))
+        List.map (fun r -> (frame, r)) (scan_frame t frame.Extractor.data))
       (frames_of t payload)
   end
 
@@ -60,6 +78,31 @@ let dedup_by_template results =
         true
       end)
     results
+
+(* Full analysis of one buffer, short-circuited by the verdict cache.
+   Analysis is a pure function of the buffer bytes (extraction, trace
+   recovery and matching read nothing else), so replaying a cached result
+   for byte-identical buffers — the worm-outbreak shape — cannot change
+   any verdict. *)
+let analyze_buffer t buffer =
+  match t.verdicts with
+  | None -> dedup_by_template (analyze_frames t buffer)
+  | Some cache -> (
+      match Lru.find cache buffer with
+      | Some results ->
+          t.stats.Stats.verdict_cache_hits <-
+            t.stats.Stats.verdict_cache_hits + 1;
+          results
+      | None ->
+          t.stats.Stats.verdict_cache_misses <-
+            t.stats.Stats.verdict_cache_misses + 1;
+          let results = dedup_by_template (analyze_frames t buffer) in
+          let before = Lru.evictions cache in
+          Lru.add cache buffer results;
+          t.stats.Stats.verdict_cache_evictions <-
+            t.stats.Stats.verdict_cache_evictions
+            + (Lru.evictions cache - before);
+          results)
 
 (* In stream mode the analyzed buffer is the flow's reassembled prefix and
    alerts deduplicate per flow; otherwise it is the packet payload. *)
@@ -90,7 +133,7 @@ let process_packet t packet =
           if String.length buffer < t.cfg.Config.min_payload then []
           else begin
             let t0 = Sys.time () in
-            let results = dedup_by_template (analyze_frames t buffer) in
+            let results = analyze_buffer t buffer in
             t.stats.Stats.analysis_seconds <-
               t.stats.Stats.analysis_seconds +. (Sys.time () -. t0);
             let fresh (result : Matcher.result) =
@@ -130,7 +173,7 @@ let process_pcap t (file : Sanids_pcap.Pcap.file) =
 
 let analyze_payload t payload =
   let t0 = Sys.time () in
-  let results = dedup_by_template (analyze_frames t payload) in
+  let results = analyze_buffer t payload in
   t.stats.Stats.analysis_seconds <-
     t.stats.Stats.analysis_seconds +. (Sys.time () -. t0);
   List.map snd results

@@ -7,6 +7,12 @@ type t = {
   mutable frame_bytes : int;
   mutable alerts : int;
   mutable analysis_seconds : float;
+  mutable verdict_cache_hits : int;
+  mutable verdict_cache_misses : int;
+  mutable verdict_cache_evictions : int;
+  mutable decode_memo_hits : int;
+  mutable decode_memo_misses : int;
+  mutable scan_budget_exhausted : int;
 }
 
 let create () =
@@ -19,6 +25,12 @@ let create () =
     frame_bytes = 0;
     alerts = 0;
     analysis_seconds = 0.0;
+    verdict_cache_hits = 0;
+    verdict_cache_misses = 0;
+    verdict_cache_evictions = 0;
+    decode_memo_hits = 0;
+    decode_memo_misses = 0;
+    scan_budget_exhausted = 0;
   }
 
 let reset t =
@@ -29,10 +41,22 @@ let reset t =
   t.frames <- 0;
   t.frame_bytes <- 0;
   t.alerts <- 0;
-  t.analysis_seconds <- 0.0
+  t.analysis_seconds <- 0.0;
+  t.verdict_cache_hits <- 0;
+  t.verdict_cache_misses <- 0;
+  t.verdict_cache_evictions <- 0;
+  t.decode_memo_hits <- 0;
+  t.decode_memo_misses <- 0;
+  t.scan_budget_exhausted <- 0
+
+let decode_memo_ratio t =
+  let total = t.decode_memo_hits + t.decode_memo_misses in
+  if total = 0 then 0.0 else float_of_int t.decode_memo_hits /. float_of_int total
 
 let pp ppf t =
   Format.fprintf ppf
-    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs"
+    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d"
     t.packets t.bytes t.classified_suspicious t.prefilter_hits t.frames
-    t.frame_bytes t.alerts t.analysis_seconds
+    t.frame_bytes t.alerts t.analysis_seconds t.verdict_cache_hits
+    t.verdict_cache_misses t.verdict_cache_evictions (decode_memo_ratio t)
+    t.scan_budget_exhausted

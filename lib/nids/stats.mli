@@ -9,8 +9,21 @@ type t = {
   mutable frame_bytes : int;  (** bytes handed to the disassembler *)
   mutable alerts : int;
   mutable analysis_seconds : float;  (** CPU time in extract+disassemble+match *)
+  mutable verdict_cache_hits : int;
+      (** analyses short-circuited by the payload verdict cache *)
+  mutable verdict_cache_misses : int;
+  mutable verdict_cache_evictions : int;
+  mutable decode_memo_hits : int;
+      (** per-offset decodes served from the scan's instruction cache *)
+  mutable decode_memo_misses : int;
+  mutable scan_budget_exhausted : int;
+      (** scans that ran out of work budget with templates still open *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
+val decode_memo_ratio : t -> float
+(** [decode_memo_hits / (hits + misses)]; [0.] when no decoding ran. *)
+
 val pp : Format.formatter -> t -> unit

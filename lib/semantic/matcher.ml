@@ -234,15 +234,18 @@ let match_pstep ~trace ~pos ~index_of_off ~post ~insn_continuation
       _ ) ->
       None
 
-(* Does skipping this instruction's remaining operations disturb any bound
-   register? *)
-let clobbers env sems =
-  List.exists
-    (fun sem ->
-      List.exists
-        (fun w -> List.exists (fun (_, r) -> Reg.equal r w) env.regs)
-        (Sem.writes sem))
-    sems
+(* Does skipping this instruction's operations from index [k] on disturb
+   any bound register? *)
+let clobbers_from env (sems : Sem.t array) k =
+  let n = Array.length sems in
+  let rec go i =
+    i < n
+    && (List.exists
+          (fun w -> List.exists (fun (_, r) -> Reg.equal r w) env.regs)
+          (Sem.writes sems.(i))
+       || go (i + 1))
+  in
+  go (max 0 k)
 
 type istep = Req of Template.pstep | More of Template.pstep
 
@@ -252,8 +255,6 @@ let expand steps =
       | Template.Once p -> [ Req p ]
       | Template.Many p -> [ Req p; More p ])
     steps
-
-let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
 
 let match_from ~index_of_off (t : Template.t) (trace : Trace.t) start =
   let len = Array.length trace in
@@ -277,15 +278,15 @@ let match_from ~index_of_off (t : Template.t) (trace : Trace.t) start =
     else
       let st = trace.(pos) in
       let sems = st.Trace.sems in
-      let nsems = List.length sems in
+      let nsems = Array.length sems in
       let post =
         if pos + 1 < len then trace.(pos + 1).Trace.state
-        else List.fold_left Constprop.step st.Trace.state sems
+        else Array.fold_left Constprop.step st.Trace.state sems
       in
       let rec try_sem k =
         if k >= nsems then skip ()
         else
-          let sem = List.nth sems k in
+          let sem = sems.(k) in
           match
             match_pstep ~trace ~pos ~index_of_off ~post
               ~insn_continuation:(sem_idx > 0) p st sem env first
@@ -305,17 +306,24 @@ let match_from ~index_of_off (t : Template.t) (trace : Trace.t) start =
         | None -> None (* start positions are enumerated by the caller *)
         | Some _ ->
             if gap >= t.max_gap then None
-            else if clobbers env (drop sem_idx sems) then None
+            else if clobbers_from env sems sem_idx then None
             else attempt p rest (pos + 1) 0 env first offsets (gap + 1)
       in
       try_sem sem_idx
   in
   go (expand t.steps) start 0 empty_env None [] 0
 
-let match_trace t trace ~entry =
+(* Byte offset → trace index, built once per trace and shared by every
+   template matched against that trace (back-edge validation reads it). *)
+let index_of_trace (trace : Trace.t) =
+  let index_of_off = Hashtbl.create (max 16 (Array.length trace)) in
+  Array.iteri
+    (fun i (s : Trace.step) -> Hashtbl.replace index_of_off s.Trace.off i)
+    trace;
+  index_of_off
+
+let match_trace_indexed ~index_of_off (t : Template.t) trace ~entry =
   let len = Array.length trace in
-  let index_of_off = Hashtbl.create (max 16 len) in
-  Array.iteri (fun i (s : Trace.step) -> Hashtbl.replace index_of_off s.Trace.off i) trace;
   let rec try_start s =
     if s >= len then None
     else
@@ -333,53 +341,92 @@ let match_trace t trace ~entry =
   in
   try_start 0
 
-let scan ?entries ~templates code =
+let match_trace t trace ~entry =
+  match_trace_indexed ~index_of_off:(index_of_trace trace) t trace ~entry
+
+type scan_stats = {
+  mutable decode_hits : int;
+  mutable decode_misses : int;
+  mutable budget_exhausted : int;
+}
+
+let scan_stats () = { decode_hits = 0; decode_misses = 0; budget_exhausted = 0 }
+
+(* Templates whose data requirements the region cannot meet are out before
+   any trace is built.  One Aho–Corasick pass over the region answers
+   every template's byte-string requirements at once, instead of a naive
+   substring search per (template, pattern) pair. *)
+let data_prefilter ~templates code =
+  let patterns =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (t : Template.t) ->
+           List.filter (fun p -> p <> "") t.Template.data)
+         templates)
+  in
+  if patterns = [] then templates
+  else begin
+    let ac = Sanids_baseline.Aho_corasick.build (List.map (fun p -> (p, p)) patterns) in
+    let present = Hashtbl.create 16 in
+    List.iter
+      (fun (_, tag) -> Hashtbl.replace present tag ())
+      (Sanids_baseline.Aho_corasick.search ac code);
+    List.filter
+      (fun (t : Template.t) ->
+        List.for_all
+          (fun p -> p = "" || Hashtbl.mem present p)
+          t.Template.data)
+      templates
+  end
+
+let scan ?entries ?stats ?(memoize = true) ~templates code =
   let n = String.length code in
-  let remaining = ref templates in
   let results = ref [] in
   if n = 0 then []
   else begin
+    let remaining = ref (data_prefilter ~templates code) in
     (* Byte offsets already visited by some trace: starting there again
        could only rediscover a suffix of work already matched against.
        This keeps the whole-buffer entry enumeration near-linear even on
        sled-like inputs, with a work budget as a backstop. *)
     let covered = Bytes.make n '\000' in
     let budget = ref (max 4096 (4 * n)) in
+    let exhausted = ref false in
     (* variants share a name; once any variant matches, the whole family
        is settled *)
     let matched_names = ref [] in
-    let contains hay needle =
-      let n = String.length hay and m = String.length needle in
-      let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
-      m = 0 || go 0
+    (* decode each offset at most once across all entry enumerations *)
+    let icache = if memoize then Some (Icache.create code) else None in
+    let build_trace entry =
+      match icache with
+      | Some c -> Trace.build_cached c ~entry
+      | None -> Trace.build code ~entry
     in
-    (* templates whose data requirements the region cannot meet are out
-       before any trace is built *)
-    remaining :=
-      List.filter
-        (fun (t : Template.t) -> List.for_all (contains code) t.Template.data)
-        !remaining;
     let run_entry entry =
-      if !remaining <> [] && !budget > 0 then begin
-        let trace = Trace.build code ~entry in
-        budget := !budget - Array.length trace - 1;
-        Array.iter
-          (fun (s : Trace.step) ->
-            if s.Trace.off >= 0 && s.Trace.off < n then
-              Bytes.set covered s.Trace.off '\001')
-          trace;
-        remaining :=
-          List.filter
-            (fun (t : Template.t) ->
-              if List.mem t.Template.name !matched_names then false
-              else
-                match match_trace t trace ~entry with
-                | Some r ->
-                    results := r :: !results;
-                    matched_names := t.Template.name :: !matched_names;
-                    false
-                | None -> true)
-            !remaining
+      if !remaining <> [] then begin
+        if !budget <= 0 then exhausted := true
+        else begin
+          let trace = build_trace entry in
+          budget := !budget - Array.length trace - 1;
+          Array.iter
+            (fun (s : Trace.step) ->
+              if s.Trace.off >= 0 && s.Trace.off < n then
+                Bytes.set covered s.Trace.off '\001')
+            trace;
+          let index_of_off = index_of_trace trace in
+          remaining :=
+            List.filter
+              (fun (t : Template.t) ->
+                if List.mem t.Template.name !matched_names then false
+                else
+                  match match_trace_indexed ~index_of_off t trace ~entry with
+                  | Some r ->
+                      results := r :: !results;
+                      matched_names := t.Template.name :: !matched_names;
+                      false
+                  | None -> true)
+              !remaining
+        end
       end
     in
     (match entries with
@@ -388,6 +435,15 @@ let scan ?entries ~templates code =
         for o = 0 to n - 1 do
           if Bytes.get covered o = '\000' then run_entry o
         done);
+    (match stats with
+    | Some s ->
+        (match icache with
+        | Some c ->
+            s.decode_hits <- s.decode_hits + Icache.hits c;
+            s.decode_misses <- s.decode_misses + Icache.misses c
+        | None -> ());
+        if !exhausted then s.budget_exhausted <- s.budget_exhausted + 1
+    | None -> ());
     List.rev !results
   end
 

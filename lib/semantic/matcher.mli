@@ -21,12 +21,34 @@ type result = {
 val match_trace : Template.t -> Trace.t -> entry:int -> result option
 (** Try every start position along one trace. *)
 
-val scan : ?entries:int list -> templates:Template.t list -> string -> result list
+type scan_stats = {
+  mutable decode_hits : int;  (** decode-memo lookups served from cache *)
+  mutable decode_misses : int;  (** decode-memo lookups that decoded *)
+  mutable budget_exhausted : int;
+      (** scans that ran out of work budget with templates still open *)
+}
+
+val scan_stats : unit -> scan_stats
+(** A fresh all-zero counter record to pass to {!scan}. *)
+
+val scan :
+  ?entries:int list ->
+  ?stats:scan_stats ->
+  ?memoize:bool ->
+  templates:Template.t list ->
+  string ->
+  result list
 (** Match templates against a raw code region.  By default every
     not-yet-covered byte offset is tried as a trace entry (bounded by a
     work budget); [entries] overrides that enumeration.  Templates
     sharing a name are variants of one behaviour: at most one result per
-    template {e name}. *)
+    template {e name}.
+
+    Decoding is shared across entries through an {!Icache.t} unless
+    [memoize] is [false] (results are identical either way; the flag
+    exists so benchmarks can compare).  When [stats] is given, the
+    decode-memo hit/miss counts and budget exhaustion are accumulated
+    into it. *)
 
 val satisfies : Template.t -> string -> bool
 (** The paper's [P |= T] relation, for one region of code. *)

@@ -1,5 +1,8 @@
 (* Shared helpers for the benchmark harness: wall-clock timing and table
-   rendering. *)
+   rendering.  Timing goes through sanids.obs histograms so the bench
+   reports the same quantile machinery the NIDS exports at runtime. *)
+
+module Obs = Sanids_obs
 
 let now () = Unix.gettimeofday ()
 
@@ -7,6 +10,34 @@ let time f =
   let t0 = now () in
   let x = f () in
   (x, now () -. t0)
+
+(* Run [f] once, recording its wall time into histogram [h]. *)
+let time_into h f =
+  let t0 = now () in
+  let x = f () in
+  Obs.Histogram.observe h (now () -. t0);
+  x
+
+(* Run [f] [reps] times into a fresh histogram; return the last result
+   and the snapshot. *)
+let measure ?(reps = 1) f =
+  let h = Obs.Histogram.create () in
+  let x = ref (time_into h f) in
+  for _ = 2 to reps do
+    x := time_into h f
+  done;
+  (!x, Obs.Histogram.snap h)
+
+let seconds s = Printf.sprintf "%.4f s" (Obs.Histogram.sum s)
+
+(* "n=20 mean=1.2ms p50<=2.0ms p95<=4.1ms" — quantiles are octave upper
+   bounds, see Histogram.quantile. *)
+let hist_summary s =
+  let dur v = Format.asprintf "%a" Obs.Histogram.pp_duration v in
+  Printf.sprintf "n=%d mean=%s p50<=%s p95<=%s" (Obs.Histogram.count s)
+    (dur (Obs.Histogram.mean s))
+    (dur (Obs.Histogram.quantile s 0.5))
+    (dur (Obs.Histogram.quantile s 0.95))
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -14,6 +14,7 @@
 
 open Sanids_nids
 open Sanids_exploits
+module Obs = Sanids_obs
 
 let inputs () =
   let rng = Rng.create 0x7AB1E0EFL in
@@ -66,35 +67,47 @@ let outbreak_replay ~packets () =
       (Config.default |> Config.with_classification false
      |> Config.with_verdict_cache 0)
   in
+  (* per-packet latency into an obs histogram: the bench's timing source
+     is the same machinery the NIDS exports at runtime *)
   let replay p =
-    List.fold_left
-      (fun acc payload -> acc + List.length (Pipeline.analyze_payload p payload))
-      0 stream
+    let h = Obs.Histogram.create () in
+    let alerts =
+      List.fold_left
+        (fun acc payload ->
+          acc
+          + List.length
+              (Bench_util.time_into h (fun () -> Pipeline.analyze_payload p payload)))
+        0 stream
+    in
+    (alerts, Obs.Histogram.snap h)
   in
-  let ac, tc = Bench_util.time (fun () -> replay cached) in
-  let au, tu = Bench_util.time (fun () -> replay uncached) in
+  let ac, hc = replay cached in
+  let au, hu = replay uncached in
+  let tc = Obs.Histogram.sum hc and tu = Obs.Histogram.sum hu in
   let throughput t =
     if t > 0.0 then Printf.sprintf "%.0f pkt/s" (float_of_int packets /. t)
     else "n/a"
   in
   let sc = Pipeline.stats cached in
   Bench_util.table
-    [ "config"; "time"; "throughput"; "alerts"; "cache h/m" ]
+    [ "config"; "time"; "throughput"; "alerts"; "cache h/m"; "per-packet" ]
     [
       [
         "verdict cache on";
-        Printf.sprintf "%.4f s" tc;
+        Bench_util.seconds hc;
         throughput tc;
         string_of_int ac;
         Printf.sprintf "%d/%d" sc.Stats.verdict_cache_hits
           sc.Stats.verdict_cache_misses;
+        Bench_util.hist_summary hc;
       ];
       [
         "verdict cache off";
-        Printf.sprintf "%.4f s" tu;
+        Bench_util.seconds hu;
         throughput tu;
         string_of_int au;
         "-";
+        Bench_util.hist_summary hu;
       ];
     ];
   Bench_util.note "speedup %.1fx, verdicts %s (%d vs %d alerts)"
@@ -135,18 +148,25 @@ let decode_memo ~sled () =
             entries
         done)
   in
-  (* full scan (trace recovery + matching) with decode accounting *)
-  let stats = Sanids_semantic.Matcher.scan_stats () in
+  (* full scan (trace recovery + matching) with decode accounting read
+     back from a throwaway metrics registry *)
+  let reg = Obs.Registry.create () in
   let rm, tm =
     Bench_util.time (fun () ->
-        Sanids_semantic.Matcher.scan ~entries ~stats ~templates code)
+        Sanids_semantic.Matcher.scan ~entries ~metrics:reg ~templates code)
   in
   let rd, td =
     Bench_util.time (fun () ->
         Sanids_semantic.Matcher.scan ~entries ~memoize:false ~templates code)
   in
-  let total = stats.Sanids_semantic.Matcher.decode_hits
-              + stats.Sanids_semantic.Matcher.decode_misses in
+  let snap = Obs.Registry.snapshot reg in
+  let hits =
+    Obs.Snapshot.counter_value snap Sanids_semantic.Matcher.decode_memo_hits
+  in
+  let misses =
+    Obs.Snapshot.counter_value snap Sanids_semantic.Matcher.decode_memo_misses
+  in
+  let total = hits + misses in
   Bench_util.table
     [ "stage"; "direct"; "memoized"; "speedup" ]
     [
@@ -164,9 +184,8 @@ let decode_memo ~sled () =
       ];
     ];
   Bench_util.note "decode-memo hit ratio %.2f (%d of %d lookups decoded), results %s"
-    (float_of_int stats.Sanids_semantic.Matcher.decode_hits
-    /. Float.max (float_of_int total) 1.0)
-    stats.Sanids_semantic.Matcher.decode_misses total
+    (float_of_int hits /. Float.max (float_of_int total) 1.0)
+    misses total
     (if rm = rd then "identical" else "DIFFER")
 
 let run ?(outbreak = 240) ?(sled = 512) () =

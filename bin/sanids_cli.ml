@@ -78,26 +78,76 @@ let scan_cmd =
            ~doc:"Disable binary extraction: hand whole payloads to the \
                  disassembler (reference-[5] style).")
   in
-  let run path honeypots unused no_classify no_extract verbose =
+  let scan_threshold =
+    Arg.(value & opt int Config.default.Config.scan_threshold
+         & info [ "scan-threshold" ] ~docv:"N"
+             ~doc:"Distinct unused addresses before a source is flagged.")
+  in
+  let verdict_cache =
+    Arg.(value & opt int Config.default.Config.verdict_cache_size
+         & info [ "verdict-cache" ] ~docv:"N"
+             ~doc:"Verdict cache capacity (0 disables).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the final metrics snapshot as Prometheus text \
+                 exposition to $(docv).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write stage spans as JSONL trace events to $(docv).")
+  in
+  let trace_sample =
+    Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Emit every N-th span (with --trace).")
+  in
+  let run path honeypots unused no_classify no_extract scan_threshold
+      verdict_cache metrics_out trace_out trace_sample verbose =
     setup_logs verbose;
     let cfg =
       Config.default |> Config.with_honeypots honeypots
       |> Config.with_unused unused
       |> Config.with_classification (not no_classify)
       |> Config.with_extraction (not no_extract)
+      |> Config.with_scan_threshold scan_threshold
+      |> Config.with_verdict_cache verdict_cache
     in
-    let nids = Pipeline.create cfg in
-    let capture = Pcap.read_file path in
-    let alerts = Pipeline.process_pcap nids capture in
-    List.iter (fun a -> print_endline (Alert.to_line a)) alerts;
-    Format.printf "%a@." Stats.pp (Pipeline.stats nids);
-    if alerts = [] then print_endline "no alerts"
+    match Config.validate cfg with
+    | Error msg ->
+        Printf.eprintf "sanids scan: invalid configuration: %s\n" msg;
+        exit 2
+    | Ok cfg ->
+        if trace_sample <= 0 then begin
+          Printf.eprintf "sanids scan: --trace-sample must be positive (got %d)\n"
+            trace_sample;
+          exit 2
+        end;
+        let trace_oc = Option.map open_out trace_out in
+        let tracer =
+          Option.map (Obs.Span.tracer ~sample:trace_sample) trace_oc
+        in
+        let nids = Pipeline.create ?tracer cfg in
+        let capture = Pcap.read_file path in
+        let alerts = Pipeline.process_pcap nids capture in
+        List.iter (fun a -> print_endline (Alert.to_line a)) alerts;
+        Format.printf "%a@." Stats.pp (Pipeline.stats nids);
+        (match metrics_out with
+        | Some file ->
+            let reg = Pipeline.registry nids in
+            Obs.Export.write_file file
+              (Obs.Export.to_prometheus ~help:(Obs.Registry.help reg)
+                 (Pipeline.snapshot nids))
+        | None -> ());
+        (match tracer with Some t -> Obs.Span.flush t | None -> ());
+        Option.iter close_out trace_oc;
+        if alerts = [] then print_endline "no alerts"
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Run the semantics-aware NIDS over a pcap capture.")
     Term.(
       const run $ pcap_arg $ honeypots $ unused $ no_classify $ no_extract
-      $ verbose_arg)
+      $ scan_threshold $ verdict_cache $ metrics_out $ trace_out
+      $ trace_sample $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sanids gen-trace *)

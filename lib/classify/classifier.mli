@@ -11,12 +11,17 @@ type verdict = Suspicious of reason | Benign
 type t
 
 val create :
+  ?metrics:Sanids_obs.Registry.t ->
   ?honeypots:Ipaddr.t list ->
   ?unused:Ipaddr.prefix list ->
   ?scan_threshold:int ->
   ?enabled:bool ->
   unit ->
   t
+(** When [metrics] is given, every classification bumps one of the
+    per-verdict counters [sanids_classify_benign_total],
+    [sanids_classify_honeypot_total], [sanids_classify_scanner_total],
+    [sanids_classify_forced_total] in that registry. *)
 
 val classify : t -> Packet.t -> verdict
 (** Updates classifier state and renders the verdict for this packet. *)

@@ -12,6 +12,8 @@
 
 (* utilities *)
 module Rng = Sanids_util.Rng
+(* observability: Obs.Registry, Obs.Snapshot, Obs.Span, Obs.Export *)
+module Obs = Sanids_obs
 module Byte_io = Sanids_util.Byte_io
 module Hexdump = Sanids_util.Hexdump
 module Entropy = Sanids_util.Entropy

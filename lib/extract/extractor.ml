@@ -64,7 +64,28 @@ let suspicious ?(config = default_config) payload =
        payload
      <> []
 
-let extract ?(config = default_config) payload =
+module Obs = Sanids_obs
+
+(* Per-origin frame accounting when a registry is supplied. *)
+let record_frames reg frames =
+  let bump name help n =
+    if n > 0 then Obs.Registry.add (Obs.Registry.counter reg ~help name) n
+  in
+  let unicode, raw, bytes =
+    List.fold_left
+      (fun (u, r, b) f ->
+        match f.origin with
+        | Unicode_escape -> (u + 1, r, b + String.length f.data)
+        | Raw_binary -> (u, r + 1, b + String.length f.data))
+      (0, 0, 0) frames
+  in
+  bump "sanids_extract_unicode_frames_total"
+    "frames recovered from %uXXXX escape runs" unicode;
+  bump "sanids_extract_raw_frames_total"
+    "frames cut from raw binary regions" raw;
+  bump "sanids_extract_bytes_total" "bytes across all extracted frames" bytes
+
+let extract ?metrics ?(config = default_config) payload =
   let n = String.length payload in
   let unicode_frames =
     List.map
@@ -89,7 +110,9 @@ let extract ?(config = default_config) payload =
     | _ when k = 0 -> []
     | f :: tl -> f :: take (k - 1) tl
   in
-  take config.max_frames all
+  let frames = take config.max_frames all in
+  (match metrics with None -> () | Some reg -> record_frames reg frames);
+  frames
 
 let pp_frame ppf f =
   Format.fprintf ppf "frame@@%d %s %d bytes" f.off

@@ -31,7 +31,11 @@ val suspicious : ?config:config -> string -> bool
 (** Cheap pre-filter: does the payload show any overflow indicator
     (escape runs, long filler runs, NOP-like sleds, binary regions)? *)
 
-val extract : ?config:config -> string -> frame list
-(** Binary frames, in payload order.  Empty for plain protocol text. *)
+val extract :
+  ?metrics:Sanids_obs.Registry.t -> ?config:config -> string -> frame list
+(** Binary frames, in payload order.  Empty for plain protocol text.
+    When [metrics] is given, per-origin frame counts and frame bytes are
+    accumulated there ([sanids_extract_unicode_frames_total],
+    [sanids_extract_raw_frames_total], [sanids_extract_bytes_total]). *)
 
 val pp_frame : Format.formatter -> frame -> unit

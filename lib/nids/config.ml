@@ -8,6 +8,7 @@ type t = {
   min_payload : int;
   reassemble : bool;
   verdict_cache_size : int;
+  flow_alert_cache_size : int;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     min_payload = 16;
     reassemble = false;
     verdict_cache_size = 4096;
+    flow_alert_cache_size = 65536;
   }
 
 let with_honeypots honeypots t = { t with honeypots }
@@ -30,3 +32,22 @@ let with_classification classification_enabled t = { t with classification_enabl
 let with_extraction extraction_enabled t = { t with extraction_enabled }
 let with_reassembly reassemble t = { t with reassemble }
 let with_verdict_cache verdict_cache_size t = { t with verdict_cache_size }
+let with_scan_threshold scan_threshold t = { t with scan_threshold }
+let with_min_payload min_payload t = { t with min_payload }
+let with_flow_alert_cache flow_alert_cache_size t = { t with flow_alert_cache_size }
+
+let validate t =
+  if t.scan_threshold <= 0 then
+    Error
+      (Printf.sprintf "scan_threshold must be positive (got %d)" t.scan_threshold)
+  else if t.verdict_cache_size < 0 then
+    Error
+      (Printf.sprintf "verdict_cache_size must be >= 0 (got %d)"
+         t.verdict_cache_size)
+  else if t.flow_alert_cache_size <= 0 then
+    Error
+      (Printf.sprintf "flow_alert_cache_size must be positive (got %d)"
+         t.flow_alert_cache_size)
+  else if t.min_payload < 0 then
+    Error (Printf.sprintf "min_payload must be >= 0 (got %d)" t.min_payload)
+  else Ok t

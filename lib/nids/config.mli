@@ -1,4 +1,11 @@
-(** NIDS configuration. *)
+(** NIDS configuration.
+
+    Build configurations by piping {!default} through the [with_*] smart
+    constructors, then hand them to {!Pipeline.create} (which applies
+    {!validate}).  The record stays public for this release so existing
+    pattern-matching code keeps working; prefer the builders — direct
+    record construction will lose that option when a field is next
+    added. *)
 
 type t = {
   honeypots : Ipaddr.t list;  (** registered decoy addresses *)
@@ -21,12 +28,16 @@ type t = {
           extract+disassemble+match for repeated payloads (the worm
           outbreak shape); [0] disables caching.  Cached and uncached
           pipelines produce identical alerts. *)
+  flow_alert_cache_size : int;
+      (** bound on the per-flow alert-dedup table used in stream mode
+          (LRU over flow-key^template tags); evictions are counted as
+          [sanids_flow_alerted_evictions_total] *)
 }
 
 val default : t
 (** Empty honeypot/unused lists, classification and extraction on, the
     full {!Template_lib.default_set}, [min_payload = 16],
-    [verdict_cache_size = 4096]. *)
+    [verdict_cache_size = 4096], [flow_alert_cache_size = 65536]. *)
 
 val with_honeypots : Ipaddr.t list -> t -> t
 val with_unused : Ipaddr.prefix list -> t -> t
@@ -37,3 +48,13 @@ val with_reassembly : bool -> t -> t
 
 val with_verdict_cache : int -> t -> t
 (** Size the verdict cache; [0] disables it. *)
+
+val with_scan_threshold : int -> t -> t
+val with_min_payload : int -> t -> t
+val with_flow_alert_cache : int -> t -> t
+
+val validate : t -> (t, string) result
+(** Reject configurations that would silently misbehave rather than
+    letting them: negative [verdict_cache_size], non-positive
+    [scan_threshold] or [flow_alert_cache_size], negative
+    [min_payload]. *)

@@ -1,20 +1,28 @@
 module Siggen = Sanids_baseline.Siggen
+module Obs = Sanids_obs
 
 type t = {
   pipeline : Pipeline.t;
   pool_size : int;
   pools : (string, string list) Hashtbl.t;  (* template -> payload pool *)
   mutable signatures : (string * Siggen.t) list;
-  mutable fast_hits : int;
+  fast_hits : Obs.Registry.counter;
+      (* lives in the pipeline's registry, so hybrid metrics export and
+         merge together with the pipeline's own *)
 }
 
 let create ?(pool_size = 5) cfg =
+  let pipeline = Pipeline.create cfg in
   {
-    pipeline = Pipeline.create cfg;
+    pipeline;
     pool_size;
     pools = Hashtbl.create 8;
     signatures = [];
-    fast_hits = 0;
+    fast_hits =
+      Obs.Registry.counter
+        (Pipeline.registry pipeline)
+        ~help:"alerts that skipped semantic analysis via inferred signatures"
+        "sanids_hybrid_fast_path_total";
   }
 
 let try_infer t name =
@@ -38,28 +46,31 @@ let process_packet t packet =
   let payload = Packet.payload packet in
   match fast_path t payload with
   | name :: _ ->
-      t.fast_hits <- t.fast_hits + 1;
-      (* synthesize an alert equivalent to the semantic one *)
-      let frame =
+      Obs.Registry.incr t.fast_hits;
+      (* synthesize a verdict equivalent to the semantic one *)
+      let v =
         {
-          Sanids_extract.Extractor.off = 0;
-          data = payload;
-          origin = Sanids_extract.Extractor.Raw_binary;
-        }
-      in
-      let result =
-        {
-          Matcher.template = name;
-          entry = 0;
-          offsets = [];
-          reg_bindings = [];
-          const_bindings = [];
+          Pipeline.frame =
+            {
+              Sanids_extract.Extractor.off = 0;
+              data = payload;
+              origin = Sanids_extract.Extractor.Raw_binary;
+            };
+          match_ =
+            {
+              Matcher.template = name;
+              entry = 0;
+              offsets = [];
+              reg_bindings = [];
+              const_bindings = [];
+            };
+          cached = false;
         }
       in
       [
         Alert.make ~packet
-          ~reason:Sanids_classify.Classifier.Classification_disabled ~frame
-          ~result;
+          ~reason:Sanids_classify.Classifier.Classification_disabled
+          ~frame:v.Pipeline.frame ~result:v.Pipeline.match_;
       ]
   | [] ->
       let alerts = Pipeline.process_packet t.pipeline packet in
@@ -75,5 +86,6 @@ let process_packet t packet =
 let process_packets t packets = List.concat_map (process_packet t) packets
 
 let deployed_signatures t = t.signatures
-let fast_path_hits t = t.fast_hits
+let fast_path_hits t = Obs.Registry.counter_value t.fast_hits
 let stats t = Pipeline.stats t.pipeline
+let snapshot t = Pipeline.snapshot t.pipeline

@@ -28,6 +28,12 @@ val deployed_signatures : t -> (string * Sanids_baseline.Siggen.t) list
 (** Signatures inferred and in use, by template name. *)
 
 val fast_path_hits : t -> int
-(** Alerts that skipped semantic analysis entirely. *)
+(** Alerts that skipped semantic analysis entirely (the
+    [sanids_hybrid_fast_path_total] counter, registered in the
+    underlying pipeline's registry). *)
 
 val stats : t -> Stats.t
+
+val snapshot : t -> Sanids_obs.Snapshot.t
+(** The underlying pipeline's snapshot, including the hybrid fast-path
+    counter. *)

@@ -1,31 +1,13 @@
+module Obs = Sanids_obs
+
 let shard_of addr ~shards =
   if shards <= 0 then invalid_arg "Parallel.shard_of: shards must be positive";
   Ipaddr.hash addr mod shards
 
 let default_domains () = min 8 (max 1 (Domain.recommended_domain_count ()))
 
-let merge_stats (acc : Stats.t) (s : Stats.t) =
-  acc.Stats.packets <- acc.Stats.packets + s.Stats.packets;
-  acc.Stats.bytes <- acc.Stats.bytes + s.Stats.bytes;
-  acc.Stats.classified_suspicious <-
-    acc.Stats.classified_suspicious + s.Stats.classified_suspicious;
-  acc.Stats.prefilter_hits <- acc.Stats.prefilter_hits + s.Stats.prefilter_hits;
-  acc.Stats.frames <- acc.Stats.frames + s.Stats.frames;
-  acc.Stats.frame_bytes <- acc.Stats.frame_bytes + s.Stats.frame_bytes;
-  acc.Stats.alerts <- acc.Stats.alerts + s.Stats.alerts;
-  acc.Stats.analysis_seconds <- acc.Stats.analysis_seconds +. s.Stats.analysis_seconds;
-  acc.Stats.verdict_cache_hits <-
-    acc.Stats.verdict_cache_hits + s.Stats.verdict_cache_hits;
-  acc.Stats.verdict_cache_misses <-
-    acc.Stats.verdict_cache_misses + s.Stats.verdict_cache_misses;
-  acc.Stats.verdict_cache_evictions <-
-    acc.Stats.verdict_cache_evictions + s.Stats.verdict_cache_evictions;
-  acc.Stats.decode_memo_hits <-
-    acc.Stats.decode_memo_hits + s.Stats.decode_memo_hits;
-  acc.Stats.decode_memo_misses <-
-    acc.Stats.decode_memo_misses + s.Stats.decode_memo_misses;
-  acc.Stats.scan_budget_exhausted <-
-    acc.Stats.scan_budget_exhausted + s.Stats.scan_budget_exhausted
+let merge_snapshots snaps =
+  Array.fold_left Obs.Snapshot.merge Obs.Snapshot.empty snaps
 
 let shard_packets packets ~shards =
   let buckets = Array.make shards [] in
@@ -36,12 +18,12 @@ let shard_packets packets ~shards =
     packets;
   Array.map List.rev buckets
 
-let process ?domains cfg packets =
+let process_snapshot ?domains cfg packets =
   let shards = match domains with Some d -> max 1 d | None -> default_domains () in
   if shards = 1 then begin
     let nids = Pipeline.create cfg in
     let alerts = Pipeline.process_packets nids packets in
-    (alerts, Pipeline.stats nids)
+    (alerts, Pipeline.snapshot nids)
   end
   else begin
     let buckets = shard_packets packets ~shards in
@@ -49,17 +31,21 @@ let process ?domains cfg packets =
       Array.map
         (fun shard ->
           Domain.spawn (fun () ->
+              (* one pipeline — hence one registry — per worker domain *)
               let nids = Pipeline.create cfg in
               let alerts = Pipeline.process_packets nids shard in
-              (alerts, Pipeline.stats nids)))
+              (alerts, Pipeline.snapshot nids)))
         buckets
     in
     let results = Array.map Domain.join workers in
-    let stats = Stats.create () in
-    Array.iter (fun (_, s) -> merge_stats stats s) results;
+    let snapshot = merge_snapshots (Array.map snd results) in
     let alerts = List.concat_map fst (Array.to_list results) in
-    (alerts, stats)
+    (alerts, snapshot)
   end
+
+let process ?domains cfg packets =
+  let alerts, snapshot = process_snapshot ?domains cfg packets in
+  (alerts, Stats.of_snapshot snapshot)
 
 let process_seq ?domains ?(batch = 8192) cfg packets on_alerts =
   let shards = match domains with Some d -> max 1 d | None -> default_domains () in
@@ -91,6 +77,5 @@ let process_seq ?domains ?(batch = 8192) cfg packets on_alerts =
       if !count >= batch then flush ())
     packets;
   flush ();
-  let stats = Stats.create () in
-  Array.iter (fun nids -> merge_stats stats (Pipeline.stats nids)) pipelines;
-  stats
+  merge_snapshots (Array.map Pipeline.snapshot pipelines)
+  |> Stats.of_snapshot

@@ -8,18 +8,28 @@
     (per-flow hashing at the tap), and it is what lets the false-positive
     experiment chew through month-scale corpora.
 
-    The test suite checks shard-equivalence against the sequential
-    pipeline; the bench harness measures the speedup. *)
+    Observability follows the same design: each worker domain owns its
+    pipeline's metrics registry, and per-domain snapshots are combined
+    with {!Sanids_obs.Snapshot.merge} — a commutative monoid, so the
+    merged counters are exactly the sums regardless of sharding.  The
+    test suite checks shard-equivalence (alerts {e and} counters)
+    against the sequential pipeline; the bench harness measures the
+    speedup. *)
 
 val shard_of : Ipaddr.t -> shards:int -> int
 (** The worker index a source address maps to. *)
 
-val process :
-  ?domains:int -> Config.t -> Packet.t list -> Alert.t list * Stats.t
+val process_snapshot :
+  ?domains:int -> Config.t -> Packet.t list -> Alert.t list * Sanids_obs.Snapshot.t
 (** Process a batch across [domains] workers (default:
     [Domain.recommended_domain_count ()], capped at 8).  Alerts are
     concatenated in shard order, each shard preserving arrival order;
-    statistics are summed. *)
+    the snapshot is the monoid merge of every worker's registry. *)
+
+val process :
+  ?domains:int -> Config.t -> Packet.t list -> Alert.t list * Stats.t
+(** {!process_snapshot} with the snapshot projected through
+    {!Stats.of_snapshot}. *)
 
 val process_seq :
   ?domains:int -> ?batch:int -> Config.t -> Packet.t Seq.t ->
@@ -28,4 +38,5 @@ val process_seq :
     (default 8192), fanning each batch across domains, invoking the
     callback with each batch's alerts.  Worker pipelines persist across
     batches, so cross-batch classifier state (scan counts, honeypot
-    marks) behaves exactly as in the sequential pipeline. *)
+    marks) behaves exactly as in the sequential pipeline.  The returned
+    statistics are the merged per-domain registries. *)

@@ -1,55 +1,108 @@
 module Classifier = Sanids_classify.Classifier
 module Extractor = Sanids_extract.Extractor
+module Obs = Sanids_obs
 
 let log_src = Logs.Src.create "sanids.pipeline" ~doc:"semantic NIDS pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type verdict = {
+  frame : Extractor.frame;
+  match_ : Matcher.result;
+  cached : bool;  (* served from the verdict cache *)
+}
+
+(* Pre-resolved registry handles for the per-packet hot path. *)
+type counters = {
+  packets : Obs.Registry.counter;
+  bytes : Obs.Registry.counter;
+  suspicious : Obs.Registry.counter;
+  prefilter_hits : Obs.Registry.counter;
+  frames : Obs.Registry.counter;
+  frame_bytes : Obs.Registry.counter;
+  alerts : Obs.Registry.counter;
+  vcache_hits : Obs.Registry.counter;
+  vcache_misses : Obs.Registry.counter;
+  vcache_evictions : Obs.Registry.counter;
+  flow_evictions : Obs.Registry.counter;
+}
+
 type t = {
   cfg : Config.t;
   classifier : Classifier.t;
-  stats : Stats.t;
+  reg : Obs.Registry.t;
+  tracer : Obs.Span.tracer option;
+  m : counters;
+  vcache_entries : Obs.Registry.gauge;
+  flow_entries : Obs.Registry.gauge;
   reasm : Flow.reassembler option;
-  flow_alerted : (string, unit) Hashtbl.t;
-      (* flow-key ^ template pairs already alerted, for stream mode *)
-  verdicts : (string, (Extractor.frame * Matcher.result) list) Lru.t option;
+  flow_alerted : (string, unit) Lru.t;
+      (* flow-key ^ template pairs already alerted, for stream mode;
+         bounded so long replays cannot grow it without limit *)
+  verdicts : (string, verdict list) Lru.t option;
       (* analyzed buffer -> deduplicated matches; keys are the full buffer
          bytes, so a hit is exact content equality, never a hash collision *)
 }
 
-let create (cfg : Config.t) =
+let counters_of reg =
+  let c name help = Obs.Registry.counter reg ~help name in
+  {
+    packets = c "sanids_packets_total" "packets processed";
+    bytes = c "sanids_bytes_total" "payload bytes processed";
+    suspicious = c "sanids_classified_suspicious_total" "packets classified suspicious";
+    prefilter_hits = c "sanids_prefilter_hits_total" "payloads past the cheap suspicion gate";
+    frames = c "sanids_frames_total" "binary frames handed to the disassembler";
+    frame_bytes = c "sanids_frame_bytes_total" "bytes handed to the disassembler";
+    alerts = c "sanids_alerts_total" "alerts raised";
+    vcache_hits = c "sanids_verdict_cache_hits_total" "analyses served from the verdict cache";
+    vcache_misses = c "sanids_verdict_cache_misses_total" "analyses that ran in full";
+    vcache_evictions = c "sanids_verdict_cache_evictions_total" "verdict cache capacity evictions";
+    flow_evictions = c "sanids_flow_alerted_evictions_total" "flow alert-dedup table evictions";
+  }
+
+let create ?tracer (cfg : Config.t) =
+  let cfg =
+    match Config.validate cfg with
+    | Ok cfg -> cfg
+    | Error msg -> invalid_arg ("Pipeline.create: " ^ msg)
+  in
+  let reg = Obs.Registry.create () in
   {
     cfg;
     classifier =
-      Classifier.create ~honeypots:cfg.Config.honeypots ~unused:cfg.Config.unused
-        ~scan_threshold:cfg.Config.scan_threshold
+      Classifier.create ~metrics:reg ~honeypots:cfg.Config.honeypots
+        ~unused:cfg.Config.unused ~scan_threshold:cfg.Config.scan_threshold
         ~enabled:cfg.Config.classification_enabled ();
-    stats = Stats.create ();
+    reg;
+    tracer;
+    m = counters_of reg;
+    vcache_entries =
+      Obs.Registry.gauge reg ~help:"verdict cache occupancy"
+        "sanids_verdict_cache_entries";
+    flow_entries =
+      Obs.Registry.gauge reg ~help:"flow alert-dedup table occupancy"
+        "sanids_flow_alerted_entries";
     reasm = (if cfg.Config.reassemble then Some (Flow.create_reassembler ()) else None);
-    flow_alerted = Hashtbl.create 64;
+    flow_alerted = Lru.create cfg.Config.flow_alert_cache_size;
     verdicts =
       (if cfg.Config.verdict_cache_size > 0 then
          Some (Lru.create cfg.Config.verdict_cache_size)
        else None);
   }
 
+let span t name f = Obs.Span.with_ ?tracer:t.tracer t.reg name f
+
 let frames_of t payload =
-  if t.cfg.Config.extraction_enabled then Extractor.extract payload
+  if t.cfg.Config.extraction_enabled then
+    span t "extract" (fun () -> Extractor.extract ~metrics:t.reg payload)
   else
     [ { Extractor.off = 0; data = payload; origin = Extractor.Raw_binary } ]
 
-(* Template scan over one frame, folding the matcher's decode-memo and
-   budget counters into the pipeline statistics. *)
+(* Template scan over one frame; the matcher accumulates its decode-memo
+   and budget counters straight into the pipeline registry. *)
 let scan_frame t data =
-  let ss = Matcher.scan_stats () in
-  let results = Matcher.scan ~stats:ss ~templates:t.cfg.Config.templates data in
-  t.stats.Stats.decode_memo_hits <-
-    t.stats.Stats.decode_memo_hits + ss.Matcher.decode_hits;
-  t.stats.Stats.decode_memo_misses <-
-    t.stats.Stats.decode_memo_misses + ss.Matcher.decode_misses;
-  t.stats.Stats.scan_budget_exhausted <-
-    t.stats.Stats.scan_budget_exhausted + ss.Matcher.budget_exhausted;
-  results
+  span t "match" (fun () ->
+      Matcher.scan ~metrics:t.reg ~templates:t.cfg.Config.templates data)
 
 (* Analysis stages shared by live processing and the timing harness. *)
 let analyze_frames t payload =
@@ -58,51 +111,50 @@ let analyze_frames t payload =
   in
   if not gate then []
   else begin
-    t.stats.Stats.prefilter_hits <- t.stats.Stats.prefilter_hits + 1;
+    Obs.Registry.incr t.m.prefilter_hits;
     List.concat_map
       (fun (frame : Extractor.frame) ->
-        t.stats.Stats.frames <- t.stats.Stats.frames + 1;
-        t.stats.Stats.frame_bytes <-
-          t.stats.Stats.frame_bytes + String.length frame.Extractor.data;
-        List.map (fun r -> (frame, r)) (scan_frame t frame.Extractor.data))
+        Obs.Registry.incr t.m.frames;
+        Obs.Registry.add t.m.frame_bytes (String.length frame.Extractor.data);
+        List.map
+          (fun match_ -> { frame; match_; cached = false })
+          (scan_frame t frame.Extractor.data))
       (frames_of t payload)
   end
 
-let dedup_by_template results =
+let dedup_by_template verdicts =
   let seen = Hashtbl.create 8 in
   List.filter
-    (fun (_, (r : Matcher.result)) ->
-      if Hashtbl.mem seen r.Matcher.template then false
+    (fun v ->
+      if Hashtbl.mem seen v.match_.Matcher.template then false
       else begin
-        Hashtbl.add seen r.Matcher.template ();
+        Hashtbl.add seen v.match_.Matcher.template ();
         true
       end)
-    results
+    verdicts
 
 (* Full analysis of one buffer, short-circuited by the verdict cache.
    Analysis is a pure function of the buffer bytes (extraction, trace
    recovery and matching read nothing else), so replaying a cached result
    for byte-identical buffers — the worm-outbreak shape — cannot change
    any verdict. *)
-let analyze_buffer t buffer =
+let analyze_uncached t buffer =
   match t.verdicts with
   | None -> dedup_by_template (analyze_frames t buffer)
   | Some cache -> (
       match Lru.find cache buffer with
-      | Some results ->
-          t.stats.Stats.verdict_cache_hits <-
-            t.stats.Stats.verdict_cache_hits + 1;
-          results
+      | Some verdicts ->
+          Obs.Registry.incr t.m.vcache_hits;
+          List.map (fun v -> { v with cached = true }) verdicts
       | None ->
-          t.stats.Stats.verdict_cache_misses <-
-            t.stats.Stats.verdict_cache_misses + 1;
-          let results = dedup_by_template (analyze_frames t buffer) in
+          Obs.Registry.incr t.m.vcache_misses;
+          let verdicts = dedup_by_template (analyze_frames t buffer) in
           let before = Lru.evictions cache in
-          Lru.add cache buffer results;
-          t.stats.Stats.verdict_cache_evictions <-
-            t.stats.Stats.verdict_cache_evictions
-            + (Lru.evictions cache - before);
-          results)
+          Lru.add cache buffer verdicts;
+          Obs.Registry.add t.m.vcache_evictions (Lru.evictions cache - before);
+          verdicts)
+
+let analyze t buffer = span t "analyze" (fun () -> analyze_uncached t buffer)
 
 (* In stream mode the analyzed buffer is the flow's reassembled prefix and
    alerts deduplicate per flow; otherwise it is the packet payload. *)
@@ -115,13 +167,13 @@ let buffer_for t packet payload =
   | Some _ | None -> Some (payload, None)
 
 let process_packet t packet =
-  t.stats.Stats.packets <- t.stats.Stats.packets + 1;
+  Obs.Registry.incr t.m.packets;
   let payload = Packet.payload packet in
-  t.stats.Stats.bytes <- t.stats.Stats.bytes + String.length payload;
-  match Classifier.classify t.classifier packet with
+  Obs.Registry.add t.m.bytes (String.length payload);
+  match span t "classify" (fun () -> Classifier.classify t.classifier packet) with
   | Classifier.Benign -> []
   | Classifier.Suspicious reason -> (
-      t.stats.Stats.classified_suspicious <- t.stats.Stats.classified_suspicious + 1;
+      Obs.Registry.incr t.m.suspicious;
       Log.debug (fun m ->
           m "suspicious packet from %a (%s), %d payload bytes" Ipaddr.pp
             (Packet.src packet)
@@ -132,32 +184,32 @@ let process_packet t packet =
       | Some (buffer, flow_key) ->
           if String.length buffer < t.cfg.Config.min_payload then []
           else begin
-            let t0 = Sys.time () in
-            let results = analyze_buffer t buffer in
-            t.stats.Stats.analysis_seconds <-
-              t.stats.Stats.analysis_seconds +. (Sys.time () -. t0);
-            let fresh (result : Matcher.result) =
+            let verdicts = analyze t buffer in
+            let fresh (v : verdict) =
               match flow_key with
               | None -> true
-              | Some key ->
+              | Some key -> (
                   let tag =
-                    Flow.key_to_string key ^ "|" ^ result.Matcher.template
+                    Flow.key_to_string key ^ "|" ^ v.match_.Matcher.template
                   in
-                  if Hashtbl.mem t.flow_alerted tag then false
-                  else begin
-                    Hashtbl.add t.flow_alerted tag ();
-                    true
-                  end
+                  match Lru.find t.flow_alerted tag with
+                  | Some () -> false
+                  | None ->
+                      let before = Lru.evictions t.flow_alerted in
+                      Lru.add t.flow_alerted tag ();
+                      Obs.Registry.add t.m.flow_evictions
+                        (Lru.evictions t.flow_alerted - before);
+                      true)
             in
             let alerts =
               List.filter_map
-                (fun (frame, result) ->
-                  if fresh result then
-                    Some (Alert.make ~packet ~reason ~frame ~result)
+                (fun v ->
+                  if fresh v then
+                    Some (Alert.make ~packet ~reason ~frame:v.frame ~result:v.match_)
                   else None)
-                results
+                verdicts
             in
-            t.stats.Stats.alerts <- t.stats.Stats.alerts + List.length alerts;
+            Obs.Registry.add t.m.alerts (List.length alerts);
             List.iter
               (fun a -> Log.info (fun m -> m "%s" (Alert.to_line a)))
               alerts;
@@ -171,12 +223,18 @@ let process_pcap t (file : Sanids_pcap.Pcap.file) =
     (fun r -> match r with Ok p -> process_packet t p | Error _ -> [])
     (Sanids_pcap.Pcap.to_packets file)
 
-let analyze_payload t payload =
-  let t0 = Sys.time () in
-  let results = analyze_buffer t payload in
-  t.stats.Stats.analysis_seconds <-
-    t.stats.Stats.analysis_seconds +. (Sys.time () -. t0);
-  List.map snd results
+let analyze_payload t payload = List.map (fun v -> v.match_) (analyze t payload)
 
-let stats t = t.stats
+let registry t = t.reg
+
+let snapshot t =
+  (* occupancy gauges are sampled, not event-driven *)
+  Obs.Registry.set_gauge t.vcache_entries
+    (match t.verdicts with
+    | Some c -> float_of_int (Lru.length c)
+    | None -> 0.0);
+  Obs.Registry.set_gauge t.flow_entries (float_of_int (Lru.length t.flow_alerted));
+  Obs.Registry.snapshot t.reg
+
+let stats t = Stats.of_snapshot (snapshot t)
 let config t = t.cfg

@@ -1,10 +1,30 @@
 (** The full semantics-aware NIDS (paper Figure 3): traffic classifier →
     binary detection & extraction → disassembler → IR → semantic
-    analyzer. *)
+    analyzer.
+
+    Every pipeline owns a metrics registry ({!Sanids_obs.Registry.t}):
+    stage counters, occupancy gauges and per-stage latency histograms
+    ([sanids_stage_classify_seconds], [_extract_], [_match_],
+    [_analyze_]).  {!snapshot} exports it; {!stats} is the stable typed
+    view over that snapshot.  Registries are single-domain — the
+    parallel driver gives each worker its own pipeline and merges
+    snapshots ({!Parallel}). *)
 
 type t
 
-val create : Config.t -> t
+type verdict = {
+  frame : Sanids_extract.Extractor.frame;
+      (** the extracted frame the match was found in *)
+  match_ : Matcher.result;
+  cached : bool;  (** served from the verdict cache, not re-analyzed *)
+}
+(** One template match on one analyzed buffer — the typed result of the
+    analysis stages. *)
+
+val create : ?tracer:Sanids_obs.Span.tracer -> Config.t -> t
+(** [tracer] attaches JSONL span tracing to the pipeline's stage timers.
+    @raise Invalid_argument when {!Config.validate} rejects the
+    configuration. *)
 
 val process_packet : t -> Packet.t -> Alert.t list
 (** Run one packet through the pipeline.  At most one alert per template
@@ -15,12 +35,24 @@ val process_packets : t -> Packet.t list -> Alert.t list
 val process_pcap : t -> Sanids_pcap.Pcap.file -> Alert.t list
 (** Unparseable records are counted and skipped. *)
 
-val analyze_payload : t -> string -> Matcher.result list
+val analyze : t -> string -> verdict list
 (** The analysis stages only (no classification): extraction per config,
-    then disassembly and template matching.  This is what the timing
-    experiments measure. *)
+    then disassembly and template matching, deduplicated to one verdict
+    per template name.  This is what the timing experiments measure. *)
+
+val analyze_payload : t -> string -> Matcher.result list
+(** [analyze] projected to bare matcher results. *)
+
+val registry : t -> Sanids_obs.Registry.t
+(** The pipeline's live metrics registry (also the place for cooperating
+    layers — e.g. {!Hybrid} — to register their own metrics). *)
+
+val snapshot : t -> Sanids_obs.Snapshot.t
+(** Sample occupancy gauges and snapshot the registry. *)
 
 val stats : t -> Stats.t
+(** [Stats.of_snapshot (snapshot t)]. *)
+
 val config : t -> Config.t
 
 val log_src : Logs.src

@@ -1,21 +1,23 @@
+module Obs = Sanids_obs
+
 type t = {
-  mutable packets : int;
-  mutable bytes : int;
-  mutable classified_suspicious : int;
-  mutable prefilter_hits : int;
-  mutable frames : int;
-  mutable frame_bytes : int;
-  mutable alerts : int;
-  mutable analysis_seconds : float;
-  mutable verdict_cache_hits : int;
-  mutable verdict_cache_misses : int;
-  mutable verdict_cache_evictions : int;
-  mutable decode_memo_hits : int;
-  mutable decode_memo_misses : int;
-  mutable scan_budget_exhausted : int;
+  packets : int;
+  bytes : int;
+  classified_suspicious : int;
+  prefilter_hits : int;
+  frames : int;
+  frame_bytes : int;
+  alerts : int;
+  analysis_seconds : float;
+  verdict_cache_hits : int;
+  verdict_cache_misses : int;
+  verdict_cache_evictions : int;
+  decode_memo_hits : int;
+  decode_memo_misses : int;
+  scan_budget_exhausted : int;
 }
 
-let create () =
+let zero =
   {
     packets = 0;
     bytes = 0;
@@ -33,21 +35,26 @@ let create () =
     scan_budget_exhausted = 0;
   }
 
-let reset t =
-  t.packets <- 0;
-  t.bytes <- 0;
-  t.classified_suspicious <- 0;
-  t.prefilter_hits <- 0;
-  t.frames <- 0;
-  t.frame_bytes <- 0;
-  t.alerts <- 0;
-  t.analysis_seconds <- 0.0;
-  t.verdict_cache_hits <- 0;
-  t.verdict_cache_misses <- 0;
-  t.verdict_cache_evictions <- 0;
-  t.decode_memo_hits <- 0;
-  t.decode_memo_misses <- 0;
-  t.scan_budget_exhausted <- 0
+(* The registry metric each field is a view of. *)
+let of_snapshot s =
+  let c = Obs.Snapshot.counter_value s in
+  {
+    packets = c "sanids_packets_total";
+    bytes = c "sanids_bytes_total";
+    classified_suspicious = c "sanids_classified_suspicious_total";
+    prefilter_hits = c "sanids_prefilter_hits_total";
+    frames = c "sanids_frames_total";
+    frame_bytes = c "sanids_frame_bytes_total";
+    alerts = c "sanids_alerts_total";
+    analysis_seconds =
+      Obs.Histogram.sum (Obs.Snapshot.histogram s "sanids_stage_analyze_seconds");
+    verdict_cache_hits = c "sanids_verdict_cache_hits_total";
+    verdict_cache_misses = c "sanids_verdict_cache_misses_total";
+    verdict_cache_evictions = c "sanids_verdict_cache_evictions_total";
+    decode_memo_hits = c "sanids_decode_memo_hits_total";
+    decode_memo_misses = c "sanids_decode_memo_misses_total";
+    scan_budget_exhausted = c "sanids_scan_budget_exhausted_total";
+  }
 
 let decode_memo_ratio t =
   let total = t.decode_memo_hits + t.decode_memo_misses in

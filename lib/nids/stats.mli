@@ -1,27 +1,38 @@
-(** Per-stage pipeline counters and timings. *)
+(** Per-stage pipeline counters and timings — a thin typed view computed
+    from an observability snapshot ({!Sanids_obs.Snapshot.t}).
+
+    The pipeline itself accumulates into a metrics registry; [t] exists
+    so callers keep a stable record to read and a stable [pp] rendering.
+    Aggregation happens on snapshots ({!Sanids_obs.Snapshot.merge}), not
+    on this view. *)
 
 type t = {
-  mutable packets : int;
-  mutable bytes : int;
-  mutable classified_suspicious : int;
-  mutable prefilter_hits : int;  (** payloads past the cheap suspicion gate *)
-  mutable frames : int;
-  mutable frame_bytes : int;  (** bytes handed to the disassembler *)
-  mutable alerts : int;
-  mutable analysis_seconds : float;  (** CPU time in extract+disassemble+match *)
-  mutable verdict_cache_hits : int;
+  packets : int;
+  bytes : int;
+  classified_suspicious : int;
+  prefilter_hits : int;  (** payloads past the cheap suspicion gate *)
+  frames : int;
+  frame_bytes : int;  (** bytes handed to the disassembler *)
+  alerts : int;
+  analysis_seconds : float;
+      (** wall time in extract+disassemble+match (the
+          [sanids_stage_analyze_seconds] histogram's sum) *)
+  verdict_cache_hits : int;
       (** analyses short-circuited by the payload verdict cache *)
-  mutable verdict_cache_misses : int;
-  mutable verdict_cache_evictions : int;
-  mutable decode_memo_hits : int;
+  verdict_cache_misses : int;
+  verdict_cache_evictions : int;
+  decode_memo_hits : int;
       (** per-offset decodes served from the scan's instruction cache *)
-  mutable decode_memo_misses : int;
-  mutable scan_budget_exhausted : int;
+  decode_memo_misses : int;
+  scan_budget_exhausted : int;
       (** scans that ran out of work budget with templates still open *)
 }
 
-val create : unit -> t
-val reset : t -> unit
+val zero : t
+
+val of_snapshot : Sanids_obs.Snapshot.t -> t
+(** Project the [sanids_*] metrics of a snapshot into the typed view;
+    absent metrics read as zero. *)
 
 val decode_memo_ratio : t -> float
 (** [decode_memo_hits / (hits + misses)]; [0.] when no decoding ran. *)

@@ -1,0 +1,82 @@
+(* Exposition formats.  Output is deterministic: metrics render in name
+   order (Snapshot.to_list is sorted), histogram buckets in ascending
+   [le] order. *)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let add_hist_lines b name (h : Histogram.snap) =
+  let cum = ref 0 in
+  for i = 0 to Histogram.nbuckets - 1 do
+    if h.Histogram.counts.(i) > 0 then begin
+      cum := !cum + h.Histogram.counts.(i);
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+           (float_str (Histogram.bucket_upper i))
+           !cum)
+    end
+  done;
+  Buffer.add_string b
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Histogram.total);
+  Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (float_str h.Histogram.sum));
+  Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.Histogram.total)
+
+let to_prometheus ?(help = fun _ -> None) snap =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      (match help name with
+      | Some h when h <> "" ->
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name h)
+      | Some _ | None -> ());
+      match v with
+      | Snapshot.Counter n ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" name n)
+      | Snapshot.Gauge g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" name (float_str g))
+      | Snapshot.Hist h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+          add_hist_lines b name h)
+    (Snapshot.to_list snap);
+  Buffer.contents b
+
+let jsonl_of_value name v =
+  match v with
+  | Snapshot.Counter n ->
+      Printf.sprintf "{\"metric\":\"%s\",\"type\":\"counter\",\"value\":%d}" name n
+  | Snapshot.Gauge g ->
+      Printf.sprintf "{\"metric\":\"%s\",\"type\":\"gauge\",\"value\":%s}" name
+        (float_str g)
+  | Snapshot.Hist h ->
+      let buckets = Buffer.create 64 in
+      let first = ref true in
+      for i = 0 to Histogram.nbuckets - 1 do
+        if h.Histogram.counts.(i) > 0 then begin
+          if not !first then Buffer.add_char buckets ',';
+          first := false;
+          Buffer.add_string buckets
+            (Printf.sprintf "[%s,%d]"
+               (float_str (Histogram.bucket_upper i))
+               h.Histogram.counts.(i))
+        end
+      done;
+      Printf.sprintf
+        "{\"metric\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+        name h.Histogram.total (float_str h.Histogram.sum)
+        (Buffer.contents buckets)
+
+let to_jsonl snap =
+  String.concat ""
+    (List.map
+       (fun (name, v) -> jsonl_of_value name v ^ "\n")
+       (Snapshot.to_list snap))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,19 @@
+(** Snapshot exposition: Prometheus text format and JSONL.
+
+    Both renderings are deterministic — metrics in name order,
+    histogram buckets in ascending [le] order — so exports over seeded
+    workloads diff cleanly. *)
+
+val to_prometheus : ?help:(string -> string option) -> Snapshot.t -> string
+(** Prometheus text exposition (version 0.0.4): [# TYPE] (and [# HELP]
+    when [help] yields one) per metric; histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count].  Empty buckets are
+    elided; the [+Inf] bucket is always present. *)
+
+val to_jsonl : Snapshot.t -> string
+(** One JSON object per metric per line.  Histograms carry
+    [[upper_bound, count]] pairs for their non-empty buckets. *)
+
+val write_file : string -> string -> unit
+(** [write_file path content] — tiny helper shared by the CLI and the
+    dune check-obs rule. *)

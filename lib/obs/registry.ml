@@ -1,0 +1,92 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type metric =
+  | Mcounter of counter
+  | Mgauge of gauge
+  | Mhist of Histogram.t
+
+type t = {
+  tbl : (string, metric * string) Hashtbl.t;  (* name -> metric, help *)
+  mutable order : string list;  (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let register t name help make describe =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
+  match Hashtbl.find_opt t.tbl name with
+  | Some (m, _) -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl name (m, help);
+      t.order <- name :: t.order;
+      ignore describe;
+      m
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Registry: metric %S already registered with another kind (wanted %s)"
+       name want)
+
+let counter t ?(help = "") name =
+  match register t name help (fun () -> Mcounter { c = 0 }) "counter" with
+  | Mcounter c -> c
+  | Mgauge _ | Mhist _ -> kind_error name "counter"
+
+let gauge t ?(help = "") name =
+  match register t name help (fun () -> Mgauge { g = 0.0 }) "gauge" with
+  | Mgauge g -> g
+  | Mcounter _ | Mhist _ -> kind_error name "gauge"
+
+let histogram t ?(help = "") name =
+  match register t name help (fun () -> Mhist (Histogram.create ())) "histogram" with
+  | Mhist h -> h
+  | Mcounter _ | Mgauge _ -> kind_error name "histogram"
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+
+let set_gauge g v = g.g <- v
+let add_gauge g v = g.g <- g.g +. v
+let gauge_value g = g.g
+
+let help t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (_, "") | None -> None
+  | Some (_, h) -> Some h
+
+let snapshot t =
+  Snapshot.of_list
+    (Hashtbl.fold
+       (fun name (m, _) acc ->
+         let v =
+           match m with
+           | Mcounter c -> Snapshot.Counter c.c
+           | Mgauge g -> Snapshot.Gauge g.g
+           | Mhist h -> Snapshot.Hist (Histogram.snap h)
+         in
+         (name, v) :: acc)
+       t.tbl [])
+
+let reset t =
+  Hashtbl.iter
+    (fun _ (m, _) ->
+      match m with
+      | Mcounter c -> c.c <- 0
+      | Mgauge g -> g.g <- 0.0
+      | Mhist h -> Histogram.reset h)
+    t.tbl

@@ -1,0 +1,43 @@
+(** A typed registry of named metrics.
+
+    [counter]/[gauge]/[histogram] register a metric on first use and
+    return the existing one afterwards, so handle resolution is by name
+    and idempotent; the handles themselves are unboxed-mutable and free
+    to bump on the hot path.  Names must match the Prometheus grammar
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]; re-registering a name as a different
+    kind raises.
+
+    A registry is deliberately {e not} thread-safe: the scaling design
+    gives each worker domain its own registry and combines them with
+    {!Snapshot.merge} at batch boundaries. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> counter
+(** Register (or fetch) a monotonically increasing counter.
+    @raise Invalid_argument on a malformed name or kind conflict. *)
+
+val gauge : t -> ?help:string -> string -> gauge
+val histogram : t -> ?help:string -> string -> Histogram.t
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val help : t -> string -> string option
+(** The help text a metric was registered with, if any. *)
+
+val snapshot : t -> Snapshot.t
+(** An immutable copy of every registered metric's current value. *)
+
+val reset : t -> unit
+(** Zero every metric (registrations persist). *)

@@ -1,0 +1,63 @@
+module M = Map.Make (String)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of Histogram.snap
+
+type t = value M.t
+
+let empty = M.empty
+
+let merge_value name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x +. y)
+  | Hist x, Hist y -> Hist (Histogram.merge x y)
+  | (Counter _ | Gauge _ | Hist _), _ ->
+      invalid_arg
+        (Printf.sprintf "Snapshot.merge: metric %S has conflicting kinds" name)
+
+let merge a b =
+  M.union (fun name x y -> Some (merge_value name x y)) a b
+
+let of_list l =
+  List.fold_left
+    (fun m (name, v) ->
+      M.update name
+        (function None -> Some v | Some v0 -> Some (merge_value name v0 v))
+        m)
+    empty l
+
+let to_list t = M.bindings t
+
+let find t name = M.find_opt name t
+
+let counter_value t name =
+  match M.find_opt name t with Some (Counter n) -> n | _ -> 0
+
+let gauge_value t name =
+  match M.find_opt name t with Some (Gauge g) -> g | _ -> 0.0
+
+let histogram t name =
+  match M.find_opt name t with Some (Hist h) -> h | _ -> Histogram.empty_snap
+
+let counters t =
+  M.fold
+    (fun name v acc -> match v with Counter n -> (name, n) :: acc | _ -> acc)
+    t []
+  |> List.rev
+
+let equal a b = to_list a = to_list b
+
+let pp_value ppf = function
+  | Counter n -> Format.fprintf ppf "%d" n
+  | Gauge g -> Format.fprintf ppf "%g" g
+  | Hist h -> Histogram.pp ppf h
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%s = %a@," name pp_value v)
+    (to_list t);
+  Format.fprintf ppf "@]"

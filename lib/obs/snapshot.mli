@@ -1,0 +1,44 @@
+(** Immutable metric snapshots — the unit of cross-domain aggregation.
+
+    A snapshot maps metric names to values.  {!merge} is a commutative
+    monoid with {!empty} as identity: counters and gauges add, histograms
+    add bucket-wise.  That law (checked by qcheck in the test suite) is
+    what makes per-worker-domain registries combine exactly: summing the
+    snapshots of N sharded pipelines yields the same counters as one
+    sequential pipeline over the same traffic. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of Histogram.snap
+
+type t
+
+val empty : t
+
+val merge : t -> t -> t
+(** Point-wise monoid merge.
+    @raise Invalid_argument if the two snapshots bind the same name to
+    different metric kinds. *)
+
+val of_list : (string * value) list -> t
+(** Duplicate names are merged (same law as {!merge}). *)
+
+val to_list : t -> (string * value) list
+(** Sorted by metric name — exporters rely on this for deterministic
+    output. *)
+
+val find : t -> string -> value option
+
+val counter_value : t -> string -> int
+(** [0] when absent or not a counter. *)
+
+val gauge_value : t -> string -> float
+val histogram : t -> string -> Histogram.snap
+
+val counters : t -> (string * int) list
+(** Just the counters, sorted by name. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type tracer = {
+  oc : out_channel;
+  sample : int;  (* emit every [sample]-th span *)
+  mutable seen : int;
+  mutable emitted : int;
+  lock : Mutex.t;  (* spans may come from several domains *)
+}
+
+let tracer ?(sample = 1) oc =
+  if sample <= 0 then invalid_arg "Span.tracer: sample must be positive";
+  { oc; sample; seen = 0; emitted = 0; lock = Mutex.create () }
+
+let emitted t = t.emitted
+
+let flush t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> flush t.oc)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One JSONL event per sampled span:
+     {"span":"match","ts":1723043.123456,"dur_us":81.3,"seq":7}
+   [ts] is the span's start on the gettimeofday clock, [seq] numbers
+   emitted events per tracer. *)
+let emit t name ~ts ~dur =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      t.seen <- t.seen + 1;
+      if t.seen mod t.sample = 0 then begin
+        Printf.fprintf t.oc "{\"span\":\"%s\",\"ts\":%.6f,\"dur_us\":%.3f,\"seq\":%d}\n"
+          (json_escape name) ts (dur *. 1e6) t.emitted;
+        t.emitted <- t.emitted + 1
+      end)
+
+let metric_of_stage name = "sanids_stage_" ^ name ^ "_seconds"
+
+let with_ ?tracer reg name f =
+  let h =
+    Registry.histogram reg
+      ~help:(Printf.sprintf "latency of the %s stage" name)
+      (metric_of_stage name)
+  in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur = Unix.gettimeofday () -. t0 in
+      Histogram.observe h dur;
+      match tracer with None -> () | Some t -> emit t name ~ts:t0 ~dur)
+    f

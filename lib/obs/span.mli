@@ -1,0 +1,33 @@
+(** Stage-scoped timer spans.
+
+    [with_ reg "match" f] times [f], records the duration in the
+    registry histogram [sanids_stage_match_seconds] (registering it on
+    first use), and — when a tracer is attached — emits one JSONL trace
+    event, subject to the tracer's sampling knob.  The duration is
+    recorded even when [f] raises.
+
+    Trace events are one JSON object per line:
+    [{"span":"match","ts":<start, unix seconds>,"dur_us":<duration, µs>,
+      "seq":<emitted-event index>}]. *)
+
+type tracer
+
+val tracer : ?sample:int -> out_channel -> tracer
+(** A tracer emitting every [sample]-th span (default 1: every span) to
+    the channel.  Emission is serialized with a mutex, so one tracer may
+    be shared across domains.
+    @raise Invalid_argument when [sample <= 0]. *)
+
+val emitted : tracer -> int
+(** Events written so far. *)
+
+val flush : tracer -> unit
+
+val with_ : ?tracer:tracer -> Registry.t -> string -> (unit -> 'a) -> 'a
+(** [with_ ?tracer reg stage f] runs [f] inside a span named [stage].
+    The stage name must make [sanids_stage_<stage>_seconds] a valid
+    metric name. *)
+
+val metric_of_stage : string -> string
+(** ["match" -> "sanids_stage_match_seconds"] — the histogram a span
+    records into. *)

@@ -344,13 +344,23 @@ let match_trace_indexed ~index_of_off (t : Template.t) trace ~entry =
 let match_trace t trace ~entry =
   match_trace_indexed ~index_of_off:(index_of_trace trace) t trace ~entry
 
-type scan_stats = {
-  mutable decode_hits : int;
-  mutable decode_misses : int;
-  mutable budget_exhausted : int;
-}
+module Obs = Sanids_obs
 
-let scan_stats () = { decode_hits = 0; decode_misses = 0; budget_exhausted = 0 }
+(* Scan accounting lands in an observability registry instead of an
+   out-parameter record; the names are shared with the NIDS pipeline so
+   per-domain registries merge into one coherent view. *)
+let decode_memo_hits = "sanids_decode_memo_hits_total"
+let decode_memo_misses = "sanids_decode_memo_misses_total"
+let scan_budget_exhausted = "sanids_scan_budget_exhausted_total"
+
+let record_scan reg ~hits ~misses ~exhausted =
+  let bump name help n =
+    if n <> 0 then Obs.Registry.add (Obs.Registry.counter reg ~help name) n
+  in
+  bump decode_memo_hits "per-offset decodes served from the scan's instruction cache" hits;
+  bump decode_memo_misses "per-offset decodes that had to run the decoder" misses;
+  bump scan_budget_exhausted "scans that ran out of work budget with templates still open"
+    exhausted
 
 (* Templates whose data requirements the region cannot meet are out before
    any trace is built.  One Aho–Corasick pass over the region answers
@@ -379,7 +389,7 @@ let data_prefilter ~templates code =
       templates
   end
 
-let scan ?entries ?stats ?(memoize = true) ~templates code =
+let scan ?entries ?metrics ?(memoize = true) ~templates code =
   let n = String.length code in
   let results = ref [] in
   if n = 0 then []
@@ -435,14 +445,14 @@ let scan ?entries ?stats ?(memoize = true) ~templates code =
         for o = 0 to n - 1 do
           if Bytes.get covered o = '\000' then run_entry o
         done);
-    (match stats with
-    | Some s ->
-        (match icache with
-        | Some c ->
-            s.decode_hits <- s.decode_hits + Icache.hits c;
-            s.decode_misses <- s.decode_misses + Icache.misses c
-        | None -> ());
-        if !exhausted then s.budget_exhausted <- s.budget_exhausted + 1
+    (match metrics with
+    | Some reg ->
+        let hits, misses =
+          match icache with
+          | Some c -> (Icache.hits c, Icache.misses c)
+          | None -> (0, 0)
+        in
+        record_scan reg ~hits ~misses ~exhausted:(if !exhausted then 1 else 0)
     | None -> ());
     List.rev !results
   end

@@ -21,19 +21,16 @@ type result = {
 val match_trace : Template.t -> Trace.t -> entry:int -> result option
 (** Try every start position along one trace. *)
 
-type scan_stats = {
-  mutable decode_hits : int;  (** decode-memo lookups served from cache *)
-  mutable decode_misses : int;  (** decode-memo lookups that decoded *)
-  mutable budget_exhausted : int;
-      (** scans that ran out of work budget with templates still open *)
-}
+val decode_memo_hits : string
+(** Registry counter names {!scan} accumulates into:
+    ["sanids_decode_memo_hits_total"], … *)
 
-val scan_stats : unit -> scan_stats
-(** A fresh all-zero counter record to pass to {!scan}. *)
+val decode_memo_misses : string
+val scan_budget_exhausted : string
 
 val scan :
   ?entries:int list ->
-  ?stats:scan_stats ->
+  ?metrics:Sanids_obs.Registry.t ->
   ?memoize:bool ->
   templates:Template.t list ->
   string ->
@@ -46,9 +43,10 @@ val scan :
 
     Decoding is shared across entries through an {!Icache.t} unless
     [memoize] is [false] (results are identical either way; the flag
-    exists so benchmarks can compare).  When [stats] is given, the
+    exists so benchmarks can compare).  When [metrics] is given, the
     decode-memo hit/miss counts and budget exhaustion are accumulated
-    into it. *)
+    into that registry under {!decode_memo_hits},
+    {!decode_memo_misses} and {!scan_budget_exhausted}. *)
 
 val satisfies : Template.t -> string -> bool
 (** The paper's [P |= T] relation, for one region of code. *)

@@ -60,3 +60,41 @@ End-to-end over a capture file:
   wrote trace.pcap (521 packets)
   $ sanids scan trace.pcap --unused 10.2.200.0/21 | grep -c 'ALERT code-red-ii'
   3
+
+The same scan exports its metrics registry as Prometheus text and its
+stage timings as JSONL spans.  Counter values are deterministic on the
+seeded trace; timings are not, so the checks are structural:
+
+  $ sanids scan trace.pcap --unused 10.2.200.0/21 \
+  >   --metrics scan.prom --trace spans.jsonl --trace-sample 2 > /dev/null
+  $ grep -A 1 '^# TYPE sanids_packets_total counter$' scan.prom
+  # TYPE sanids_packets_total counter
+  sanids_packets_total 521
+  $ grep '^sanids_alerts_total ' scan.prom
+  sanids_alerts_total 3
+  $ grep '^sanids_classify_scanner_total ' scan.prom
+  sanids_classify_scanner_total 9
+  $ grep -c '^# TYPE sanids_stage_[a-z]*_seconds histogram$' scan.prom
+  4
+
+Every line is a comment or a "name value" sample — nothing else:
+
+  $ grep -cv -e '^# \(HELP\|TYPE\) [a-zA-Z_:][a-zA-Z0-9_:]* ' \
+  >   -e '^[a-zA-Z_:][a-zA-Z0-9_:]*\({le="[^"]*"}\)\? [0-9.e+-]*$' scan.prom
+  0
+  [1]
+
+Spans are one JSON object per line, sequentially numbered, and sampling
+halves the emission:
+
+  $ head -n 1 spans.jsonl | sed 's/[0-9][0-9.]*/N/g'
+  {"span":"classify","ts":N,"dur_us":N,"seq":N}
+  $ grep -cv '^{"span":"[a-z]*","ts":[0-9.]*,"dur_us":[0-9.]*,"seq":[0-9]*}$' spans.jsonl
+  0
+  [1]
+
+Nonsense configurations are rejected up front:
+
+  $ sanids scan trace.pcap --scan-threshold 0
+  sanids scan: invalid configuration: scan_threshold must be positive (got 0)
+  [2]

@@ -116,13 +116,18 @@ let test_reason_strings () =
 (* ------------------------------------------------------------------ *)
 (* support modules *)
 
-let test_stats_reset () =
-  let s = Sanids_nids.Stats.create () in
-  s.Sanids_nids.Stats.packets <- 7;
-  s.Sanids_nids.Stats.alerts <- 3;
-  Sanids_nids.Stats.reset s;
-  Alcotest.(check int) "packets reset" 0 s.Sanids_nids.Stats.packets;
-  Alcotest.(check int) "alerts reset" 0 s.Sanids_nids.Stats.alerts
+let test_stats_snapshot_view () =
+  let module Obs = Sanids_obs in
+  let module Stats = Sanids_nids.Stats in
+  let reg = Obs.Registry.create () in
+  Obs.Registry.add (Obs.Registry.counter reg "sanids_packets_total") 7;
+  Obs.Registry.add (Obs.Registry.counter reg "sanids_alerts_total") 3;
+  let s = Stats.of_snapshot (Obs.Registry.snapshot reg) in
+  Alcotest.(check int) "packets from registry" 7 s.Stats.packets;
+  Alcotest.(check int) "alerts from registry" 3 s.Stats.alerts;
+  Alcotest.(check int) "absent metric reads zero" 0 s.Stats.frames;
+  Alcotest.(check bool) "zero is empty view" true
+    (Stats.of_snapshot Obs.Snapshot.empty = Stats.zero)
 
 let test_config_builders () =
   let open Sanids_nids in
@@ -138,6 +143,34 @@ let test_config_builders () =
   Alcotest.(check bool) "classification" false cfg.Config.classification_enabled;
   Alcotest.(check bool) "extraction" false cfg.Config.extraction_enabled;
   Alcotest.(check bool) "reassembly" true cfg.Config.reassemble
+
+let test_config_validate () =
+  let open Sanids_nids in
+  let cfg =
+    Config.default
+    |> Config.with_scan_threshold 3
+    |> Config.with_min_payload 8
+    |> Config.with_verdict_cache 128
+    |> Config.with_flow_alert_cache 256
+  in
+  (match Config.validate cfg with
+  | Ok c ->
+      Alcotest.(check int) "scan threshold kept" 3 c.Config.scan_threshold;
+      Alcotest.(check int) "flow cache kept" 256 c.Config.flow_alert_cache_size
+  | Error e -> Alcotest.failf "valid config rejected: %s" e);
+  let rejected c = match Config.validate c with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "scan_threshold 0 rejected" true
+    (rejected (Config.default |> Config.with_scan_threshold 0));
+  Alcotest.(check bool) "negative verdict cache rejected" true
+    (rejected { Config.default with Config.verdict_cache_size = -1 });
+  Alcotest.(check bool) "flow cache 0 rejected" true
+    (rejected { Config.default with Config.flow_alert_cache_size = 0 });
+  Alcotest.(check bool) "negative min_payload rejected" true
+    (rejected { Config.default with Config.min_payload = -4 });
+  (* Pipeline.create refuses what validate refuses *)
+  match Pipeline.create (Config.default |> Config.with_scan_threshold (-2)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Pipeline.create must reject invalid configs"
 
 let test_template_guards () =
   let open Sanids_semantic.Template in
@@ -188,8 +221,9 @@ let () =
         ] );
       ( "support",
         [
-          Alcotest.test_case "stats reset" `Quick test_stats_reset;
+          Alcotest.test_case "stats snapshot view" `Quick test_stats_snapshot_view;
           Alcotest.test_case "config builders" `Quick test_config_builders;
+          Alcotest.test_case "config validate" `Quick test_config_validate;
           Alcotest.test_case "template guards" `Quick test_template_guards;
           Alcotest.test_case "template validation" `Quick test_template_make_validation;
           Alcotest.test_case "shipped template names" `Quick test_template_names;

@@ -9,6 +9,7 @@ open Sanids_semantic
 open Sanids_net
 open Sanids_nids
 open Sanids_exploits
+module Obs = Sanids_obs
 
 (* ------------------------------------------------------------------ *)
 (* Lru *)
@@ -191,28 +192,33 @@ let test_decode_memo_wins_on_sled () =
      candidate entry decodes through the same sled, so without the memo
      an n-byte sled costs ~entries × trace-length decodes *)
   let code = decoder_with_sled 96 in
-  let stats = Matcher.scan_stats () in
+  let reg = Obs.Registry.create () in
   let entries = Trace.entry_points code in
   let results =
-    Matcher.scan ~entries ~stats ~templates:Template_lib.default_set code
+    Matcher.scan ~entries ~metrics:reg ~templates:Template_lib.default_set code
   in
+  let snap = Obs.Registry.snapshot reg in
+  let hits = Obs.Snapshot.counter_value snap Matcher.decode_memo_hits in
+  let misses = Obs.Snapshot.counter_value snap Matcher.decode_memo_misses in
   Alcotest.(check bool) "decoder found through sled" true (results <> []);
-  Alcotest.(check bool) "memo hits dominate" true
-    (stats.Matcher.decode_hits > stats.Matcher.decode_misses);
+  Alcotest.(check bool) "memo hits dominate" true (hits > misses);
   (* with sharing, actual decodes are bounded by the region size *)
   Alcotest.(check bool) "misses bounded by region size" true
-    (stats.Matcher.decode_misses <= String.length code)
+    (misses <= String.length code)
 
 let test_scan_budget_exhaustion_counted () =
   (* every offset of a long all-NOP region as an explicit entry: each
      trace is ~1024 steps, so the 4n work budget drains long before the
      entry list does, and no template ever matches *)
   let code = String.make 4096 '\x90' in
-  let stats = Matcher.scan_stats () in
+  let reg = Obs.Registry.create () in
   let entries = List.init (String.length code) (fun i -> i) in
-  ignore (Matcher.scan ~entries ~stats ~templates:Template_lib.xor_decrypt code);
+  ignore
+    (Matcher.scan ~entries ~metrics:reg ~templates:Template_lib.xor_decrypt code);
   Alcotest.(check int) "budget exhaustion recorded" 1
-    stats.Matcher.budget_exhausted
+    (Obs.Snapshot.counter_value
+       (Obs.Registry.snapshot reg)
+       Matcher.scan_budget_exhausted)
 
 let test_data_prefilter () =
   let base = List.hd Template_lib.xor_decrypt in

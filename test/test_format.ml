@@ -138,8 +138,7 @@ let test_reader_seek_bounds () =
   Alcotest.(check bool) "seek to end ok" true (Byte_io.Reader.is_empty r)
 
 let test_stats_pp () =
-  let s = Sanids_nids.Stats.create () in
-  s.Sanids_nids.Stats.packets <- 3;
+  let s = { Sanids_nids.Stats.zero with Sanids_nids.Stats.packets = 3 } in
   let rendered = Format.asprintf "%a" Sanids_nids.Stats.pp s in
   Alcotest.(check bool) "mentions packets" true
     (String.length rendered > 8 && String.sub rendered 0 8 = "packets=")

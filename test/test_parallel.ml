@@ -4,6 +4,7 @@
 open Sanids_net
 open Sanids_nids
 open Sanids_exploits
+module Obs = Sanids_obs
 
 let ip = Ipaddr.of_string
 let clients = Ipaddr.prefix_of_string "172.18.0.0/16"
@@ -107,6 +108,84 @@ let test_streaming_matches_batch () =
   Alcotest.(check (list string)) "stream equals batch"
     (sorted_keys batch_alerts) (sorted_keys !collected)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot.merge is a commutative monoid — the law the sharded design
+   rests on.  Gauge values and histogram observations are integer-valued
+   so float addition is exact and equality is meaningful. *)
+
+let hist_snap obs =
+  let h = Obs.Histogram.create () in
+  List.iter (fun n -> Obs.Histogram.observe h (float_of_int n)) obs;
+  Obs.Histogram.snap h
+
+let snapshot_gen =
+  let open QCheck2.Gen in
+  let entry =
+    oneof
+      [
+        map2
+          (fun i n -> (Printf.sprintf "c%d_total" (i mod 3), Obs.Snapshot.Counter (n mod 500)))
+          small_nat small_nat;
+        map2
+          (fun i n ->
+            (Printf.sprintf "g%d" (i mod 3), Obs.Snapshot.Gauge (float_of_int (n mod 500))))
+          small_nat small_nat;
+        map2
+          (fun i obs -> (Printf.sprintf "h%d_seconds" (i mod 2), Obs.Snapshot.Hist (hist_snap obs)))
+          small_nat
+          (list_size (int_range 0 6) (int_range 0 30));
+      ]
+  in
+  map Obs.Snapshot.of_list (list_size (int_range 0 10) entry)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"Snapshot.merge commutative" ~count:200
+    QCheck2.Gen.(pair snapshot_gen snapshot_gen)
+    (fun (a, b) ->
+      Obs.Snapshot.equal (Obs.Snapshot.merge a b) (Obs.Snapshot.merge b a))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"Snapshot.merge associative" ~count:200
+    QCheck2.Gen.(triple snapshot_gen snapshot_gen snapshot_gen)
+    (fun (a, b, c) ->
+      Obs.Snapshot.equal
+        (Obs.Snapshot.merge (Obs.Snapshot.merge a b) c)
+        (Obs.Snapshot.merge a (Obs.Snapshot.merge b c)))
+
+let prop_merge_identity =
+  QCheck2.Test.make ~name:"Snapshot.empty is the merge identity" ~count:200
+    snapshot_gen
+    (fun a ->
+      Obs.Snapshot.equal (Obs.Snapshot.merge Obs.Snapshot.empty a) a
+      && Obs.Snapshot.equal (Obs.Snapshot.merge a Obs.Snapshot.empty) a)
+
+(* Merged per-domain registries equal the sequential pipeline's registry
+   on the same workload.  Verdict caching is off: with it on, a payload
+   seen in two shards is two cache misses but one sequentially, so cache
+   counters are legitimately shard-dependent. *)
+let test_registry_parity () =
+  let pkts = workload () in
+  let cfg = config |> Config.with_verdict_cache 0 in
+  let seq = Pipeline.create cfg in
+  let _ = Pipeline.process_packets seq pkts in
+  (* timing histograms are wall-clock and never match; compare the typed
+     counter view with the timing field masked *)
+  let mask s = { s with Stats.analysis_seconds = 0.0 } in
+  let render s = Format.asprintf "%a" Stats.pp (mask s) in
+  let seq_stats = Pipeline.stats seq in
+  List.iter
+    (fun domains ->
+      let _, snap = Parallel.process_snapshot ~domains cfg pkts in
+      Alcotest.(check string)
+        (Printf.sprintf "counters match sequential with %d domains" domains)
+        (render seq_stats)
+        (render (Stats.of_snapshot snap)))
+    [ 1; 2; 4 ]
+
+let merge_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_merge_commutative; prop_merge_associative; prop_merge_identity ]
+
 let () =
   Alcotest.run "parallel"
     [
@@ -115,7 +194,9 @@ let () =
           Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "sharding consistent" `Quick test_sharding_consistent;
+          Alcotest.test_case "registry parity" `Quick test_registry_parity;
         ] );
+      ("merge-laws", merge_properties);
       ( "streaming",
         [
           Alcotest.test_case "cross-batch state" `Quick test_streaming_cross_batch_state;

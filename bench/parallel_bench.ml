@@ -46,4 +46,39 @@ let run ~packets () =
     "per-source sharding keeps classifier semantics exact while the frame analysis parallelizes";
   if cores = 1 then
     Bench_util.note
-      "this container exposes a single core: the sweep is capped at 1 domain (shard-equivalence is still exercised by the test suite)"
+      "this container exposes a single core: the sweep is capped at 1 domain (shard-equivalence is still exercised by the test suite)";
+  (* stream mode: the same workload through bounded admission queues.
+     Block is lossless backpressure; the drop policies shed (and count)
+     what a small queue cannot absorb *)
+  Bench_util.hr "Stream mode load shedding (bounded admission queues)";
+  let domains = min 4 (max 1 cores) in
+  let shed_rows =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun capacity ->
+            let cfg =
+              cfg
+              |> Config.with_stream_queue capacity
+              |> Config.with_stream_policy policy
+            in
+            let stats, dt =
+              Bench_util.time (fun () ->
+                  Parallel.process_seq ~domains cfg (List.to_seq pkts) (fun _ -> ()))
+            in
+            [
+              Bqueue.policy_to_string policy;
+              string_of_int capacity;
+              Printf.sprintf "%.2f s" dt;
+              Printf.sprintf "%.0f pkt/s" (float_of_int packets /. dt);
+              string_of_int stats.Stats.packets;
+              string_of_int stats.Stats.shed;
+            ])
+          [ 64; 4096 ])
+      [ Bqueue.Block; Bqueue.Drop_oldest ]
+  in
+  Bench_util.table
+    [ "policy"; "queue"; "wall time"; "throughput"; "analyzed"; "shed" ]
+    shed_rows;
+  Bench_util.note
+    "analyzed + shed = offered on every row; shedding bounds worker memory, not the workload"

@@ -12,6 +12,13 @@
 open Sanids
 open Cmdliner
 
+(* BSD sysexits-style codes, cram-tested: bad flags or configuration are
+   the caller's fault (64), a capture the decoder rejects is bad data
+   (65), anything unexpected is ours (70). *)
+let exit_usage = 64
+let exit_dataerr = 65
+let exit_software = 70
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -44,14 +51,31 @@ let ipaddr_conv =
 
 let prefix_conv =
   let parse s =
-    match Ipaddr.prefix_of_string s with
-    | p -> Ok p
-    | exception _ -> Error (`Msg (Printf.sprintf "bad prefix %S (want a.b.c.d/len)" s))
+    match Ipaddr.prefix_of_string_opt s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "bad prefix %S (want a.b.c.d/len)" s))
   in
   Arg.conv (parse, fun ppf p -> Format.fprintf ppf "%s" (Ipaddr.prefix_to_string p))
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic RNG seed.")
+
+let fault_conv =
+  let parse s =
+    match Fault.of_string s with Ok t -> Ok t | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Fault.to_string t))
+
+let policy_conv =
+  let parse s =
+    match Bqueue.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad drop policy %S (want block|drop_newest|drop_oldest)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Bqueue.policy_to_string p))
 
 (* ------------------------------------------------------------------ *)
 (* sanids scan *)
@@ -101,8 +125,43 @@ let scan_cmd =
     Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N"
            ~doc:"Emit every N-th span (with --trace).")
   in
+  let fault =
+    Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Corrupt the capture before analysis, e.g. \
+                 $(b,truncate=0.1,bitflip=0.05,dup=0.01,reorder=0.2,garbage=0.02) \
+                 - resilience drills against the typed ingest boundary.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
+           ~doc:"RNG seed for --fault (same spec and seed replay the same \
+                 corruption).")
+  in
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Process the capture through the multicore stream pipeline \
+                 (bounded admission queues, load shedding per \
+                 --drop-policy).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for --stream (default: the machine's \
+                 recommended count, capped at 8).")
+  in
+  let queue =
+    Arg.(value & opt int Config.default.Config.stream_queue_capacity
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Per-worker admission queue capacity for --stream.")
+  in
+  let drop_policy =
+    Arg.(value & opt policy_conv Config.default.Config.stream_drop_policy
+         & info [ "drop-policy" ] ~docv:"POLICY"
+             ~doc:"Full-queue behaviour for --stream: $(b,block) (lossless \
+                   backpressure), $(b,drop_newest) or $(b,drop_oldest); \
+                   shed packets are counted as sanids_shed_total.")
+  in
   let run path honeypots unused no_classify no_extract scan_threshold
-      verdict_cache metrics_out trace_out trace_sample verbose =
+      verdict_cache fault fault_seed stream domains queue drop_policy
+      metrics_out trace_out trace_sample verbose =
     setup_logs verbose;
     let cfg =
       Config.default |> Config.with_honeypots honeypots
@@ -111,42 +170,84 @@ let scan_cmd =
       |> Config.with_extraction (not no_extract)
       |> Config.with_scan_threshold scan_threshold
       |> Config.with_verdict_cache verdict_cache
+      |> Config.with_stream_queue queue
+      |> Config.with_stream_policy drop_policy
     in
     match Config.validate cfg with
     | Error msg ->
         Printf.eprintf "sanids scan: invalid configuration: %s\n" msg;
-        exit 2
-    | Ok cfg ->
+        exit exit_usage
+    | Ok cfg -> (
         if trace_sample <= 0 then begin
           Printf.eprintf "sanids scan: --trace-sample must be positive (got %d)\n"
             trace_sample;
-          exit 2
+          exit exit_usage
         end;
-        let trace_oc = Option.map open_out trace_out in
-        let tracer =
-          Option.map (Obs.Span.tracer ~sample:trace_sample) trace_oc
-        in
-        let nids = Pipeline.create ?tracer cfg in
-        let capture = Pcap.read_file path in
-        let alerts = Pipeline.process_pcap nids capture in
-        List.iter (fun a -> print_endline (Alert.to_line a)) alerts;
-        Format.printf "%a@." Stats.pp (Pipeline.stats nids);
-        (match metrics_out with
-        | Some file ->
-            let reg = Pipeline.registry nids in
-            Obs.Export.write_file file
-              (Obs.Export.to_prometheus ~help:(Obs.Registry.help reg)
-                 (Pipeline.snapshot nids))
-        | None -> ());
-        (match tracer with Some t -> Obs.Span.flush t | None -> ());
-        Option.iter close_out trace_oc;
-        if alerts = [] then print_endline "no alerts"
+        (* all decoding goes through the typed ingest boundary: framing
+           faults are fatal bad data (65), per-record faults are counted
+           and skipped, and the ingest counters join the exported
+           snapshot so records_in reconciles with packets + errors +
+           shed *)
+        let ingest_reg = Obs.Registry.create () in
+        let ing = Ingest.metrics ingest_reg in
+        match Ingest.decode_file ~metrics:ing (read_file path) with
+        | Error e ->
+            Printf.eprintf "sanids scan: %s: %s\n" path (Ingest.error_to_string e);
+            exit exit_dataerr
+        | Ok capture ->
+            let capture =
+              match fault with
+              | None -> capture
+              | Some plan -> Fault.file ~seed:(Int64.of_int fault_seed) plan capture
+            in
+            let packets = Ingest.ok_packets ~metrics:ing capture in
+            let snap, help_regs, no_alerts =
+              if stream then begin
+                if trace_out <> None then
+                  Printf.eprintf "sanids scan: --trace is ignored with --stream\n";
+                let count = ref 0 in
+                let snap =
+                  Parallel.process_seq_snapshot ?domains cfg (List.to_seq packets)
+                    (fun alerts ->
+                      List.iter
+                        (fun a ->
+                          incr count;
+                          print_endline (Alert.to_line a))
+                        alerts)
+                in
+                (snap, [ ingest_reg ], !count = 0)
+              end
+              else begin
+                let trace_oc = Option.map open_out trace_out in
+                let tracer =
+                  Option.map (Obs.Span.tracer ~sample:trace_sample) trace_oc
+                in
+                let nids = Pipeline.create ?tracer cfg in
+                let alerts = Pipeline.process_packets nids packets in
+                List.iter (fun a -> print_endline (Alert.to_line a)) alerts;
+                (match tracer with Some t -> Obs.Span.flush t | None -> ());
+                Option.iter close_out trace_oc;
+                (Pipeline.snapshot nids, [ Pipeline.registry nids; ingest_reg ],
+                 alerts = [])
+              end
+            in
+            let snap = Obs.Snapshot.merge snap (Obs.Registry.snapshot ingest_reg) in
+            Format.printf "%a@." Stats.pp (Stats.of_snapshot snap);
+            (match metrics_out with
+            | Some file ->
+                let help n =
+                  List.find_map (fun r -> Obs.Registry.help r n) help_regs
+                in
+                Obs.Export.write_file file (Obs.Export.to_prometheus ~help snap)
+            | None -> ());
+            if no_alerts then print_endline "no alerts")
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Run the semantics-aware NIDS over a pcap capture.")
     Term.(
       const run $ pcap_arg $ honeypots $ unused $ no_classify $ no_extract
-      $ scan_threshold $ verdict_cache $ metrics_out $ trace_out
+      $ scan_threshold $ verdict_cache $ fault $ fault_seed $ stream
+      $ domains $ queue $ drop_policy $ metrics_out $ trace_out
       $ trace_sample $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -328,7 +429,13 @@ let sig_scan_cmd =
     List.iter (fun (line, e) -> Printf.eprintf "rule line %d: %s\n" line e) errors;
     let engine = Rule.compile rules in
     Printf.printf "loaded %d rules\n" (List.length rules);
-    let capture = Pcap.read_file path in
+    let capture =
+      match Pcap.decode (read_file path) with
+      | Ok f -> f
+      | Error m ->
+          Printf.eprintf "sanids sig-scan: %s: %s\n" path m;
+          exit exit_dataerr
+    in
     let hits = ref 0 in
     List.iter
       (fun r ->
@@ -383,11 +490,25 @@ let () =
     Cmd.info "sanids" ~version:"1.0.0"
       ~doc:"Network intrusion detection with semantics-aware capability."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            scan_cmd; sig_scan_cmd; gen_trace_cmd; gen_exploit_cmd; disasm_cmd;
-            match_cmd; emulate_cmd;
-            templates_cmd; corpus_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        scan_cmd; sig_scan_cmd; gen_trace_cmd; gen_exploit_cmd; disasm_cmd;
+        match_cmd; emulate_cmd;
+        templates_cmd; corpus_cmd;
+      ]
+  in
+  let code =
+    try Cmd.eval ~catch:false ~term_err:exit_usage group with
+    | Pcap.Malformed m ->
+        (* belt and braces: every path should already go through the
+           typed ingest boundary *)
+        Printf.eprintf "sanids: malformed capture: %s\n" m;
+        exit_dataerr
+    | e ->
+        Printf.eprintf "sanids: %s\n" (Printexc.to_string e);
+        exit_software
+  in
+  (* cmdliner reports command-line parse errors as its own cli_error
+     (124); fold them into the sysexits usage code *)
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

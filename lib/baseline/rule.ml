@@ -48,9 +48,9 @@ let decode_pattern s =
 let parse_endpoint_addr tok =
   if tok = "any" then Ok None
   else
-    match Ipaddr.prefix_of_string tok with
-    | p -> Ok (Some p)
-    | exception _ -> (
+    match Ipaddr.prefix_of_string_opt tok with
+    | Some p -> Ok (Some p)
+    | None -> (
         (* bare address = /32 *)
         match Ipaddr.of_string_opt tok with
         | Some a -> Ok (Some (Ipaddr.prefix a 32))

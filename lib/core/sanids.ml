@@ -15,6 +15,7 @@ module Rng = Sanids_util.Rng
 (* observability: Obs.Registry, Obs.Snapshot, Obs.Span, Obs.Export *)
 module Obs = Sanids_obs
 module Byte_io = Sanids_util.Byte_io
+module Bqueue = Sanids_util.Bqueue
 module Hexdump = Sanids_util.Hexdump
 module Entropy = Sanids_util.Entropy
 
@@ -28,6 +29,10 @@ module Packet = Sanids_net.Packet
 module Flow = Sanids_net.Flow
 module Ethernet = Sanids_net.Ethernet
 module Pcap = Sanids_pcap.Pcap
+
+(* resilient ingest: typed decode errors and fault injection *)
+module Ingest = Sanids_ingest.Ingest
+module Fault = Sanids_ingest.Fault
 
 (* x86 and IR *)
 module Reg = Sanids_x86.Reg

@@ -1,0 +1,133 @@
+module Obs = Sanids_obs
+module Pcap = Sanids_pcap.Pcap
+
+type error =
+  | Pcap_framing of string
+  | Link_layer of string
+  | Ipv4_header of string
+  | Tcp_segment of string
+  | Udp_datagram of string
+  | Payload_bound of string
+
+let reason = function
+  | Pcap_framing _ -> "pcap_framing"
+  | Link_layer _ -> "link_layer"
+  | Ipv4_header _ -> "ipv4"
+  | Tcp_segment _ -> "tcp"
+  | Udp_datagram _ -> "udp"
+  | Payload_bound _ -> "payload_bound"
+
+let reasons = [ "pcap_framing"; "link_layer"; "ipv4"; "tcp"; "udp"; "payload_bound" ]
+
+let detail = function
+  | Pcap_framing m | Link_layer m | Ipv4_header m | Tcp_segment m
+  | Udp_datagram m | Payload_bound m ->
+      m
+
+let error_to_string e = Printf.sprintf "%s: %s" (reason e) (detail e)
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let records_total = "sanids_ingest_records_total"
+let errors_total = "sanids_ingest_errors_total"
+
+type metrics = {
+  records : Obs.Registry.counter;
+  errors : (string * Obs.Registry.counter) list;  (* reason -> series *)
+}
+
+let metrics reg =
+  {
+    records = Obs.Registry.counter reg ~help:"capture records offered to ingest" records_total;
+    errors =
+      (* pre-register every reason so exports always carry the whole
+         family, zeros included — reconciliation needs no absent-series
+         special case *)
+      List.map
+        (fun r ->
+          ( r,
+            Obs.Registry.counter reg ~help:"records rejected by ingest, by layer"
+              ~labels:[ ("reason", r) ] errors_total ))
+        reasons;
+  }
+
+let count_error m e = Obs.Registry.incr (List.assoc (reason e) m.errors)
+
+let count_result m result =
+  match m with
+  | None -> ()
+  | Some m -> (
+      Obs.Registry.incr m.records;
+      match result with Ok _ -> () | Error e -> count_error m e)
+
+let default_max_payload = 0xFFFF
+
+(* Typed Packet.parse: same decode chain, but the failing layer is a
+   variant, not a string prefix.  The catch-alls exist to honour the "no
+   exception crosses the boundary" contract even against decoder bugs —
+   decoders are result-returning by convention, but this layer must not
+   trust that under arbitrary input. *)
+let parse_datagram ~ts bytes =
+  match Ipv4.decode bytes with
+  | exception e -> Error (Ipv4_header ("unexpected: " ^ Printexc.to_string e))
+  | Error e -> Error (Ipv4_header e)
+  | Ok ip ->
+      let l4 =
+        if ip.Ipv4.proto = Ipv4.proto_tcp then
+          match Tcp.decode ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ip.Ipv4.payload with
+          | exception e -> Error (Tcp_segment ("unexpected: " ^ Printexc.to_string e))
+          | Ok seg -> Ok (Packet.Tcp_seg seg)
+          | Error e -> Error (Tcp_segment e)
+        else if ip.Ipv4.proto = Ipv4.proto_udp then
+          match Udp.decode ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ip.Ipv4.payload with
+          | exception e -> Error (Udp_datagram ("unexpected: " ^ Printexc.to_string e))
+          | Ok d -> Ok (Packet.Udp_dgram d)
+          | Error e -> Error (Udp_datagram e)
+        else Ok (Packet.Raw (ip.Ipv4.proto, ip.Ipv4.payload))
+      in
+      Result.map (fun l4 -> { Packet.ts; ip; l4 }) l4
+
+let frame_body ~linktype (r : Pcap.record) =
+  if linktype = Pcap.linktype_ethernet then
+    match Ethernet.decode r.Pcap.data with
+    | exception e -> Error (Link_layer ("unexpected: " ^ Printexc.to_string e))
+    | Ok e when e.Ethernet.ethertype = Ethernet.ethertype_ipv4 ->
+        Ok e.Ethernet.payload
+    | Ok e -> Error (Link_layer (Printf.sprintf "ethertype 0x%04x" e.Ethernet.ethertype))
+    | Error m -> Error (Link_layer ("ethernet: " ^ m))
+  else if linktype = Pcap.linktype_raw then Ok r.Pcap.data
+  else Error (Link_layer (Printf.sprintf "unsupported linktype %d" linktype))
+
+let decode_record ?metrics ?(max_payload = default_max_payload) ~linktype r =
+  let result =
+    if String.length r.Pcap.data > max_payload then
+      Error
+        (Payload_bound
+           (Printf.sprintf "record of %d bytes exceeds bound %d"
+              (String.length r.Pcap.data) max_payload))
+    else
+      match frame_body ~linktype r with
+      | Error _ as e -> e
+      | Ok datagram -> parse_datagram ~ts:r.Pcap.ts datagram
+  in
+  count_result metrics result;
+  result
+
+let decode_file ?metrics s =
+  let result =
+    match Pcap.decode s with
+    | Ok f -> Ok f
+    | Error m -> Error (Pcap_framing m)
+    | exception e -> Error (Pcap_framing ("unexpected: " ^ Printexc.to_string e))
+  in
+  (match (metrics, result) with
+  | Some m, Error e -> count_error m e
+  | Some _, Ok _ | None, _ -> ());
+  result
+
+let to_packets ?metrics ?max_payload (f : Pcap.file) =
+  List.map
+    (decode_record ?metrics ?max_payload ~linktype:f.Pcap.linktype)
+    f.Pcap.records
+
+let ok_packets ?metrics ?max_payload f =
+  List.filter_map Result.to_option (to_packets ?metrics ?max_payload f)

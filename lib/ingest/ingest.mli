@@ -1,0 +1,84 @@
+(** Resilient capture ingest: the typed error boundary between raw,
+    adversarial bytes and the analysis pipeline.
+
+    The front end of the NIDS sits directly on attacker-controlled
+    input, so a malformed header or truncated record must degrade into
+    a counted, typed error — never an exception that can crash the
+    sensor.  Every decode entry point here returns a [result]; {!error}
+    names the layer that rejected the bytes, and when a {!metrics}
+    handle is supplied each failure is counted per-reason in the obs
+    registry as [sanids_ingest_errors_total{reason="..."}] (with
+    attempts in [sanids_ingest_records_total]), which is what makes the
+    stream-mode accounting identity auditable:
+
+    [records_in = packets_out + Σ ingest_errors{reason}].
+
+    Fault injection for exercising this boundary lives in {!Fault}. *)
+
+type error =
+  | Pcap_framing of string  (** bad magic, truncated record header/body *)
+  | Link_layer of string  (** Ethernet decode failure, non-IPv4 ethertype,
+                              unsupported linktype *)
+  | Ipv4_header of string
+  | Tcp_segment of string
+  | Udp_datagram of string
+  | Payload_bound of string  (** record larger than the admission bound *)
+
+val reason : error -> string
+(** The metric label value: ["pcap_framing"], ["link_layer"], ["ipv4"],
+    ["tcp"], ["udp"], ["payload_bound"]. *)
+
+val reasons : string list
+(** Every {!reason} value, in declaration order — each is pre-registered
+    by {!metrics} so exported snapshots always carry the full family. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val records_total : string
+(** ["sanids_ingest_records_total"] — decode attempts. *)
+
+val errors_total : string
+(** ["sanids_ingest_errors_total"] — the labeled error family's base
+    name; use with {!Sanids_obs.Snapshot.counter_sum}. *)
+
+type metrics
+(** Per-reason counters resolved against one registry. *)
+
+val metrics : Sanids_obs.Registry.t -> metrics
+
+val count_error : metrics -> error -> unit
+(** Count one failure under its reason (records_total is {e not}
+    bumped — use this only for failures observed outside the decode
+    entry points below, which count themselves). *)
+
+val default_max_payload : int
+(** Admission bound on a record body: 65535 bytes (the IPv4 maximum) —
+    anything longer cannot be one datagram and is shed before parsing. *)
+
+val decode_file : ?metrics:metrics -> string -> (Sanids_pcap.Pcap.file, error) result
+(** Typed {!Sanids_pcap.Pcap.decode}: global-header and record-framing
+    faults come back as [Pcap_framing].  No exception escapes. *)
+
+val decode_record :
+  ?metrics:metrics ->
+  ?max_payload:int ->
+  linktype:int ->
+  Sanids_pcap.Pcap.record ->
+  (Packet.t, error) result
+(** Decode one capture record into a parsed packet: admission bound,
+    link layer (raw IPv4 or Ethernet per [linktype]), IPv4 header,
+    then TCP/UDP.  Counts one record (plus the error, if any) when
+    [metrics] is given.  No exception escapes. *)
+
+val to_packets :
+  ?metrics:metrics ->
+  ?max_payload:int ->
+  Sanids_pcap.Pcap.file ->
+  (Packet.t, error) result list
+(** {!decode_record} over every record of a capture. *)
+
+val ok_packets :
+  ?metrics:metrics -> ?max_payload:int -> Sanids_pcap.Pcap.file -> Packet.t list
+(** {!to_packets} keeping the successes; failures are only visible in
+    the metrics — the "keep running" deployment mode. *)

@@ -4,17 +4,29 @@ let mac_of_bytes s =
   if String.length s <> 6 then invalid_arg "Ethernet.mac_of_bytes: need 6 bytes";
   s
 
-let mac_of_string s =
+let mac_of_string_opt s =
   match String.split_on_char ':' s with
-  | [ a; b; c; d; e; f ] ->
-      let byte x =
-        match int_of_string_opt ("0x" ^ x) with
-        | Some v when v >= 0 && v <= 255 -> Char.chr v
-        | Some _ | None -> invalid_arg "Ethernet.mac_of_string: bad octet"
+  | [ _; _; _; _; _; _ ] as parts ->
+      let octet x =
+        (* reject int_of_string's sign/space liberties: exactly 2 hex digits *)
+        if String.length x = 2 then
+          match int_of_string_opt ("0x" ^ x) with
+          | Some v when v >= 0 && v <= 255 -> Some (Char.chr v)
+          | Some _ | None -> None
+        else None
       in
-      let parts = [ a; b; c; d; e; f ] in
-      String.init 6 (fun i -> byte (List.nth parts i))
-  | _ -> invalid_arg "Ethernet.mac_of_string: want aa:bb:cc:dd:ee:ff"
+      let octets = List.filter_map octet parts in
+      if List.length octets = 6 then
+        Some (String.init 6 (fun i -> List.nth octets i))
+      else None
+  | _ -> None
+
+let mac_of_string s =
+  match mac_of_string_opt s with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ethernet.mac_of_string: %S (want aa:bb:cc:dd:ee:ff)" s)
 
 let mac_to_string m =
   String.concat ":"

@@ -6,6 +6,10 @@ type mac
 val mac_of_string : string -> mac
 (** ["aa:bb:cc:dd:ee:ff"].  @raise Invalid_argument on malformed input. *)
 
+val mac_of_string_opt : string -> mac option
+(** Non-raising {!mac_of_string}: six colon-separated two-digit hex
+    octets, or [None]. *)
+
 val mac_of_bytes : string -> mac
 (** Exactly 6 raw bytes. *)
 

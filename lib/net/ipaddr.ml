@@ -48,13 +48,23 @@ let prefix addr len =
   if len < 0 || len > 32 then invalid_arg "Ipaddr.prefix: bad length";
   { base = Int32.logand addr (mask_of_len len); len }
 
-let prefix_of_string s =
+let prefix_of_string_opt s =
   match String.index_opt s '/' with
-  | None -> invalid_arg "Ipaddr.prefix_of_string: missing /"
-  | Some i ->
-      let addr = of_string (String.sub s 0 i) in
-      let len = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
-      prefix addr len
+  | None -> None
+  | Some i -> (
+      match
+        ( of_string_opt (String.sub s 0 i),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some addr, Some len when len >= 0 && len <= 32 -> Some (prefix addr len)
+      | _, _ -> None)
+
+let prefix_of_string s =
+  match prefix_of_string_opt s with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ipaddr.prefix_of_string: %S (want a.b.c.d/len)" s)
 
 let mem addr p = Int32.equal (Int32.logand addr (mask_of_len p.len)) p.base
 let prefix_base p = p.base

@@ -29,7 +29,10 @@ val prefix : t -> int -> prefix
 (** [prefix addr len]; [len] in [\[0,32\]].  Host bits are cleared. *)
 
 val prefix_of_string : string -> prefix
-(** ["a.b.c.d/len"]. *)
+(** ["a.b.c.d/len"].  @raise Invalid_argument on malformed input. *)
+
+val prefix_of_string_opt : string -> prefix option
+(** Non-raising {!prefix_of_string}. *)
 
 val mem : t -> prefix -> bool
 val prefix_base : prefix -> t

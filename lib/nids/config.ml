@@ -9,6 +9,8 @@ type t = {
   reassemble : bool;
   verdict_cache_size : int;
   flow_alert_cache_size : int;
+  stream_queue_capacity : int;
+  stream_drop_policy : Bqueue.policy;
 }
 
 let default =
@@ -23,6 +25,8 @@ let default =
     reassemble = false;
     verdict_cache_size = 4096;
     flow_alert_cache_size = 65536;
+    stream_queue_capacity = 8192;
+    stream_drop_policy = Bqueue.Block;
   }
 
 let with_honeypots honeypots t = { t with honeypots }
@@ -35,6 +39,8 @@ let with_verdict_cache verdict_cache_size t = { t with verdict_cache_size }
 let with_scan_threshold scan_threshold t = { t with scan_threshold }
 let with_min_payload min_payload t = { t with min_payload }
 let with_flow_alert_cache flow_alert_cache_size t = { t with flow_alert_cache_size }
+let with_stream_queue stream_queue_capacity t = { t with stream_queue_capacity }
+let with_stream_policy stream_drop_policy t = { t with stream_drop_policy }
 
 let validate t =
   if t.scan_threshold <= 0 then
@@ -50,4 +56,8 @@ let validate t =
          t.flow_alert_cache_size)
   else if t.min_payload < 0 then
     Error (Printf.sprintf "min_payload must be >= 0 (got %d)" t.min_payload)
+  else if t.stream_queue_capacity < 1 then
+    Error
+      (Printf.sprintf "stream_queue_capacity must be positive (got %d)"
+         t.stream_queue_capacity)
   else Ok t

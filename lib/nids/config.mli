@@ -32,12 +32,22 @@ type t = {
       (** bound on the per-flow alert-dedup table used in stream mode
           (LRU over flow-key^template tags); evictions are counted as
           [sanids_flow_alerted_evictions_total] *)
+  stream_queue_capacity : int;
+      (** bound on each worker's admission queue in
+          {!Parallel.process_seq} — the memory ceiling of stream mode *)
+  stream_drop_policy : Bqueue.policy;
+      (** what a full admission queue does to new packets: shed the
+          newest, shed the oldest, or apply backpressure ([Block], the
+          lossless default).  Shed packets are counted as
+          [sanids_shed_total{policy}]. *)
 }
 
 val default : t
 (** Empty honeypot/unused lists, classification and extraction on, the
     full {!Template_lib.default_set}, [min_payload = 16],
-    [verdict_cache_size = 4096], [flow_alert_cache_size = 65536]. *)
+    [verdict_cache_size = 4096], [flow_alert_cache_size = 65536],
+    [stream_queue_capacity = 8192] with [Bqueue.Block] (stream mode is
+    lossless unless a drop policy is chosen). *)
 
 val with_honeypots : Ipaddr.t list -> t -> t
 val with_unused : Ipaddr.prefix list -> t -> t
@@ -52,9 +62,11 @@ val with_verdict_cache : int -> t -> t
 val with_scan_threshold : int -> t -> t
 val with_min_payload : int -> t -> t
 val with_flow_alert_cache : int -> t -> t
+val with_stream_queue : int -> t -> t
+val with_stream_policy : Bqueue.policy -> t -> t
 
 val validate : t -> (t, string) result
 (** Reject configurations that would silently misbehave rather than
     letting them: negative [verdict_cache_size], non-positive
-    [scan_threshold] or [flow_alert_cache_size], negative
-    [min_payload]. *)
+    [scan_threshold], [flow_alert_cache_size] or
+    [stream_queue_capacity], negative [min_payload]. *)

@@ -47,35 +47,101 @@ let process ?domains cfg packets =
   let alerts, snapshot = process_snapshot ?domains cfg packets in
   (alerts, Stats.of_snapshot snapshot)
 
-let process_seq ?domains ?(batch = 8192) cfg packets on_alerts =
+let shed_total = "sanids_shed_total"
+let worker_failures_total = "sanids_worker_failures_total"
+
+let all_policies = [ Bqueue.Drop_newest; Bqueue.Drop_oldest; Bqueue.Block ]
+
+let process_seq_snapshot ?domains ?(batch = 8192) cfg packets on_alerts =
   let shards = match domains with Some d -> max 1 d | None -> default_domains () in
-  (* persistent per-shard pipelines: classifier state must survive across
-     batches, exactly as it would in a long-running sequential deployment *)
+  (* long-lived workers behind bounded admission queues: each worker owns
+     a persistent pipeline (classifier state survives the whole stream,
+     exactly as in a sequential deployment) and drains its own queue, so
+     a worker that falls behind holds at most [stream_queue_capacity]
+     packets — the drop policy decides what happens to the excess *)
   let pipelines = Array.init shards (fun _ -> Pipeline.create cfg) in
-  let buf = ref [] in
-  let count = ref 0 in
-  let flush () =
-    if !count > 0 then begin
-      let chunk = List.rev !buf in
-      buf := [];
-      count := 0;
-      let buckets = shard_packets chunk ~shards in
-      let workers =
-        Array.mapi
-          (fun k shard ->
-            Domain.spawn (fun () -> Pipeline.process_packets pipelines.(k) shard))
-          buckets
-      in
-      let alerts = List.concat_map Domain.join (Array.to_list workers) in
-      if alerts <> [] then on_alerts alerts
+  let queues =
+    Array.init shards (fun _ ->
+        Bqueue.create ~capacity:cfg.Config.stream_queue_capacity
+          cfg.Config.stream_drop_policy)
+  in
+  let failures =
+    Array.map
+      (fun p ->
+        Obs.Registry.counter (Pipeline.registry p)
+          ~help:"packets abandoned after analysis raised inside a worker"
+          worker_failures_total)
+      pipelines
+  in
+  (* admission metrics live on the feeder side — shed packets never reach
+     a worker registry *)
+  let feeder_reg = Obs.Registry.create () in
+  let shed_counters =
+    List.map
+      (fun p ->
+        ( p,
+          Obs.Registry.counter feeder_reg
+            ~help:"packets shed at stream-mode admission"
+            ~labels:[ ("policy", Bqueue.policy_to_string p) ]
+            shed_total ))
+      all_policies
+  in
+  let shed = List.assoc cfg.Config.stream_drop_policy shed_counters in
+  let alert_mu = Mutex.create () in
+  let emit alerts =
+    if alerts <> [] then begin
+      Mutex.lock alert_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock alert_mu)
+        (fun () -> on_alerts alerts)
     end
   in
+  let worker k =
+    let nids = pipelines.(k) in
+    let q = queues.(k) in
+    let rec loop () =
+      match Bqueue.pop_batch q ~max:batch with
+      | [] -> ()
+      | chunk ->
+          let alerts =
+            List.concat_map
+              (fun p ->
+                (* per-packet isolation: one poisoned packet costs
+                   itself, not the shard *)
+                match Pipeline.process_packet nids p with
+                | alerts -> alerts
+                | exception _ ->
+                    Obs.Registry.incr failures.(k);
+                    [])
+              chunk
+          in
+          emit alerts;
+          loop ()
+    in
+    (* a worker must never abandon an open queue — a Block-policy feeder
+       would wait on it forever.  If the loop itself dies (the alert
+       callback raised), close the queue so admission degrades to
+       shedding, and surface the abort as a worker failure; the shard's
+       pipeline still contributes its partial (degraded) results. *)
+    try loop ()
+    with _ ->
+      Bqueue.close q;
+      Obs.Registry.incr failures.(k)
+  in
+  let workers = Array.init shards (fun k -> Domain.spawn (fun () -> worker k)) in
   Seq.iter
     (fun p ->
-      buf := p :: !buf;
-      incr count;
-      if !count >= batch then flush ())
+      let k = shard_of (Packet.src p) ~shards in
+      match Bqueue.push queues.(k) p with
+      | Bqueue.Queued -> ()
+      | Bqueue.Shed_newest -> Obs.Registry.incr shed
+      | Bqueue.Shed_oldest n -> Obs.Registry.add shed n)
     packets;
-  flush ();
-  merge_snapshots (Array.map Pipeline.snapshot pipelines)
-  |> Stats.of_snapshot
+  Array.iter Bqueue.close queues;
+  Array.iter Domain.join workers;
+  Obs.Snapshot.merge
+    (merge_snapshots (Array.map Pipeline.snapshot pipelines))
+    (Obs.Registry.snapshot feeder_reg)
+
+let process_seq ?domains ?batch cfg packets on_alerts =
+  Stats.of_snapshot (process_seq_snapshot ?domains ?batch cfg packets on_alerts)

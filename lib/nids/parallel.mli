@@ -31,12 +31,28 @@ val process :
 (** {!process_snapshot} with the snapshot projected through
     {!Stats.of_snapshot}. *)
 
+val process_seq_snapshot :
+  ?domains:int -> ?batch:int -> Config.t -> Packet.t Seq.t ->
+  (Alert.t list -> unit) -> Sanids_obs.Snapshot.t
+(** Stream mode with load shedding and crash isolation.  Each worker
+    domain owns a persistent pipeline (classifier state survives the
+    whole stream) behind a bounded admission queue
+    ([Config.stream_queue_capacity] deep); the feeder routes each packet
+    to its source shard and the queue's [Config.stream_drop_policy]
+    decides what a full queue does — [Block] (the default) applies
+    backpressure and loses nothing, the drop policies shed and count
+    each loss as [sanids_shed_total{policy}].  Workers drain in chunks
+    of at most [batch] (default 8192) and invoke the callback with each
+    chunk's alerts (callback invocations are serialized, from worker
+    domains).  A packet whose analysis raises is abandoned and counted
+    as [sanids_worker_failures_total] — the worker and its shard keep
+    going, so a poisoned packet yields degraded (partial) results, not
+    a crash.  The returned snapshot merges every worker registry plus
+    the feeder's admission counters, so
+    [packets + shed + worker_failures] accounts for every admitted
+    packet. *)
+
 val process_seq :
   ?domains:int -> ?batch:int -> Config.t -> Packet.t Seq.t ->
   (Alert.t list -> unit) -> Stats.t
-(** Stream variant: consume a packet sequence in batches of [batch]
-    (default 8192), fanning each batch across domains, invoking the
-    callback with each batch's alerts.  Worker pipelines persist across
-    batches, so cross-batch classifier state (scan counts, honeypot
-    marks) behaves exactly as in the sequential pipeline.  The returned
-    statistics are the merged per-domain registries. *)
+(** {!process_seq_snapshot} projected through {!Stats.of_snapshot}. *)

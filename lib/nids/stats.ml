@@ -15,6 +15,9 @@ type t = {
   decode_memo_hits : int;
   decode_memo_misses : int;
   scan_budget_exhausted : int;
+  ingest_errors : int;
+  shed : int;
+  worker_failures : int;
 }
 
 let zero =
@@ -33,6 +36,9 @@ let zero =
     decode_memo_hits = 0;
     decode_memo_misses = 0;
     scan_budget_exhausted = 0;
+    ingest_errors = 0;
+    shed = 0;
+    worker_failures = 0;
   }
 
 (* The registry metric each field is a view of. *)
@@ -54,6 +60,10 @@ let of_snapshot s =
     decode_memo_hits = c "sanids_decode_memo_hits_total";
     decode_memo_misses = c "sanids_decode_memo_misses_total";
     scan_budget_exhausted = c "sanids_scan_budget_exhausted_total";
+    (* labeled families: sum across the reason/policy label sets *)
+    ingest_errors = Obs.Snapshot.counter_sum s "sanids_ingest_errors_total";
+    shed = Obs.Snapshot.counter_sum s "sanids_shed_total";
+    worker_failures = c "sanids_worker_failures_total";
   }
 
 let decode_memo_ratio t =
@@ -62,8 +72,8 @@ let decode_memo_ratio t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d"
+    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d ingest_errors=%d shed=%d worker_failures=%d"
     t.packets t.bytes t.classified_suspicious t.prefilter_hits t.frames
     t.frame_bytes t.alerts t.analysis_seconds t.verdict_cache_hits
     t.verdict_cache_misses t.verdict_cache_evictions (decode_memo_ratio t)
-    t.scan_budget_exhausted
+    t.scan_budget_exhausted t.ingest_errors t.shed t.worker_failures

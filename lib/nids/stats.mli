@@ -26,6 +26,16 @@ type t = {
   decode_memo_misses : int;
   scan_budget_exhausted : int;
       (** scans that ran out of work budget with templates still open *)
+  ingest_errors : int;
+      (** records rejected at the ingest boundary — the
+          [sanids_ingest_errors_total{reason}] family summed over
+          reasons *)
+  shed : int;
+      (** packets dropped at stream-mode admission — the
+          [sanids_shed_total{policy}] family summed over policies *)
+  worker_failures : int;
+      (** packets abandoned because analysis raised inside a worker
+          domain (the pipeline survived and kept its shard) *)
 }
 
 val zero : t

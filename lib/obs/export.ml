@@ -25,26 +25,51 @@ let add_hist_lines b name (h : Histogram.snap) =
 
 let to_prometheus ?(help = fun _ -> None) snap =
   let b = Buffer.create 1024 in
+  (* Labeled series of one family sort contiguously after their base
+     name ('{' > any name character), so one [# HELP]/[# TYPE] header
+     per base is emitted exactly once, before the family's first
+     series. *)
+  let last_base = ref "" in
   List.iter
     (fun (name, v) ->
-      (match help name with
-      | Some h when h <> "" ->
-          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name h)
-      | Some _ | None -> ());
+      let base = Snapshot.base_name name in
+      let fresh = base <> !last_base in
+      last_base := base;
+      if fresh then begin
+        (match help name with
+        | Some h when h <> "" ->
+            Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" base h)
+        | Some _ | None -> ());
+        let kind =
+          match v with
+          | Snapshot.Counter _ -> "counter"
+          | Snapshot.Gauge _ -> "gauge"
+          | Snapshot.Hist _ -> "histogram"
+        in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" base kind)
+      end;
       match v with
-      | Snapshot.Counter n ->
-          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
-          Buffer.add_string b (Printf.sprintf "%s %d\n" name n)
+      | Snapshot.Counter n -> Buffer.add_string b (Printf.sprintf "%s %d\n" name n)
       | Snapshot.Gauge g ->
-          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
           Buffer.add_string b (Printf.sprintf "%s %s\n" name (float_str g))
-      | Snapshot.Hist h ->
-          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
-          add_hist_lines b name h)
+      | Snapshot.Hist h -> add_hist_lines b name h)
     (Snapshot.to_list snap);
   Buffer.contents b
 
+(* Series names of labeled counters contain '"' — escape for JSON. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let jsonl_of_value name v =
+  let name = json_escape name in
   match v with
   | Snapshot.Counter n ->
       Printf.sprintf "{\"metric\":\"%s\",\"type\":\"counter\",\"value\":%d}" name n

@@ -6,9 +6,11 @@
 
 val to_prometheus : ?help:(string -> string option) -> Snapshot.t -> string
 (** Prometheus text exposition (version 0.0.4): [# TYPE] (and [# HELP]
-    when [help] yields one) per metric; histograms as cumulative
+    when [help] yields one) per metric family; histograms as cumulative
     [_bucket{le="..."}] series plus [_sum]/[_count].  Empty buckets are
-    elided; the [+Inf] bucket is always present. *)
+    elided; the [+Inf] bucket is always present.  Labeled counter
+    series ([name{reason="..."}]) render under a single [# TYPE] header
+    for their base name. *)
 
 val to_jsonl : Snapshot.t -> string
 (** One JSON object per metric per line.  Histograms carry

@@ -24,9 +24,47 @@ let valid_name name =
          | _ -> false)
        name
 
+(* Label keys follow the Prometheus label grammar (no colons). *)
+let valid_label_key k =
+  k <> ""
+  && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       k
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* The full series name: [base{k="v",...}] with labels sorted by key, so
+   equal label sets always yield the same series regardless of caller
+   order.  Snapshot merge and export key on this rendered name. *)
+let series_name base labels =
+  match labels with
+  | [] -> base
+  | _ ->
+      List.iter
+        (fun (k, _) ->
+          if not (valid_label_key k) then
+            invalid_arg (Printf.sprintf "Registry: invalid label key %S" k))
+        labels;
+      let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+      Printf.sprintf "%s{%s}" base
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+              labels))
+
+(* [name] is a full series name: base-name validity (and label-key
+   validity for labeled counters) is checked by the callers below. *)
 let register t name help make describe =
-  if not (valid_name name) then
-    invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
   match Hashtbl.find_opt t.tbl name with
   | Some (m, _) -> m
   | None ->
@@ -41,17 +79,24 @@ let kind_error name want =
     (Printf.sprintf "Registry: metric %S already registered with another kind (wanted %s)"
        name want)
 
-let counter t ?(help = "") name =
+let counter t ?(help = "") ?(labels = []) name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
+  let name = series_name name labels in
   match register t name help (fun () -> Mcounter { c = 0 }) "counter" with
   | Mcounter c -> c
   | Mgauge _ | Mhist _ -> kind_error name "counter"
 
 let gauge t ?(help = "") name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
   match register t name help (fun () -> Mgauge { g = 0.0 }) "gauge" with
   | Mgauge g -> g
   | Mcounter _ | Mhist _ -> kind_error name "gauge"
 
 let histogram t ?(help = "") name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
   match register t name help (fun () -> Mhist (Histogram.create ())) "histogram" with
   | Mhist h -> h
   | Mcounter _ | Mgauge _ -> kind_error name "histogram"

@@ -18,9 +18,21 @@ type gauge
 
 val create : unit -> t
 
-val counter : t -> ?help:string -> string -> counter
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
 (** Register (or fetch) a monotonically increasing counter.
-    @raise Invalid_argument on a malformed name or kind conflict. *)
+
+    [labels] makes the counter one series of a labeled family: the
+    registered series name is [name{k="v",...}] with labels sorted by
+    key (so equal label sets are one series regardless of caller
+    order).  Exporters render the family under one [# TYPE] header;
+    {!Snapshot.counter_sum} totals a family across its label sets.
+    @raise Invalid_argument on a malformed name, malformed label key,
+    or kind conflict. *)
+
+val series_name : string -> (string * string) list -> string
+(** The full series name [counter] registers for a base name and label
+    set — use it to read a labeled series back out of a snapshot with
+    {!Snapshot.counter_value}. *)
 
 val gauge : t -> ?help:string -> string -> gauge
 val histogram : t -> ?help:string -> string -> Histogram.t

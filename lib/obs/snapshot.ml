@@ -42,6 +42,19 @@ let gauge_value t name =
 let histogram t name =
   match M.find_opt name t with Some (Hist h) -> h | _ -> Histogram.empty_snap
 
+let base_name name =
+  match String.index_opt name '{' with
+  | None -> name
+  | Some i -> String.sub name 0 i
+
+let counter_sum t base =
+  M.fold
+    (fun name v acc ->
+      match v with
+      | Counter n when base_name name = base -> acc + n
+      | Counter _ | Gauge _ | Hist _ -> acc)
+    t 0
+
 let counters t =
   M.fold
     (fun name v acc -> match v with Counter n -> (name, n) :: acc | _ -> acc)

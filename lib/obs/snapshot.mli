@@ -33,6 +33,14 @@ val find : t -> string -> value option
 val counter_value : t -> string -> int
 (** [0] when absent or not a counter. *)
 
+val base_name : string -> string
+(** The metric name of a series name: [base_name {|a_total{reason="x"}|}]
+    is ["a_total"]; unlabeled names map to themselves. *)
+
+val counter_sum : t -> string -> int
+(** [counter_sum t base] sums every counter series whose {!base_name} is
+    [base] — the total of a labeled family ([0] when none exist). *)
+
 val gauge_value : t -> string -> float
 val histogram : t -> string -> Histogram.snap
 

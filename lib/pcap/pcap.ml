@@ -39,7 +39,7 @@ let encode ?(nanos = false) ?(linktype = linktype_raw) records =
     records;
   Byte_io.Writer.contents w
 
-let decode s =
+let decode_exn s =
   let open Byte_io in
   if String.length s < 24 then raise (Malformed "short global header");
   let r = Reader.of_string s in
@@ -86,6 +86,8 @@ let decode s =
    with Truncated _ -> raise (Malformed "truncated"));
   { nanos; linktype; records = List.rev !records }
 
+let decode s = match decode_exn s with f -> Ok f | exception Malformed m -> Error m
+
 let write_file path records =
   let oc = open_out_bin path in
   (try output_string oc (encode records)
@@ -99,7 +101,7 @@ let read_file path =
   let n = in_channel_length ic in
   let data = really_input_string ic n in
   close_in ic;
-  decode data
+  decode_exn data
 
 let of_packets pkts =
   List.map

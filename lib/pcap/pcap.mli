@@ -17,11 +17,20 @@ val linktype_ethernet : int
 val encode : ?nanos:bool -> ?linktype:int -> record list -> string
 (** Serialize a capture (little-endian). *)
 
-val decode : string -> file
-(** @raise Malformed on a bad magic or truncated record. *)
+val decode : string -> (file, string) Stdlib.result
+(** Parse a capture; [Error] names the framing fault (bad magic,
+    truncated record header/body).  This is the primary decode entry
+    point — it matches the {!to_packets} result convention, and no
+    exception escapes it. *)
+
+val decode_exn : string -> file
+(** {!decode}, raising.  @raise Malformed on a bad magic or truncated
+    record.  Kept for callers that treat a bad capture as fatal. *)
 
 val write_file : string -> record list -> unit
+
 val read_file : string -> file
+(** @raise Malformed as {!decode_exn}; [Sys_error] on I/O failure. *)
 
 val of_packets : Packet.t list -> record list
 (** Records from parsed packets (snap = full length). *)

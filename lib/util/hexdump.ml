@@ -5,27 +5,45 @@ let encode s =
       let b = Char.code s.[i / 2] in
       if i mod 2 = 0 then hex_digit (b lsr 4) else hex_digit b)
 
-let digit_value c =
+let digit_value_opt c =
   match c with
-  | '0' .. '9' -> Char.code c - Char.code '0'
-  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-  | _ -> invalid_arg (Printf.sprintf "Hexdump.decode: bad character %C" c)
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
 
-let decode s =
+let decode_result s =
   let digits = Buffer.create (String.length s) in
+  let bad = ref None in
   String.iter
     (fun c ->
       match c with
       | ' ' | '\t' | '\n' | '\r' -> ()
-      | c -> Buffer.add_char digits c)
+      | c -> (
+          match digit_value_opt c with
+          | Some _ -> Buffer.add_char digits c
+          | None -> if !bad = None then bad := Some c))
     s;
-  let d = Buffer.contents digits in
-  if String.length d mod 2 <> 0 then
-    invalid_arg "Hexdump.decode: odd number of hex digits";
-  String.init
-    (String.length d / 2)
-    (fun i -> Char.chr ((digit_value d.[2 * i] lsl 4) lor digit_value d.[(2 * i) + 1]))
+  match !bad with
+  | Some c -> Error (Printf.sprintf "bad character %C" c)
+  | None ->
+      let d = Buffer.contents digits in
+      if String.length d mod 2 <> 0 then Error "odd number of hex digits"
+      else
+        Ok
+          (String.init
+             (String.length d / 2)
+             (fun i ->
+               let hi = Option.get (digit_value_opt d.[2 * i]) in
+               let lo = Option.get (digit_value_opt d.[(2 * i) + 1]) in
+               Char.chr ((hi lsl 4) lor lo)))
+
+let decode_opt s = Result.to_option (decode_result s)
+
+let decode s =
+  match decode_result s with
+  | Ok bytes -> bytes
+  | Error m -> invalid_arg ("Hexdump.decode: " ^ m)
 
 let of_ints ints =
   let n = List.length ints in

@@ -7,6 +7,13 @@ val decode : string -> string
 (** Inverse of [encode]; whitespace between byte pairs is ignored.
     @raise Invalid_argument on odd digit counts or non-hex characters. *)
 
+val decode_opt : string -> string option
+(** Non-raising {!decode}. *)
+
+val decode_result : string -> (string, string) Stdlib.result
+(** Non-raising {!decode} with the reason ("bad character ...", "odd
+    number of hex digits"). *)
+
 val of_ints : int list -> string
 (** [of_ints [0x90; 0xcd; ...]] builds a byte string; each element must be
     in [\[0, 255\]]. *)

@@ -77,10 +77,11 @@ seeded trace; timings are not, so the checks are structural:
   $ grep -c '^# TYPE sanids_stage_[a-z]*_seconds histogram$' scan.prom
   4
 
-Every line is a comment or a "name value" sample — nothing else:
+Every line is a comment or a "name value" sample (labeled series
+included) — nothing else:
 
   $ grep -cv -e '^# \(HELP\|TYPE\) [a-zA-Z_:][a-zA-Z0-9_:]* ' \
-  >   -e '^[a-zA-Z_:][a-zA-Z0-9_:]*\({le="[^"]*"}\)\? [0-9.e+-]*$' scan.prom
+  >   -e '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[a-zA-Z_]*="[^"]*"}\)\? [0-9.e+-]*$' scan.prom
   0
   [1]
 
@@ -93,8 +94,50 @@ halves the emission:
   0
   [1]
 
-Nonsense configurations are rejected up front:
+The same capture through the multicore stream pipeline finds the same
+worm (lossless backpressure is the default policy):
+
+  $ sanids scan trace.pcap --unused 10.2.200.0/21 --stream --domains 2 \
+  >   | grep -c 'ALERT code-red-ii'
+  3
+
+Fault injection corrupts the capture on the way in; every rejected
+record is typed, counted per reason, and the exported accounting
+reconciles exactly — records in equals packets analyzed plus ingest
+errors plus shed:
+
+  $ sanids scan trace.pcap --unused 10.2.200.0/21 \
+  >   --fault truncate=0.2,bitflip=0.15,dup=0.1 --fault-seed 11 \
+  >   --metrics fault.prom > /dev/null
+  $ grep '^sanids_ingest_records_total ' fault.prom
+  sanids_ingest_records_total 573
+  $ awk '/^sanids_ingest_records_total /{r=$2} /^sanids_packets_total /{p=$2} \
+  >      /^sanids_ingest_errors_total\{/{e+=$2} /^sanids_shed_total\{/{s+=$2} \
+  >      END{print (r==p+e+s) ? "reconciled" : "MISMATCH"}' fault.prom
+  reconciled
+
+The identity holds under load shedding too:
+
+  $ sanids scan trace.pcap --unused 10.2.200.0/21 --stream --queue 1 \
+  >   --drop-policy drop_oldest --metrics shed.prom > /dev/null
+  $ awk '/^sanids_ingest_records_total /{r=$2} /^sanids_packets_total /{p=$2} \
+  >      /^sanids_ingest_errors_total\{/{e+=$2} /^sanids_shed_total\{/{s+=$2} \
+  >      END{print (r==p+e+s) ? "reconciled" : "MISMATCH"}' shed.prom
+  reconciled
+
+Exit codes follow sysexits: bad flags or configuration are usage errors
+(64), a capture the decoder rejects is bad data (65):
 
   $ sanids scan trace.pcap --scan-threshold 0
   sanids scan: invalid configuration: scan_threshold must be positive (got 0)
-  [2]
+  [64]
+  $ sanids scan trace.pcap --drop-policy sometimes 2> /dev/null
+  [64]
+  $ printf 'not a capture' > junk.pcap
+  $ sanids scan junk.pcap
+  sanids scan: junk.pcap: pcap_framing: short global header
+  [65]
+  $ sanids sig-scan junk.pcap
+  loaded 10 rules
+  sanids sig-scan: junk.pcap: short global header
+  [65]

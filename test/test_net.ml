@@ -140,7 +140,11 @@ let test_pcap_roundtrip () =
       Packet.build_udp ~ts:1.75 ~src:b ~dst:a ~src_port:3 ~dst_port:4 "two";
     ]
   in
-  let f = Sanids_pcap.Pcap.decode (Sanids_pcap.Pcap.encode (Sanids_pcap.Pcap.of_packets pkts)) in
+  let f =
+    match Sanids_pcap.Pcap.decode (Sanids_pcap.Pcap.encode (Sanids_pcap.Pcap.of_packets pkts)) with
+    | Ok f -> f
+    | Error m -> Alcotest.failf "decode: %s" m
+  in
   Alcotest.(check int) "linktype" Sanids_pcap.Pcap.linktype_raw f.Sanids_pcap.Pcap.linktype;
   match Sanids_pcap.Pcap.to_packets f with
   | [ Ok p1; Ok p2 ] ->
@@ -150,7 +154,10 @@ let test_pcap_roundtrip () =
   | _ -> Alcotest.fail "expected two parsed packets"
 
 let test_pcap_bad_magic () =
-  match Sanids_pcap.Pcap.decode (String.make 40 'z') with
+  (match Sanids_pcap.Pcap.decode (String.make 40 'z') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a decode error");
+  match Sanids_pcap.Pcap.decode_exn (String.make 40 'z') with
   | exception Sanids_pcap.Pcap.Malformed _ -> ()
   | _ -> Alcotest.fail "expected Malformed"
 
@@ -193,9 +200,10 @@ let prop_checksum_detects_flip =
 let test_ethernet_mac () =
   let m = Ethernet.mac_of_string "aa:bb:cc:00:11:ff" in
   Alcotest.(check string) "roundtrip" "aa:bb:cc:00:11:ff" (Ethernet.mac_to_string m);
-  (match Ethernet.mac_of_string "nonsense" with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "bad mac must raise");
+  Alcotest.(check bool) "bad mac is None" true
+    (Ethernet.mac_of_string_opt "nonsense" = None);
+  Alcotest.(check bool) "good mac parses" true
+    (Ethernet.mac_of_string_opt "02:00:00:00:00:01" <> None);
   Alcotest.(check bool) "broadcast differs" false
     (Ethernet.mac_equal m Ethernet.mac_broadcast)
 
@@ -228,7 +236,11 @@ let test_pcap_ethernet_linktype () =
     Sanids_pcap.Pcap.encode ~linktype:Sanids_pcap.Pcap.linktype_ethernet
       (Sanids_pcap.Pcap.of_packets_ethernet pkts)
   in
-  let f = Sanids_pcap.Pcap.decode bytes in
+  let f =
+    match Sanids_pcap.Pcap.decode bytes with
+    | Ok f -> f
+    | Error m -> Alcotest.failf "decode: %s" m
+  in
   Alcotest.(check int) "linktype" Sanids_pcap.Pcap.linktype_ethernet
     f.Sanids_pcap.Pcap.linktype;
   match Sanids_pcap.Pcap.to_packets f with

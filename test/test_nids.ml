@@ -113,7 +113,7 @@ let test_pcap_end_to_end () =
     ]
   in
   let file =
-    Sanids_pcap.Pcap.decode (Sanids_pcap.Pcap.encode (Sanids_pcap.Pcap.of_packets pkts))
+    Sanids_pcap.Pcap.decode_exn (Sanids_pcap.Pcap.encode (Sanids_pcap.Pcap.of_packets pkts))
   in
   let alerts = Pipeline.process_pcap nids file in
   Alcotest.(check int) "one packet alerts" 1 (List.length alerts)

@@ -11,7 +11,7 @@
 *)
 
 let sections =
-  [ "table1"; "table2"; "table3"; "fp"; "efficiency"; "baseline"; "ablation"; "containment"; "parallel"; "micro" ]
+  [ "table1"; "table2"; "table3"; "fp"; "efficiency"; "baseline"; "ablation"; "containment"; "parallel"; "adversarial"; "micro" ]
 
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
@@ -49,5 +49,9 @@ let () =
   if want "ablation" then Ablation.run ();
   if want "containment" then Containment_bench.run ();
   if want "parallel" then Parallel_bench.run ~packets:fp_packets ();
+  if want "adversarial" then
+    if smoke then Adversarial_bench.run ~packets:4 ~size:1024 ()
+    else if full then Adversarial_bench.run ~packets:100 ~size:8192 ()
+    else Adversarial_bench.run ();
   if want "micro" then Micro.run ~quota:(if smoke then 0.02 else 0.25) ();
   print_newline ()

@@ -66,6 +66,18 @@ let fault_conv =
   in
   Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Fault.to_string t))
 
+let budget_conv =
+  let parse s =
+    match Budget.limits_of_string s with Ok l -> Ok l | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Budget.limits_to_string l))
+
+let breaker_conv =
+  let parse s =
+    match Breaker.config_of_string s with Ok c -> Ok c | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Breaker.config_to_string c))
+
 let policy_conv =
   let parse s =
     match Bqueue.policy_of_string s with
@@ -159,9 +171,32 @@ let scan_cmd =
                    backpressure), $(b,drop_newest) or $(b,drop_oldest); \
                    shed packets are counted as sanids_shed_total.")
   in
+  let budget =
+    Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"SPEC"
+           ~doc:"Per-packet analysis work budget: $(b,default) or \
+                 $(b,bytes=N,insns=N,steps=N,deadline=S) - the \
+                 adversarial-load ceiling on extraction, disassembly and \
+                 matching.  Truncated analyses are counted as \
+                 sanids_budget_truncated_total.")
+  in
+  let breaker =
+    Arg.(value & opt (some breaker_conv) None & info [ "breaker" ] ~docv:"SPEC"
+           ~doc:"Per-template circuit breaker: $(b,default) or \
+                 $(b,fails=N,cooldown=N,max=N) (cooldowns counted in \
+                 analyzed packets).  Open transitions are counted as \
+                 sanids_breaker_open_total.")
+  in
+  let degrade =
+    Arg.(value & flag & info [ "degrade" ]
+           ~doc:"When analysis is budget-truncated or templates are held \
+                 open by the breaker, fall back to the cheap baseline \
+                 pattern pass instead of silently reporting less; degraded \
+                 alerts carry a [degraded] marker and \
+                 sanids_degraded_total counts the fallbacks.")
+  in
   let run path honeypots unused no_classify no_extract scan_threshold
-      verdict_cache fault fault_seed stream domains queue drop_policy
-      metrics_out trace_out trace_sample verbose =
+      verdict_cache budget breaker degrade fault fault_seed stream domains
+      queue drop_policy metrics_out trace_out trace_sample verbose =
     setup_logs verbose;
     let cfg =
       Config.default |> Config.with_honeypots honeypots
@@ -170,6 +205,9 @@ let scan_cmd =
       |> Config.with_extraction (not no_extract)
       |> Config.with_scan_threshold scan_threshold
       |> Config.with_verdict_cache verdict_cache
+      |> Config.with_budget budget
+      |> Config.with_breaker breaker
+      |> Config.with_degrade degrade
       |> Config.with_stream_queue queue
       |> Config.with_stream_policy drop_policy
     in
@@ -246,9 +284,9 @@ let scan_cmd =
     (Cmd.info "scan" ~doc:"Run the semantics-aware NIDS over a pcap capture.")
     Term.(
       const run $ pcap_arg $ honeypots $ unused $ no_classify $ no_extract
-      $ scan_threshold $ verdict_cache $ fault $ fault_seed $ stream
-      $ domains $ queue $ drop_policy $ metrics_out $ trace_out
-      $ trace_sample $ verbose_arg)
+      $ scan_threshold $ verdict_cache $ budget $ breaker $ degrade $ fault
+      $ fault_seed $ stream $ domains $ queue $ drop_policy $ metrics_out
+      $ trace_out $ trace_sample $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sanids gen-trace *)
@@ -256,8 +294,17 @@ let scan_cmd =
 let gen_trace_cmd =
   let out_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.pcap") in
   let kind =
-    Arg.(value & opt (enum [ ("benign", `Benign); ("codered", `Codered) ]) `Benign
-         & info [ "kind" ] ~docv:"KIND" ~doc:"Trace kind: benign or codered.")
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("benign", `Benign); ("codered", `Codered);
+                  ("adversarial", `Adversarial);
+                ])
+             `Benign
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Trace kind: benign, codered or adversarial \
+                   (algorithmic-complexity bombs for the hardening drills).")
   in
   let packets =
     Arg.(value & opt int 10_000 & info [ "packets" ] ~docv:"N" ~doc:"Benign packet count.")
@@ -266,7 +313,33 @@ let gen_trace_cmd =
     Arg.(value & opt int 3 & info [ "instances" ] ~docv:"N"
            ~doc:"Code Red II instances (codered kind).")
   in
-  let run out kind packets instances seed =
+  let adv_kind =
+    let parse s =
+      match Adversarial.kind_of_string s with
+      | Some k -> Ok k
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "bad adversarial kind %S (want \
+                   unicode_bomb|repetition_bomb|jmp_maze|garbage_x86|mixed)"
+                  s))
+    in
+    Arg.(value
+         & opt
+             (conv (parse, fun ppf k ->
+                  Format.pp_print_string ppf (Adversarial.kind_to_string k)))
+             Adversarial.Mixed
+         & info [ "adv-kind" ] ~docv:"KIND"
+             ~doc:"Payload family for the adversarial kind: \
+                   $(b,unicode_bomb), $(b,repetition_bomb), $(b,jmp_maze), \
+                   $(b,garbage_x86) or $(b,mixed).")
+  in
+  let payload_size =
+    Arg.(value & opt int 8192 & info [ "payload-size" ] ~docv:"BYTES"
+           ~doc:"Approximate payload size for the adversarial kind.")
+  in
+  let run out kind packets instances adv_kind payload_size seed =
     let rng = Rng.create (Int64.of_int seed) in
     let clients = Ipaddr.prefix_of_string "10.1.0.0/16" in
     let servers = Ipaddr.prefix_of_string "10.2.0.0/16" in
@@ -285,13 +358,19 @@ let gen_trace_cmd =
             truth.Worm_gen.scan_packets
             (Ipaddr.prefix_to_string unused);
           pkts
+      | `Adversarial ->
+          Adversarial.packets ~kind:adv_kind ~size:payload_size rng ~n:packets
+            ~t0:0.0 ~clients ~servers
     in
     Pcap.write_file out (Pcap.of_packets pkts);
     Printf.printf "wrote %s (%d packets)\n" out (List.length pkts)
   in
   Cmd.v
-    (Cmd.info "gen-trace" ~doc:"Synthesize a seeded pcap trace (benign or worm outbreak).")
-    Term.(const run $ out_arg $ kind $ packets $ instances $ seed_arg)
+    (Cmd.info "gen-trace"
+       ~doc:"Synthesize a seeded pcap trace (benign, worm outbreak or \
+             adversarial load).")
+    Term.(const run $ out_arg $ kind $ packets $ instances $ adv_kind
+          $ payload_size $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sanids gen-exploit *)

@@ -16,6 +16,7 @@ module Rng = Sanids_util.Rng
 module Obs = Sanids_obs
 module Byte_io = Sanids_util.Byte_io
 module Bqueue = Sanids_util.Bqueue
+module Budget = Sanids_util.Budget
 module Hexdump = Sanids_util.Hexdump
 module Entropy = Sanids_util.Entropy
 
@@ -52,6 +53,7 @@ module Cfg = Sanids_ir.Cfg
 module Template = Sanids_semantic.Template
 module Template_lib = Sanids_semantic.Template_lib
 module Matcher = Sanids_semantic.Matcher
+module Breaker = Sanids_semantic.Breaker
 
 (* classification and extraction *)
 module Honeypot = Sanids_classify.Honeypot
@@ -88,11 +90,13 @@ module Pipeline = Sanids_nids.Pipeline
 module Alert = Sanids_nids.Alert
 module Stats = Sanids_nids.Stats
 module Parallel = Sanids_nids.Parallel
+module Watchdog = Sanids_nids.Watchdog
 module Hybrid = Sanids_nids.Hybrid
 
 (* workloads *)
 module Benign_gen = Sanids_workload.Benign_gen
 module Worm_gen = Sanids_workload.Worm_gen
+module Adversarial = Sanids_workload.Adversarial
 
 (* propagation and containment models *)
 module Epidemic = Sanids_epidemic.Model

@@ -9,6 +9,7 @@ type config = {
   context_before : int;
   context_after : int;
   max_frames : int;
+  max_frame_bytes : int;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     context_before = 192;
     context_after = 64;
     max_frames = 16;
+    max_frame_bytes = 65_536;
   }
 
 (* Text bytes: printable ASCII plus whitespace. *)
@@ -55,11 +57,15 @@ let binary_regions ~min_len ~gap_merge s =
   in
   List.rev (List.filter (fun (_, l) -> l >= min_len) merged)
 
+(* The repetition scanners honour the frame-size ceiling: structure past
+   it could never become (part of) a frame, so an adversarially long
+   reassembled stream costs O(max_frame_bytes), not O(stream). *)
 let suspicious ?(config = default_config) payload =
-  Unicode.unicode_runs ~min_run:config.min_unicode_run payload <> []
-  || Repetition.runs ~min_len:config.min_repeat payload <> []
-  || Repetition.sled_like payload <> []
-  || Repetition.ret_address_runs payload <> []
+  let max_scan = config.max_frame_bytes in
+  Unicode.unicode_runs ~min_run:config.min_unicode_run ~max_decoded:0 payload <> []
+  || Repetition.runs ~min_len:config.min_repeat ~max_scan payload <> []
+  || Repetition.sled_like ~max_scan payload <> []
+  || Repetition.ret_address_runs ~max_scan payload <> []
   || binary_regions ~min_len:config.min_binary_region ~gap_merge:config.gap_merge
        payload
      <> []
@@ -85,19 +91,21 @@ let record_frames reg frames =
     "frames cut from raw binary regions" raw;
   bump "sanids_extract_bytes_total" "bytes across all extracted frames" bytes
 
-let extract ?metrics ?(config = default_config) payload =
+let extract_frames ?budget ~config payload =
   let n = String.length payload in
   let unicode_frames =
     List.map
       (fun (r : Unicode.run) ->
         { off = r.Unicode.off; data = r.Unicode.decoded; origin = Unicode_escape })
-      (Unicode.unicode_runs ~min_run:config.min_unicode_run payload)
+      (Unicode.unicode_runs ~min_run:config.min_unicode_run
+         ~max_decoded:config.max_frame_bytes payload)
   in
   let raw_frames =
     List.map
       (fun (o, l) ->
         let start = max 0 (o - config.context_before) in
         let stop = min n (o + l + config.context_after) in
+        let stop = min stop (start + config.max_frame_bytes) in
         { off = start; data = String.sub payload start (stop - start); origin = Raw_binary })
       (binary_regions ~min_len:config.min_binary_region ~gap_merge:config.gap_merge
          payload)
@@ -108,11 +116,24 @@ let extract ?metrics ?(config = default_config) payload =
   let rec take k = function
     | [] -> []
     | _ when k = 0 -> []
-    | f :: tl -> f :: take (k - 1) tl
+    | f :: tl -> (
+        match budget with
+        | Some b when not (Budget.take_bytes b (String.length f.data)) ->
+            (* out of extraction fuel: everything materialized so far is
+               still analyzed, the rest of the payload is not *)
+            []
+        | Some _ | None -> f :: take (k - 1) tl)
   in
-  let frames = take config.max_frames all in
+  take config.max_frames all
+
+let extract ?budget ?metrics ?(config = default_config) payload =
+  let frames = extract_frames ?budget ~config payload in
   (match metrics with None -> () | Some reg -> record_frames reg frames);
   frames
+
+let extract_bounded ?metrics ?(config = default_config) ~budget payload =
+  let frames = extract ~budget ?metrics ~config payload in
+  (frames, Budget.outcome budget)
 
 let pp_frame ppf f =
   Format.fprintf ppf "frame@@%d %s %d bytes" f.off

@@ -23,6 +23,12 @@ type config = {
   context_before : int;  (** printable context kept ahead of a region *)
   context_after : int;
   max_frames : int;
+  max_frame_bytes : int;
+      (** hard per-frame size ceiling (default 65536): caps each
+          [%uXXXX] run's decoded output and each raw region cut, and
+          bounds the repetition scanners' window — the structural
+          defence against decompression/repetition bombs, independent of
+          any per-packet budget *)
 }
 
 val default_config : config
@@ -32,10 +38,27 @@ val suspicious : ?config:config -> string -> bool
     (escape runs, long filler runs, NOP-like sleds, binary regions)? *)
 
 val extract :
-  ?metrics:Sanids_obs.Registry.t -> ?config:config -> string -> frame list
+  ?budget:Budget.t ->
+  ?metrics:Sanids_obs.Registry.t ->
+  ?config:config ->
+  string ->
+  frame list
 (** Binary frames, in payload order.  Empty for plain protocol text.
     When [metrics] is given, per-origin frame counts and frame bytes are
     accumulated there ([sanids_extract_unicode_frames_total],
-    [sanids_extract_raw_frames_total], [sanids_extract_bytes_total]). *)
+    [sanids_extract_raw_frames_total], [sanids_extract_bytes_total]).
+    When [budget] is given, each frame's bytes are taken from it before
+    the frame is emitted; the frame that exhausts the byte fuel and
+    everything after it are dropped (the budget records the trip). *)
+
+val extract_bounded :
+  ?metrics:Sanids_obs.Registry.t ->
+  ?config:config ->
+  budget:Budget.t ->
+  string ->
+  frame list * Budget.outcome
+(** {!extract} with the stage outcome made explicit: [Truncated Bytes]
+    when extraction ran out of byte fuel, [Complete] otherwise (the
+    outcome reflects the shared budget's state after this stage). *)
 
 val pp_frame : Format.formatter -> frame -> unit

@@ -1,7 +1,11 @@
 type run = { off : int; byte : char; len : int }
 
-let runs ?(min_len = 32) s =
-  let n = String.length s in
+(* All scanners take an optional window bound: repetition structure past
+   [max_scan] bytes cannot start a frame anyway (the extractor caps frame
+   sizes), so scanning a reassembled megabyte-scale stream end to end is
+   pure attack surface. *)
+let runs ?(min_len = 32) ?(max_scan = max_int) s =
+  let n = min (String.length s) max_scan in
   let out = ref [] in
   let i = ref 0 in
   while !i < n do
@@ -38,8 +42,8 @@ let nop_like c =
       true
   | _ -> false
 
-let sled_like ?(min_len = 16) s =
-  let n = String.length s in
+let sled_like ?(min_len = 16) ?(max_scan = max_int) s =
+  let n = min (String.length s) max_scan in
   let out = ref [] in
   let i = ref 0 in
   while !i < n do
@@ -73,8 +77,8 @@ let address_like base =
   let b k = Int32.to_int (Int32.shift_right_logical base (8 * k)) land 0xFF in
   not (b 1 = b 2 && b 2 = b 3)
 
-let ret_address_runs ?(min_count = 4) s =
-  let n = String.length s in
+let ret_address_runs ?(min_count = 4) ?(max_scan = max_int) s =
+  let n = min (String.length s) max_scan in
   let out = ref [] in
   let i = ref 0 in
   while !i + 4 <= n do

@@ -16,7 +16,7 @@ let decode_u_escape s i =
         Some ((a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d, i + 6)
     | _, _, _, _ -> None
 
-let unicode_runs ?(min_run = 4) s =
+let unicode_runs ?(min_run = 4) ?(max_decoded = max_int) s =
   let n = String.length s in
   let runs = ref [] in
   let i = ref 0 in
@@ -26,8 +26,12 @@ let unicode_runs ?(min_run = 4) s =
     | Some (v0, next0) ->
         let buf = Buffer.create 32 in
         let add v =
-          Buffer.add_char buf (Char.chr (v land 0xFF));
-          Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+          (* a %u bomb must not materialize: decode output is capped and
+             the rest of the run is only *scanned* to find its end *)
+          if Buffer.length buf < max_decoded then begin
+            Buffer.add_char buf (Char.chr (v land 0xFF));
+            Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+          end
         in
         add v0;
         let start = !i in

@@ -6,9 +6,12 @@ type run = { off : int; count : int; decoded : string }
     '%', [count] the number of escapes, [decoded] the binary form
     (2 bytes per [%uXXXX], little-endian; 1 byte per [%XX]). *)
 
-val unicode_runs : ?min_run:int -> string -> run list
+val unicode_runs : ?min_run:int -> ?max_decoded:int -> string -> run list
 (** Maximal runs of at least [min_run] (default 4) consecutive [%uXXXX]
-    escapes. *)
+    escapes.  [max_decoded] (default unlimited) caps each run's
+    [decoded] output: the run is still scanned to its true end ([count]
+    is exact) but no more than [max_decoded] bytes are materialized —
+    the defence against [%u] decompression bombs. *)
 
 val percent_decode : string -> string
 (** Decode [%XX] escapes (and '+' to space); malformed escapes pass

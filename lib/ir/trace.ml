@@ -9,9 +9,15 @@ type step = {
 type t = step array
 
 (* The walker is shared by the direct and the memoized builders; [decode]
-   abstracts where (insn, len, sems) comes from. *)
-let walk ~max_len ~region_len ~decode ~entry =
+   abstracts where (insn, len, sems) comes from.  When a [budget] is
+   supplied, each step takes one instruction of fuel first: a jmp-chain
+   maze can spend at most the packet's fuel across every trace built for
+   it, no matter how many entries are enumerated. *)
+let walk ?budget ~max_len ~region_len ~decode ~entry () =
   let n = region_len in
+  let granted () =
+    match budget with None -> true | Some b -> Budget.take_insns b 1
+  in
   if entry < 0 || entry >= n then [||]
   else begin
     let visited = Hashtbl.create 64 in
@@ -21,7 +27,7 @@ let walk ~max_len ~region_len ~decode ~entry =
     let off = ref entry in
     let continue = ref true in
     while !continue && !count < max_len && !off >= 0 && !off < n
-          && not (Hashtbl.mem visited !off) do
+          && not (Hashtbl.mem visited !off) && granted () do
       Hashtbl.add visited !off ();
       match decode !off with
       | None -> continue := false
@@ -55,7 +61,7 @@ let walk ~max_len ~region_len ~decode ~entry =
     Array.of_list (List.rev !acc)
   end
 
-let build ?(max_len = 1024) code ~entry =
+let build ?budget ?(max_len = 1024) code ~entry =
   let decode off =
     match Decode.at code off with
     | None -> None
@@ -67,12 +73,12 @@ let build ?(max_len = 1024) code ~entry =
             sems = Array.of_list (Sem.lift d.Decode.insn);
           }
   in
-  walk ~max_len ~region_len:(String.length code) ~decode ~entry
+  walk ?budget ~max_len ~region_len:(String.length code) ~decode ~entry ()
 
-let build_cached ?(max_len = 1024) cache ~entry =
-  walk ~max_len
+let build_cached ?budget ?(max_len = 1024) cache ~entry =
+  walk ?budget ~max_len
     ~region_len:(String.length (Icache.code cache))
-    ~decode:(Icache.decode cache) ~entry
+    ~decode:(Icache.decode cache) ~entry ()
 
 let entry_points ?(limit = 256) code =
   let n = String.length code in

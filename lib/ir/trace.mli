@@ -18,11 +18,14 @@ type step = {
 
 type t = step array
 
-val build : ?max_len:int -> string -> entry:int -> t
+val build : ?budget:Budget.t -> ?max_len:int -> string -> entry:int -> t
 (** Trace of at most [max_len] (default 1024) instructions starting at
-    byte offset [entry].  Empty when [entry] is out of range. *)
+    byte offset [entry].  Empty when [entry] is out of range.  When
+    [budget] is given, every step first takes one instruction of fuel:
+    the walk stops early (and the budget records [Truncated
+    Instructions]) once the per-packet decode allowance is gone. *)
 
-val build_cached : ?max_len:int -> Icache.t -> entry:int -> t
+val build_cached : ?budget:Budget.t -> ?max_len:int -> Icache.t -> entry:int -> t
 (** Same walk as {!build} over the cache's region, but each byte offset
     is decoded and lifted at most once per {!Icache.t} — traces from
     different entries share the per-offset work.  Produces exactly the

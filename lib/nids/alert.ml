@@ -9,9 +9,10 @@ type t = {
   frame_off : int;
   frame_origin : Sanids_extract.Extractor.origin;
   detail : string;
+  degraded : bool;
 }
 
-let make ~packet ~reason ~frame ~result =
+let make ?(degraded = false) ~packet ~reason ~frame ~result () =
   let src_port, dst_port =
     match Packet.ports packet with Some (s, d) -> (s, d) | None -> (0, 0)
   in
@@ -26,15 +27,17 @@ let make ~packet ~reason ~frame ~result =
     frame_off = frame.Sanids_extract.Extractor.off;
     frame_origin = frame.Sanids_extract.Extractor.origin;
     detail = Format.asprintf "%a" Matcher.pp_result result;
+    degraded;
   }
 
 let pp ppf a =
-  Format.fprintf ppf "[%.3f] ALERT %s %a:%d -> %a:%d (%s, frame@@%d %s)" a.ts
+  Format.fprintf ppf "[%.3f] ALERT %s %a:%d -> %a:%d (%s, frame@@%d %s)%s" a.ts
     a.template Ipaddr.pp a.src a.src_port Ipaddr.pp a.dst a.dst_port
     (Sanids_classify.Classifier.reason_to_string a.reason)
     a.frame_off
     (match a.frame_origin with
     | Sanids_extract.Extractor.Unicode_escape -> "unicode"
     | Sanids_extract.Extractor.Raw_binary -> "raw")
+    (if a.degraded then " [degraded]" else "")
 
 let to_line a = Format.asprintf "%a" pp a

@@ -11,13 +11,18 @@ type t = {
   frame_off : int;  (** payload offset of the matched frame *)
   frame_origin : Sanids_extract.Extractor.origin;
   detail : string;  (** rendered variable bindings *)
+  degraded : bool;
+      (** raised by the degraded (baseline pattern) pass, not the full
+          semantic matcher *)
 }
 
 val make :
+  ?degraded:bool ->
   packet:Packet.t ->
   reason:Sanids_classify.Classifier.reason ->
   frame:Sanids_extract.Extractor.frame ->
   result:Matcher.result ->
+  unit ->
   t
 
 val pp : Format.formatter -> t -> unit

@@ -11,6 +11,9 @@ type t = {
   flow_alert_cache_size : int;
   stream_queue_capacity : int;
   stream_drop_policy : Bqueue.policy;
+  analysis_budget : Budget.limits option;
+  breaker : Breaker.config option;
+  degrade : bool;
 }
 
 let default =
@@ -27,6 +30,9 @@ let default =
     flow_alert_cache_size = 65536;
     stream_queue_capacity = 8192;
     stream_drop_policy = Bqueue.Block;
+    analysis_budget = None;
+    breaker = None;
+    degrade = false;
   }
 
 let with_honeypots honeypots t = { t with honeypots }
@@ -41,6 +47,9 @@ let with_min_payload min_payload t = { t with min_payload }
 let with_flow_alert_cache flow_alert_cache_size t = { t with flow_alert_cache_size }
 let with_stream_queue stream_queue_capacity t = { t with stream_queue_capacity }
 let with_stream_policy stream_drop_policy t = { t with stream_drop_policy }
+let with_budget analysis_budget t = { t with analysis_budget }
+let with_breaker breaker t = { t with breaker }
+let with_degrade degrade t = { t with degrade }
 
 let validate t =
   if t.scan_threshold <= 0 then
@@ -60,4 +69,15 @@ let validate t =
     Error
       (Printf.sprintf "stream_queue_capacity must be positive (got %d)"
          t.stream_queue_capacity)
-  else Ok t
+  else
+    match Option.map Budget.validate_limits t.analysis_budget with
+    | Some (Error m) -> Error m
+    | Some (Ok _) | None -> (
+        match Option.map Breaker.validate_config t.breaker with
+        | Some (Error m) -> Error m
+        | Some (Ok _) | None ->
+            if t.degrade && t.analysis_budget = None && t.breaker = None then
+              Error
+                "degrade requires an analysis budget or a breaker (nothing \
+                 can trigger degradation otherwise)"
+            else Ok t)

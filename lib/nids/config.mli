@@ -40,6 +40,25 @@ type t = {
           newest, shed the oldest, or apply backpressure ([Block], the
           lossless default).  Shed packets are counted as
           [sanids_shed_total{policy}]. *)
+  analysis_budget : Budget.limits option;
+      (** per-packet work ceiling for the analysis path (bytes
+          extracted, instructions decoded, matcher steps, wall-clock
+          deadline); [None] (the default) analyzes without bounds.
+          Budget-truncated packets are counted as
+          [sanids_budget_truncated_total{reason}]. *)
+  breaker : Breaker.config option;
+      (** per-template circuit breaking: a template whose step cap trips
+          on consecutive packets is excluded for a cooldown ([None]
+          disables breaking).  The step cap is the budget's
+          [max_match_steps] when a budget is set, else
+          {!Budget.default_limits}'s. *)
+  degrade : bool;
+      (** when analysis is cut short (budget trip) or templates are
+          held open by the breaker, fall back to a cheap baseline
+          pattern pass over the affected frames instead of silently
+          reporting less; degraded packets are counted as
+          [sanids_degraded_total{stage}] and their alerts carry
+          {!Alert.t.degraded}. *)
 }
 
 val default : t
@@ -64,9 +83,14 @@ val with_min_payload : int -> t -> t
 val with_flow_alert_cache : int -> t -> t
 val with_stream_queue : int -> t -> t
 val with_stream_policy : Bqueue.policy -> t -> t
+val with_budget : Budget.limits option -> t -> t
+val with_breaker : Breaker.config option -> t -> t
+val with_degrade : bool -> t -> t
 
 val validate : t -> (t, string) result
 (** Reject configurations that would silently misbehave rather than
     letting them: negative [verdict_cache_size], non-positive
     [scan_threshold], [flow_alert_cache_size] or
-    [stream_queue_capacity], negative [min_payload]. *)
+    [stream_queue_capacity], negative [min_payload], invalid budget
+    limits or breaker settings, and [degrade] without any mechanism
+    (budget or breaker) that could trigger degradation. *)

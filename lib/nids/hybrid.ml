@@ -65,21 +65,27 @@ let process_packet t packet =
               const_bindings = [];
             };
           cached = false;
+          degraded = false;
         }
       in
       [
         Alert.make ~packet
           ~reason:Sanids_classify.Classifier.Classification_disabled
-          ~frame:v.Pipeline.frame ~result:v.Pipeline.match_;
+          ~frame:v.Pipeline.frame ~result:v.Pipeline.match_ ();
       ]
   | [] ->
       let alerts = Pipeline.process_packet t.pipeline packet in
       List.iter
         (fun (a : Alert.t) ->
-          let name = a.Alert.template in
-          let pool = Option.value ~default:[] (Hashtbl.find_opt t.pools name) in
-          Hashtbl.replace t.pools name (payload :: pool);
-          try_infer t name)
+          (* degraded alerts are pattern hits, not semantic matches —
+             pooling them would let an attacker steer signature
+             inference with crafted complexity bombs *)
+          if not a.Alert.degraded then begin
+            let name = a.Alert.template in
+            let pool = Option.value ~default:[] (Hashtbl.find_opt t.pools name) in
+            Hashtbl.replace t.pools name (payload :: pool);
+            try_infer t name
+          end)
         alerts;
       alerts
 

@@ -50,7 +50,20 @@ val process_seq_snapshot :
     a crash.  The returned snapshot merges every worker registry plus
     the feeder's admission counters, so
     [packets + shed + worker_failures] accounts for every admitted
-    packet. *)
+    packet.
+
+    When [Config.analysis_budget] carries a wall-clock deadline, a
+    watchdog domain guards against workers that wedge {e despite} the
+    budget (the budget is cooperative): a worker busy on one packet for
+    [max (8 * deadline) 0.05] seconds is abandoned and a fresh worker
+    is respawned on the same queue ([sanids_worker_restarts_total]),
+    with exponential backoff and a bounded respawn count per shard
+    ({!Watchdog}); an exhausted shard's queue is closed so admission
+    degrades to counted shedding.  A retired worker finishes the chunk
+    it already popped — every popped packet is processed exactly once —
+    and its partial metrics merge into the final snapshot; a domain
+    still wedged at shutdown is leaked rather than waited on forever
+    and surfaces as a worker failure. *)
 
 val process_seq :
   ?domains:int -> ?batch:int -> Config.t -> Packet.t Seq.t ->

@@ -10,6 +10,33 @@ type verdict = {
   frame : Extractor.frame;
   match_ : Matcher.result;
   cached : bool;  (* served from the verdict cache *)
+  degraded : bool;  (* produced by the baseline fallback pass *)
+}
+
+type analysis = {
+  verdicts : verdict list;
+  outcome : Budget.outcome;
+  degraded : bool;
+  breaker_open : string list;
+  tripped : string list;
+}
+
+let no_analysis =
+  {
+    verdicts = [];
+    outcome = Budget.Complete;
+    degraded = false;
+    breaker_open = [];
+    tripped = [];
+  }
+
+(* Degraded fallback: an Aho–Corasick pass over the templates' literal
+   [data] patterns (conjunction per template, like the signature
+   baseline).  Built once; only templates carrying data patterns can be
+   recovered this way. *)
+type fallback = {
+  ac : Sanids_baseline.Aho_corasick.t;
+  per_template : (string * string list) list;
 }
 
 (* Pre-resolved registry handles for the per-packet hot path. *)
@@ -35,6 +62,8 @@ type t = {
   m : counters;
   vcache_entries : Obs.Registry.gauge;
   flow_entries : Obs.Registry.gauge;
+  breaker : Breaker.t option;
+  fallback : fallback option;
   reasm : Flow.reassembler option;
   flow_alerted : (string, unit) Lru.t;
       (* flow-key ^ template pairs already alerted, for stream mode;
@@ -60,6 +89,36 @@ let counters_of reg =
     flow_evictions = c "sanids_flow_alerted_evictions_total" "flow alert-dedup table evictions";
   }
 
+let distinct_names templates =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (tp : Template.t) ->
+      if Hashtbl.mem seen tp.Template.name then None
+      else begin
+        Hashtbl.add seen tp.Template.name ();
+        Some tp.Template.name
+      end)
+    templates
+
+let build_fallback templates =
+  let per_template =
+    List.filter_map
+      (fun (tp : Template.t) ->
+        if tp.Template.data = [] then None
+        else Some (tp.Template.name, tp.Template.data))
+      templates
+  in
+  if per_template = [] then None
+  else
+    let pats =
+      List.sort_uniq compare (List.concat_map snd per_template)
+    in
+    Some
+      {
+        ac = Sanids_baseline.Aho_corasick.build (List.map (fun p -> (p, p)) pats);
+        per_template;
+      }
+
 let create ?tracer (cfg : Config.t) =
   let cfg =
     match Config.validate cfg with
@@ -82,6 +141,10 @@ let create ?tracer (cfg : Config.t) =
     flow_entries =
       Obs.Registry.gauge reg ~help:"flow alert-dedup table occupancy"
         "sanids_flow_alerted_entries";
+    breaker =
+      Option.map (fun bc -> Breaker.create ~metrics:reg bc) cfg.Config.breaker;
+    fallback =
+      (if cfg.Config.degrade then build_fallback cfg.Config.templates else None);
     reasm = (if cfg.Config.reassemble then Some (Flow.create_reassembler ()) else None);
     flow_alerted = Lru.create cfg.Config.flow_alert_cache_size;
     verdicts =
@@ -92,34 +155,149 @@ let create ?tracer (cfg : Config.t) =
 
 let span t name f = Obs.Span.with_ ?tracer:t.tracer t.reg name f
 
-let frames_of t payload =
+let frames_of t ?budget payload =
   if t.cfg.Config.extraction_enabled then
-    span t "extract" (fun () -> Extractor.extract ~metrics:t.reg payload)
+    span t "extract" (fun () -> Extractor.extract ?budget ~metrics:t.reg payload)
   else
-    [ { Extractor.off = 0; data = payload; origin = Extractor.Raw_binary } ]
+    let frame =
+      { Extractor.off = 0; data = payload; origin = Extractor.Raw_binary }
+    in
+    match budget with
+    | Some b when not (Budget.take_bytes b (String.length payload)) -> []
+    | Some _ | None -> [ frame ]
 
 (* Template scan over one frame; the matcher accumulates its decode-memo
    and budget counters straight into the pipeline registry. *)
-let scan_frame t data =
+let scan_frame t ?budget ?step_cap ~templates data =
   span t "match" (fun () ->
-      Matcher.scan ~metrics:t.reg ~templates:t.cfg.Config.templates data)
+      Matcher.scan_report ?budget ?step_cap ~metrics:t.reg ~templates data)
+
+let count_truncated t reason =
+  Obs.Registry.incr
+    (Obs.Registry.counter t.reg
+       ~help:"analyses cut short by the per-packet budget"
+       ~labels:[ ("reason", Budget.reason_to_string reason) ]
+       "sanids_budget_truncated_total")
+
+let count_degraded t stage =
+  Obs.Registry.incr
+    (Obs.Registry.counter t.reg
+       ~help:"analyses that fell back to the degraded baseline pass"
+       ~labels:[ ("stage", stage) ]
+       "sanids_degraded_total")
+
+(* The per-template step cap only exists to feed the breaker; without a
+   breaker the shared budget (if any) is the sole bound, exactly as
+   before this layer existed. *)
+let step_cap_of t =
+  match t.breaker with
+  | None -> None
+  | Some _ ->
+      Some
+        (match t.cfg.Config.analysis_budget with
+        | Some l -> l.Budget.max_match_steps
+        | None -> Budget.default_limits.Budget.max_match_steps)
+
+(* Conjunctive pattern matching for the degraded pass: a candidate
+   template counts as (tentatively) present when every one of its data
+   patterns occurs in the buffer. *)
+let degraded_verdicts fb buffer candidates =
+  if candidates = [] then []
+  else begin
+    let found = Hashtbl.create 8 in
+    List.iter
+      (fun (end_off, pat) ->
+        if not (Hashtbl.mem found pat) then
+          Hashtbl.add found pat (end_off - String.length pat + 1))
+      (Sanids_baseline.Aho_corasick.search fb.ac buffer);
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name fb.per_template with
+        | None | Some [] -> None
+        | Some pats ->
+            if List.for_all (Hashtbl.mem found) pats then
+              let entry =
+                List.fold_left
+                  (fun acc p -> min acc (Hashtbl.find found p))
+                  max_int pats
+              in
+              Some
+                {
+                  frame =
+                    {
+                      Extractor.off = 0;
+                      data = buffer;
+                      origin = Extractor.Raw_binary;
+                    };
+                  match_ =
+                    {
+                      Matcher.template = name;
+                      entry;
+                      offsets = [];
+                      reg_bindings = [];
+                      const_bindings = [];
+                    };
+                  cached = false;
+                  degraded = true;
+                }
+            else None)
+      candidates
+  end
 
 (* Analysis stages shared by live processing and the timing harness. *)
 let analyze_frames t payload =
   let gate =
     (not t.cfg.Config.extraction_enabled) || Extractor.suspicious payload
   in
-  if not gate then []
+  if not gate then no_analysis
   else begin
     Obs.Registry.incr t.m.prefilter_hits;
-    List.concat_map
-      (fun (frame : Extractor.frame) ->
-        Obs.Registry.incr t.m.frames;
-        Obs.Registry.add t.m.frame_bytes (String.length frame.Extractor.data);
-        List.map
-          (fun match_ -> { frame; match_; cached = false })
-          (scan_frame t frame.Extractor.data))
-      (frames_of t payload)
+    let budget = Option.map Budget.start t.cfg.Config.analysis_budget in
+    let all_names = distinct_names t.cfg.Config.templates in
+    let templates, excluded =
+      match t.breaker with
+      | None -> (t.cfg.Config.templates, [])
+      | Some br ->
+          let excluded = List.filter (fun n -> not (Breaker.admit br n)) all_names in
+          ( List.filter
+              (fun (tp : Template.t) ->
+                not (List.mem tp.Template.name excluded))
+              t.cfg.Config.templates,
+            excluded )
+    in
+    let step_cap = step_cap_of t in
+    let tripped = ref [] in
+    let verdicts =
+      List.concat_map
+        (fun (frame : Extractor.frame) ->
+          Obs.Registry.incr t.m.frames;
+          Obs.Registry.add t.m.frame_bytes (String.length frame.Extractor.data);
+          let report =
+            scan_frame t ?budget ?step_cap ~templates frame.Extractor.data
+          in
+          tripped := report.Matcher.tripped @ !tripped;
+          List.map
+            (fun match_ -> { frame; match_; cached = false; degraded = false })
+            report.Matcher.results)
+        (frames_of t ?budget payload)
+    in
+    let tripped = List.sort_uniq compare !tripped in
+    (match t.breaker with
+    | None -> ()
+    | Some br ->
+        List.iter
+          (fun n ->
+            if not (List.mem n excluded) then
+              Breaker.record br n ~tripped:(List.mem n tripped))
+          all_names;
+        Breaker.tick br);
+    let outcome =
+      match budget with None -> Budget.Complete | Some b -> Budget.outcome b
+    in
+    (match outcome with
+    | Budget.Truncated r -> count_truncated t r
+    | Budget.Complete -> ());
+    { verdicts; outcome; degraded = false; breaker_open = excluded; tripped }
   end
 
 let dedup_by_template verdicts =
@@ -133,28 +311,79 @@ let dedup_by_template verdicts =
       end)
     verdicts
 
+(* One full (uncached) analysis of a buffer, degradation included. *)
+let analyze_core t buffer =
+  let report = analyze_frames t buffer in
+  let report = { report with verdicts = dedup_by_template report.verdicts } in
+  let degraded_stage =
+    if not t.cfg.Config.degrade then None
+    else
+      match report.outcome with
+      | Budget.Truncated r -> Some (Budget.reason_to_string r)
+      | Budget.Complete ->
+          if report.breaker_open <> [] then Some "breaker" else None
+  in
+  match degraded_stage with
+  | None -> report
+  | Some stage ->
+      count_degraded t stage;
+      let extra =
+        match t.fallback with
+        | None -> []
+        | Some fb ->
+            let candidates =
+              match report.outcome with
+              | Budget.Truncated _ ->
+                  (* the whole scan was cut short: every not-yet-matched
+                     template gets the cheap pass *)
+                  List.filter
+                    (fun n ->
+                      not
+                        (List.exists
+                           (fun v -> v.match_.Matcher.template = n)
+                           report.verdicts))
+                    (distinct_names t.cfg.Config.templates)
+              | Budget.Complete -> report.breaker_open
+            in
+            degraded_verdicts fb buffer candidates
+      in
+      { report with verdicts = report.verdicts @ extra; degraded = true }
+
 (* Full analysis of one buffer, short-circuited by the verdict cache.
-   Analysis is a pure function of the buffer bytes (extraction, trace
-   recovery and matching read nothing else), so replaying a cached result
-   for byte-identical buffers — the worm-outbreak shape — cannot change
-   any verdict. *)
+   A pristine analysis (budget never tripped, no template abandoned, no
+   breaker exclusion, no fallback) is a pure function of the buffer
+   bytes, so replaying a cached result for byte-identical buffers — the
+   worm-outbreak shape — cannot change any verdict.  Anything less than
+   pristine is never cached: the next identical buffer deserves a fresh
+   attempt under whatever fuel and breaker state then hold. *)
 let analyze_uncached t buffer =
   match t.verdicts with
-  | None -> dedup_by_template (analyze_frames t buffer)
+  | None -> analyze_core t buffer
   | Some cache -> (
       match Lru.find cache buffer with
       | Some verdicts ->
           Obs.Registry.incr t.m.vcache_hits;
-          List.map (fun v -> { v with cached = true }) verdicts
+          {
+            no_analysis with
+            verdicts = List.map (fun v -> { v with cached = true }) verdicts;
+          }
       | None ->
           Obs.Registry.incr t.m.vcache_misses;
-          let verdicts = dedup_by_template (analyze_frames t buffer) in
-          let before = Lru.evictions cache in
-          Lru.add cache buffer verdicts;
-          Obs.Registry.add t.m.vcache_evictions (Lru.evictions cache - before);
-          verdicts)
+          let report = analyze_core t buffer in
+          if
+            report.outcome = Budget.Complete
+            && (not report.degraded)
+            && report.breaker_open = []
+            && report.tripped = []
+          then begin
+            let before = Lru.evictions cache in
+            Lru.add cache buffer report.verdicts;
+            Obs.Registry.add t.m.vcache_evictions (Lru.evictions cache - before)
+          end;
+          report)
 
-let analyze t buffer = span t "analyze" (fun () -> analyze_uncached t buffer)
+let analyze_report t buffer = span t "analyze" (fun () -> analyze_uncached t buffer)
+let analyze t buffer = (analyze_report t buffer).verdicts
 
 (* In stream mode the analyzed buffer is the flow's reassembled prefix and
    alerts deduplicate per flow; otherwise it is the packet payload. *)
@@ -205,7 +434,9 @@ let process_packet t packet =
               List.filter_map
                 (fun v ->
                   if fresh v then
-                    Some (Alert.make ~packet ~reason ~frame:v.frame ~result:v.match_)
+                    Some
+                      (Alert.make ~degraded:v.degraded ~packet ~reason
+                         ~frame:v.frame ~result:v.match_ ())
                   else None)
                 verdicts
             in

@@ -17,9 +17,28 @@ type verdict = {
       (** the extracted frame the match was found in *)
   match_ : Matcher.result;
   cached : bool;  (** served from the verdict cache, not re-analyzed *)
+  degraded : bool;
+      (** produced by the degraded baseline pattern pass, not the full
+          semantic matcher (bindings and offsets are empty) *)
 }
 (** One template match on one analyzed buffer — the typed result of the
     analysis stages. *)
+
+type analysis = {
+  verdicts : verdict list;
+  outcome : Budget.outcome;
+      (** the per-packet budget's state after analysis; [Complete] when
+          no budget is configured *)
+  degraded : bool;  (** the baseline fallback pass ran on this buffer *)
+  breaker_open : string list;
+      (** template names excluded from this analysis by open breakers *)
+  tripped : string list;
+      (** template names that hit their per-template step cap *)
+}
+(** What happened to one analyzed buffer.  With no budget, breaker or
+    degradation configured this is always
+    [{ verdicts; outcome = Complete; degraded = false; breaker_open = [];
+    tripped = [] }] and [verdicts] is exactly the pre-hardening result. *)
 
 val create : ?tracer:Sanids_obs.Span.tracer -> Config.t -> t
 (** [tracer] attaches JSONL span tracing to the pipeline's stage timers.
@@ -35,10 +54,17 @@ val process_packets : t -> Packet.t list -> Alert.t list
 val process_pcap : t -> Sanids_pcap.Pcap.file -> Alert.t list
 (** Unparseable records are counted and skipped. *)
 
-val analyze : t -> string -> verdict list
+val analyze_report : t -> string -> analysis
 (** The analysis stages only (no classification): extraction per config,
     then disassembly and template matching, deduplicated to one verdict
-    per template name.  This is what the timing experiments measure. *)
+    per template name — all under the configured per-packet budget and
+    breaker state, with the degraded fallback applied when configured.
+    Only pristine analyses (budget untripped, nothing abandoned or
+    excluded, no fallback) enter the verdict cache. *)
+
+val analyze : t -> string -> verdict list
+(** [analyze_report] projected to its verdicts.  This is what the timing
+    experiments measure. *)
 
 val analyze_payload : t -> string -> Matcher.result list
 (** [analyze] projected to bare matcher results. *)

@@ -18,6 +18,10 @@ type t = {
   ingest_errors : int;
   shed : int;
   worker_failures : int;
+  budget_truncated : int;
+  degraded : int;
+  breaker_open : int;
+  worker_restarts : int;
 }
 
 let zero =
@@ -39,6 +43,10 @@ let zero =
     ingest_errors = 0;
     shed = 0;
     worker_failures = 0;
+    budget_truncated = 0;
+    degraded = 0;
+    breaker_open = 0;
+    worker_restarts = 0;
   }
 
 (* The registry metric each field is a view of. *)
@@ -64,6 +72,10 @@ let of_snapshot s =
     ingest_errors = Obs.Snapshot.counter_sum s "sanids_ingest_errors_total";
     shed = Obs.Snapshot.counter_sum s "sanids_shed_total";
     worker_failures = c "sanids_worker_failures_total";
+    budget_truncated = Obs.Snapshot.counter_sum s "sanids_budget_truncated_total";
+    degraded = Obs.Snapshot.counter_sum s "sanids_degraded_total";
+    breaker_open = Obs.Snapshot.counter_sum s "sanids_breaker_open_total";
+    worker_restarts = c "sanids_worker_restarts_total";
   }
 
 let decode_memo_ratio t =
@@ -72,8 +84,9 @@ let decode_memo_ratio t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d ingest_errors=%d shed=%d worker_failures=%d"
+    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d ingest_errors=%d shed=%d worker_failures=%d truncated=%d degraded=%d breaker_open=%d worker_restarts=%d"
     t.packets t.bytes t.classified_suspicious t.prefilter_hits t.frames
     t.frame_bytes t.alerts t.analysis_seconds t.verdict_cache_hits
     t.verdict_cache_misses t.verdict_cache_evictions (decode_memo_ratio t)
     t.scan_budget_exhausted t.ingest_errors t.shed t.worker_failures
+    t.budget_truncated t.degraded t.breaker_open t.worker_restarts

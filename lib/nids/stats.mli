@@ -36,6 +36,20 @@ type t = {
   worker_failures : int;
       (** packets abandoned because analysis raised inside a worker
           domain (the pipeline survived and kept its shard) *)
+  budget_truncated : int;
+      (** analyses cut short by the per-packet budget — the
+          [sanids_budget_truncated_total{reason}] family summed over
+          reasons *)
+  degraded : int;
+      (** analyses that fell back to the degraded baseline pass — the
+          [sanids_degraded_total{stage}] family summed over stages *)
+  breaker_open : int;
+      (** circuit-breaker open transitions — the
+          [sanids_breaker_open_total{template}] family summed over
+          templates *)
+  worker_restarts : int;
+      (** stalled workers abandoned and respawned by the parallel
+          watchdog *)
 }
 
 val zero : t

@@ -1,0 +1,47 @@
+type config = { stall_after : float; max_restarts : int; backoff : float }
+
+let default_config = { stall_after = 1.0; max_restarts = 3; backoff = 2.0 }
+
+let config_for ~deadline =
+  { default_config with stall_after = Float.max (8.0 *. deadline) 0.05 }
+
+let validate_config c =
+  if c.stall_after <= 0.0 then Error "watchdog: stall_after must be positive"
+  else if c.max_restarts < 0 then Error "watchdog: max_restarts must be >= 0"
+  else if c.backoff < 1.0 then Error "watchdog: backoff must be >= 1"
+  else Ok c
+
+type t = {
+  cfg : config;
+  mutable restarts : int;
+  mutable last_restart : float;  (* observation time of the last Restart *)
+}
+
+let create cfg =
+  let cfg =
+    match validate_config cfg with
+    | Ok c -> c
+    | Error m -> invalid_arg ("Watchdog.create: " ^ m)
+  in
+  { cfg; restarts = 0; last_restart = neg_infinity }
+
+type action = Steady | Restart | Exhausted
+
+let threshold t = t.cfg.stall_after *. (t.cfg.backoff ** float_of_int t.restarts)
+
+let observe t ~now ~busy_since =
+  match busy_since with
+  | None -> Steady
+  | Some since ->
+      (* a heartbeat older than the last restart belongs to the
+         abandoned generation, not the replacement *)
+      if since <= t.last_restart then Steady
+      else if now -. since < threshold t then Steady
+      else if t.restarts >= t.cfg.max_restarts then Exhausted
+      else begin
+        t.restarts <- t.restarts + 1;
+        t.last_restart <- now;
+        Restart
+      end
+
+let restarts t = t.restarts

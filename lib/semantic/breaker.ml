@@ -1,0 +1,154 @@
+module Obs = Sanids_obs
+
+type config = { failures : int; cooldown : int; max_cooldown : int }
+
+let default_config = { failures = 3; cooldown = 64; max_cooldown = 4096 }
+
+let validate_config c =
+  if c.failures < 1 then Error "breaker: fails must be >= 1"
+  else if c.cooldown < 1 then Error "breaker: cooldown must be >= 1"
+  else if c.max_cooldown < c.cooldown then
+    Error "breaker: max must be >= cooldown"
+  else Ok c
+
+let config_to_string c =
+  Printf.sprintf "fails=%d,cooldown=%d,max=%d" c.failures c.cooldown c.max_cooldown
+
+let config_of_string s =
+  let s = String.trim s in
+  if s = "default" then Ok default_config
+  else begin
+    let parse_field acc kv =
+      match acc with
+      | Error _ -> acc
+      | Ok c -> (
+          match String.index_opt kv '=' with
+          | None -> Error (Printf.sprintf "breaker: %S is not key=value" kv)
+          | Some i -> (
+              let k = String.sub kv 0 i in
+              let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+              match (k, int_of_string_opt v) with
+              | "fails", Some n -> Ok { c with failures = n }
+              | "cooldown", Some n -> Ok { c with cooldown = n }
+              | "max", Some n -> Ok { c with max_cooldown = n }
+              | ("fails" | "cooldown" | "max"), None ->
+                  Error (Printf.sprintf "breaker: %s wants an integer, got %S" k v)
+              | _ ->
+                  Error
+                    (Printf.sprintf "breaker: unknown key %S (want fails|cooldown|max)" k)))
+    in
+    match
+      List.fold_left parse_field (Ok default_config) (String.split_on_char ',' s)
+    with
+    | Ok c -> validate_config c
+    | Error _ as e -> e
+  end
+
+type state = Closed | Open of int | Half_open
+
+(* per-template record; [streak] counts consecutive openings and drives
+   the exponential backoff (cooldown * 2^(streak-1), capped) *)
+type cell = {
+  mutable consec : int;  (* consecutive tripped packets while closed *)
+  mutable opened_until : int;  (* packet clock when half-open begins *)
+  mutable streak : int;
+  mutable phase : [ `Closed | `Open | `Half_open ];
+}
+
+type t = {
+  cfg : config;
+  cells : (string, cell) Hashtbl.t;
+  mutable clock : int;  (* analyzed packets seen *)
+  mutable openings : int;
+  metrics : Obs.Registry.t option;
+}
+
+let create ?metrics cfg =
+  let cfg =
+    match validate_config cfg with Ok c -> c | Error m -> invalid_arg ("Breaker.create: " ^ m)
+  in
+  { cfg; cells = Hashtbl.create 8; clock = 0; openings = 0; metrics }
+
+let cell t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c
+  | None ->
+      let c = { consec = 0; opened_until = 0; streak = 0; phase = `Closed } in
+      Hashtbl.add t.cells name c;
+      c
+
+let tick t = t.clock <- t.clock + 1
+
+let backoff cfg streak =
+  (* cooldown * 2^(streak-1), saturating at max_cooldown *)
+  let rec go acc k =
+    if k <= 1 || acc >= cfg.max_cooldown then acc else go (acc * 2) (k - 1)
+  in
+  min cfg.max_cooldown (go cfg.cooldown streak)
+
+let open_cell t name c =
+  c.streak <- c.streak + 1;
+  c.phase <- `Open;
+  c.consec <- 0;
+  c.opened_until <- t.clock + backoff t.cfg c.streak;
+  t.openings <- t.openings + 1;
+  match t.metrics with
+  | Some reg ->
+      Obs.Registry.incr
+        (Obs.Registry.counter reg
+           ~help:"circuit-breaker open transitions per template"
+           ~labels:[ ("template", name) ]
+           "sanids_breaker_open_total")
+  | None -> ()
+
+let admit t name =
+  match Hashtbl.find_opt t.cells name with
+  | None -> true
+  | Some c -> (
+      match c.phase with
+      | `Closed -> true
+      | `Half_open -> true
+      | `Open ->
+          if t.clock >= c.opened_until then begin
+            c.phase <- `Half_open;
+            true
+          end
+          else false)
+
+let record t name ~tripped =
+  let c = cell t name in
+  match c.phase with
+  | `Open -> ()  (* not admitted; a stray report changes nothing *)
+  | `Half_open ->
+      if tripped then open_cell t name c
+      else begin
+        c.phase <- `Closed;
+        c.consec <- 0;
+        c.streak <- 0
+      end
+  | `Closed ->
+      if tripped then begin
+        c.consec <- c.consec + 1;
+        if c.consec >= t.cfg.failures then open_cell t name c
+      end
+      else c.consec <- 0
+
+let state t name =
+  match Hashtbl.find_opt t.cells name with
+  | None -> Closed
+  | Some c -> (
+      match c.phase with
+      | `Closed -> Closed
+      | `Half_open -> Half_open
+      | `Open ->
+          if t.clock >= c.opened_until then Half_open
+          else Open (c.opened_until - t.clock))
+
+let open_templates t =
+  Hashtbl.fold
+    (fun name c acc ->
+      if c.phase = `Open && t.clock < c.opened_until then name :: acc else acc)
+    t.cells []
+  |> List.sort compare
+
+let openings t = t.openings

@@ -256,7 +256,15 @@ let expand steps =
       | Template.Many p -> [ Req p; More p ])
     steps
 
-let match_from ~index_of_off (t : Template.t) (trace : Trace.t) start =
+(* Raised mid-match when the step fuel runs dry: [`Template] means this
+   template hit its per-scan step cap (circuit-breaker food), [`Budget]
+   means the packet's shared match-step budget is gone. *)
+exception Fuel_out of [ `Template | `Budget ]
+
+let no_tick () = ()
+
+let match_from ?(tick = no_tick) ~index_of_off (t : Template.t) (trace : Trace.t)
+    start =
   let len = Array.length trace in
   let finish env first offsets =
     if List.for_all (Template.check_guard env.consts) t.guards then
@@ -274,6 +282,7 @@ let match_from ~index_of_off (t : Template.t) (trace : Trace.t) start =
         | None -> attempt p (More p :: rest) pos sem_idx env first offsets gap)
     | Req p :: rest -> attempt p rest pos sem_idx env first offsets gap
   and attempt p rest pos sem_idx env first offsets gap =
+    tick ();
     if pos >= len then None
     else
       let st = trace.(pos) in
@@ -322,12 +331,12 @@ let index_of_trace (trace : Trace.t) =
     trace;
   index_of_off
 
-let match_trace_indexed ~index_of_off (t : Template.t) trace ~entry =
+let match_trace_indexed ?tick ~index_of_off (t : Template.t) trace ~entry =
   let len = Array.length trace in
   let rec try_start s =
     if s >= len then None
     else
-      match match_from ~index_of_off t trace s with
+      match match_from ?tick ~index_of_off t trace s with
       | Some (env, _, offsets) ->
           Some
             {
@@ -389,10 +398,22 @@ let data_prefilter ~templates code =
       templates
   end
 
-let scan ?entries ?metrics ?(memoize = true) ~templates code =
+type scan_report = {
+  results : result list;
+  outcome : Budget.outcome;
+      (** the shared budget's state after the scan; [Complete] when no
+          budget was supplied *)
+  tripped : string list;
+      (** templates abandoned for hitting the per-template step cap —
+          what the circuit breaker feeds on *)
+}
+
+let scan_report ?entries ?metrics ?(memoize = true) ?budget ?step_cap ~templates
+    code =
   let n = String.length code in
   let results = ref [] in
-  if n = 0 then []
+  let tripped = ref [] in
+  if n = 0 then { results = []; outcome = Budget.Complete; tripped = [] }
   else begin
     let remaining = ref (data_prefilter ~templates code) in
     (* Byte offsets already visited by some trace: starting there again
@@ -400,24 +421,53 @@ let scan ?entries ?metrics ?(memoize = true) ~templates code =
        This keeps the whole-buffer entry enumeration near-linear even on
        sled-like inputs, with a work budget as a backstop. *)
     let covered = Bytes.make n '\000' in
-    let budget = ref (max 4096 (4 * n)) in
+    let work = ref (max 4096 (4 * n)) in
     let exhausted = ref false in
     (* variants share a name; once any variant matches, the whole family
-       is settled *)
+       is settled — and per-template step accounts are shared by every
+       variant of the name for the same reason *)
     let matched_names = ref [] in
+    let step_accounts : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let account (t : Template.t) =
+      match step_cap with
+      | None -> None
+      | Some cap -> (
+          match Hashtbl.find_opt step_accounts t.Template.name with
+          | Some r -> Some r
+          | None ->
+              let r = ref cap in
+              Hashtbl.add step_accounts t.Template.name r;
+              Some r)
+    in
+    let tick_for tpl_steps =
+      match (tpl_steps, budget) with
+      | None, None -> None
+      | _ ->
+          Some
+            (fun () ->
+              (match tpl_steps with
+              | Some r -> if !r <= 0 then raise (Fuel_out `Template) else decr r
+              | None -> ());
+              match budget with
+              | Some b -> if not (Budget.take_steps b 1) then raise (Fuel_out `Budget)
+              | None -> ())
+    in
+    let budget_alive () =
+      match budget with None -> true | Some b -> Budget.alive b
+    in
     (* decode each offset at most once across all entry enumerations *)
     let icache = if memoize then Some (Icache.create code) else None in
     let build_trace entry =
       match icache with
-      | Some c -> Trace.build_cached c ~entry
-      | None -> Trace.build code ~entry
+      | Some c -> Trace.build_cached ?budget c ~entry
+      | None -> Trace.build ?budget code ~entry
     in
     let run_entry entry =
-      if !remaining <> [] then begin
-        if !budget <= 0 then exhausted := true
+      if !remaining <> [] && budget_alive () then begin
+        if !work <= 0 then exhausted := true
         else begin
           let trace = build_trace entry in
-          budget := !budget - Array.length trace - 1;
+          work := !work - Array.length trace - 1;
           Array.iter
             (fun (s : Trace.step) ->
               if s.Trace.off >= 0 && s.Trace.off < n then
@@ -429,12 +479,25 @@ let scan ?entries ?metrics ?(memoize = true) ~templates code =
               (fun (t : Template.t) ->
                 if List.mem t.Template.name !matched_names then false
                 else
-                  match match_trace_indexed ~index_of_off t trace ~entry with
+                  match
+                    match_trace_indexed ?tick:(tick_for (account t))
+                      ~index_of_off t trace ~entry
+                  with
                   | Some r ->
                       results := r :: !results;
                       matched_names := t.Template.name :: !matched_names;
                       false
-                  | None -> true)
+                  | None -> true
+                  | exception Fuel_out `Template ->
+                      (* this template is too expensive on this packet:
+                         abandon it for the scan and report the trip *)
+                      if not (List.mem t.Template.name !tripped) then
+                        tripped := t.Template.name :: !tripped;
+                      false
+                  | exception Fuel_out `Budget ->
+                      (* shared fuel gone: keep the template listed so the
+                         caller sees the scan as truncated, stop matching *)
+                      true)
               !remaining
         end
       end
@@ -442,8 +505,10 @@ let scan ?entries ?metrics ?(memoize = true) ~templates code =
     (match entries with
     | Some es -> List.iter run_entry es
     | None ->
-        for o = 0 to n - 1 do
-          if Bytes.get covered o = '\000' then run_entry o
+        let o = ref 0 in
+        while !o < n && budget_alive () do
+          if Bytes.get covered !o = '\000' then run_entry !o;
+          incr o
         done);
     (match metrics with
     | Some reg ->
@@ -454,8 +519,17 @@ let scan ?entries ?metrics ?(memoize = true) ~templates code =
         in
         record_scan reg ~hits ~misses ~exhausted:(if !exhausted then 1 else 0)
     | None -> ());
-    List.rev !results
+    {
+      results = List.rev !results;
+      outcome =
+        (match budget with Some b -> Budget.outcome b | None -> Budget.Complete);
+      tripped = List.rev !tripped;
+    }
   end
+
+let scan ?entries ?metrics ?memoize ?budget ?step_cap ~templates code =
+  (scan_report ?entries ?metrics ?memoize ?budget ?step_cap ~templates code)
+    .results
 
 let satisfies t code = scan ~templates:[ t ] code <> []
 

@@ -28,13 +28,25 @@ val decode_memo_hits : string
 val decode_memo_misses : string
 val scan_budget_exhausted : string
 
-val scan :
+type scan_report = {
+  results : result list;
+  outcome : Budget.outcome;
+      (** the shared budget's state after the scan; [Complete] when no
+          budget was supplied *)
+  tripped : string list;
+      (** templates abandoned for hitting the per-template step cap —
+          what the circuit breaker feeds on *)
+}
+
+val scan_report :
   ?entries:int list ->
   ?metrics:Sanids_obs.Registry.t ->
   ?memoize:bool ->
+  ?budget:Budget.t ->
+  ?step_cap:int ->
   templates:Template.t list ->
   string ->
-  result list
+  scan_report
 (** Match templates against a raw code region.  By default every
     not-yet-covered byte offset is tried as a trace entry (bounded by a
     work budget); [entries] overrides that enumeration.  Templates
@@ -46,7 +58,27 @@ val scan :
     exists so benchmarks can compare).  When [metrics] is given, the
     decode-memo hit/miss counts and budget exhaustion are accumulated
     into that registry under {!decode_memo_hits},
-    {!decode_memo_misses} and {!scan_budget_exhausted}. *)
+    {!decode_memo_misses} and {!scan_budget_exhausted}.
+
+    Adversarial-load bounds: [budget] charges trace instructions and
+    matcher step attempts to the packet's shared {!Budget.t} (the scan
+    stops cleanly when fuel runs out and the report's [outcome] says
+    so); [step_cap] limits each template {e name}'s step attempts within
+    this scan — a template that hits it is abandoned and listed in
+    [tripped] while every other template keeps matching.  With neither
+    supplied, behaviour and results are exactly the unbudgeted
+    matcher's. *)
+
+val scan :
+  ?entries:int list ->
+  ?metrics:Sanids_obs.Registry.t ->
+  ?memoize:bool ->
+  ?budget:Budget.t ->
+  ?step_cap:int ->
+  templates:Template.t list ->
+  string ->
+  result list
+(** [scan_report] projected to its results. *)
 
 val satisfies : Template.t -> string -> bool
 (** The paper's [P |= T] relation, for one region of code. *)

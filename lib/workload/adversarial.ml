@@ -1,0 +1,119 @@
+type kind = Unicode_bomb | Repetition_bomb | Jmp_maze | Garbage_x86 | Mixed
+
+let kinds = [ Unicode_bomb; Repetition_bomb; Jmp_maze; Garbage_x86 ]
+
+let kind_to_string = function
+  | Unicode_bomb -> "unicode_bomb"
+  | Repetition_bomb -> "repetition_bomb"
+  | Jmp_maze -> "jmp_maze"
+  | Garbage_x86 -> "garbage_x86"
+  | Mixed -> "mixed"
+
+let kind_of_string = function
+  | "unicode_bomb" -> Some Unicode_bomb
+  | "repetition_bomb" -> Some Repetition_bomb
+  | "jmp_maze" -> Some Jmp_maze
+  | "garbage_x86" -> Some Garbage_x86
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+let hex = "0123456789abcdef"
+
+(* One giant %uXXXX run riding a plausible request line: each escape is
+   6 wire bytes but decodes to 2 payload bytes, and the run length is
+   what the extractor's caps exist to bound. *)
+let unicode_bomb rng size =
+  let b = Buffer.create size in
+  Buffer.add_string b "GET /default.ida?";
+  while Buffer.length b < size do
+    Buffer.add_string b "%u";
+    for _ = 1 to 4 do
+      Buffer.add_char b hex.[Rng.int rng 16]
+    done
+  done;
+  Buffer.add_string b " HTTP/1.0\r\n\r\n";
+  Buffer.contents b
+
+(* Filler runs in several flavours: one solid run, blocks of distinct
+   run bytes, and runs chopped just around typical scanner thresholds so
+   every boundary case gets exercised. *)
+let repetition_bomb rng size =
+  let b = Buffer.create size in
+  let fillers = [| '\x90'; 'A'; '\x00'; '\xcc'; ' ' |] in
+  (match Rng.int rng 3 with
+  | 0 -> Buffer.add_string b (String.make size (Rng.pick rng fillers))
+  | 1 ->
+      while Buffer.length b < size do
+        let run = 32 + Rng.int rng 96 in
+        Buffer.add_string b (String.make run (Rng.pick rng fillers))
+      done
+  | _ ->
+      while Buffer.length b < size do
+        let run = 40 + Rng.int rng 16 in
+        Buffer.add_string b (String.make run (Rng.pick rng fillers));
+        Buffer.add_char b (Char.chr (0x80 lor Rng.int rng 0x80))
+      done);
+  Buffer.contents b
+
+(* Dense short-jmp soup: almost every offset decodes as [jmp rel8] into
+   another jmp, so trace walking from any entry hops until something
+   stops it.  A sprinkling of [jmp rel32] and int3 varies the decode. *)
+let jmp_maze rng size =
+  let b = Bytes.create size in
+  let i = ref 0 in
+  while !i < size do
+    if !i + 5 <= size && Rng.chance rng 0.1 then begin
+      Bytes.set b !i '\xe9';
+      for k = 1 to 4 do
+        Bytes.set b (!i + k) (Char.chr (Rng.int rng 256))
+      done;
+      i := !i + 5
+    end
+    else if !i + 2 <= size then begin
+      Bytes.set b !i '\xeb';
+      Bytes.set b (!i + 1) (Char.chr (Rng.int rng 256));
+      i := !i + 2
+    end
+    else begin
+      Bytes.set b !i '\xcc';
+      incr i
+    end
+  done;
+  Bytes.to_string b
+
+(* Uniform random bytes: non-printable enough that the extractor cuts
+   big raw regions, and junk enough that every entry offset decodes
+   differently. *)
+let garbage_x86 rng size = Rng.bytes rng size
+
+let payload ?(kind = Mixed) ?(size = 8192) rng =
+  let kind = match kind with Mixed -> Rng.pick_list rng kinds | k -> k in
+  match kind with
+  | Unicode_bomb -> unicode_bomb rng size
+  | Repetition_bomb -> repetition_bomb rng size
+  | Jmp_maze -> jmp_maze rng size
+  | Garbage_x86 -> garbage_x86 rng size
+  | Mixed -> assert false
+
+let pick_addr rng p =
+  let size = min (Ipaddr.prefix_size p) (1 lsl 16) in
+  Ipaddr.nth p (Rng.int rng size)
+
+let packet ?kind ?size rng ~ts ~clients ~servers =
+  Packet.build_tcp ~ts ~src:(pick_addr rng clients) ~dst:(pick_addr rng servers)
+    ~src_port:(1024 + Rng.int rng 60000) ~dst_port:80
+    (payload ?kind ?size rng)
+
+let seq ?kind ?size ?(rate = 1000.0) rng ~n ~t0 ~clients ~servers =
+  let rec gen i ts () =
+    if i >= n then Seq.Nil
+    else begin
+      let dt = -.log (1.0 -. Rng.float rng 0.999999) /. rate in
+      let ts = ts +. dt in
+      Seq.Cons (packet ?kind ?size rng ~ts ~clients ~servers, gen (i + 1) ts)
+    end
+  in
+  gen 0 t0
+
+let packets ?kind ?size ?rate rng ~n ~t0 ~clients ~servers =
+  List.of_seq (seq ?kind ?size ?rate rng ~n ~t0 ~clients ~servers)

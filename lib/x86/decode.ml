@@ -290,11 +290,13 @@ let step r =
       let b = R.u8 r in
       { off = start; len = 1; insn = Insn.Bad b }
 
-let all ?(pos = 0) ?len s =
+let all ?(pos = 0) ?len ?(max = max_int) s =
   let r = R.of_string ~pos ?len s in
   let acc = ref [] in
-  while not (R.is_empty r) do
-    acc := step r :: !acc
+  let count = ref 0 in
+  while (not (R.is_empty r)) && !count < max do
+    acc := step r :: !acc;
+    incr count
   done;
   Array.of_list (List.rev !acc)
 

@@ -10,8 +10,10 @@ type decoded = { off : int; len : int; insn : Insn.t }
 (** One decoded instruction: offset and length in bytes within the swept
     region, and its AST. *)
 
-val all : ?pos:int -> ?len:int -> string -> decoded array
-(** Sweep a region front to back.  Offsets are relative to [pos]. *)
+val all : ?pos:int -> ?len:int -> ?max:int -> string -> decoded array
+(** Sweep a region front to back.  Offsets are relative to [pos].
+    [max] (default unlimited) caps the number of instructions decoded —
+    the linear sweep's work bound on adversarially long regions. *)
 
 val one : string -> Insn.t
 (** Decode the instruction at the start of the buffer.

@@ -141,3 +141,61 @@ Exit codes follow sysexits: bad flags or configuration are usage errors
   loaded 10 rules
   sanids sig-scan: junk.pcap: short global header
   [65]
+
+Adversarial load: per-packet budgets truncate runaway analyses instead
+of letting them starve the detector, and --degrade answers with the
+cheap baseline pattern pass (a jmp maze carries no worm bodies, so the
+degraded pass stays quiet).  The stats line accounts for every packet:
+
+  $ sanids gen-trace adv.pcap --kind adversarial --adv-kind jmp_maze \
+  >   --packets 40 --payload-size 4096 --seed 5
+  wrote adv.pcap (40 packets)
+  $ sanids scan adv.pcap --no-classify \
+  >   --budget bytes=65536,insns=100,steps=100000,deadline=0 --degrade \
+  >   --metrics adv.prom \
+  >   | sed 's/.*\(truncated=[0-9]* degraded=[0-9]* breaker_open=[0-9]*\).*/\1/'
+  truncated=40 degraded=40 breaker_open=0
+  no alerts
+
+The exported families reconcile with the stats line: every analyzed
+packet was truncated by the budget and answered by the degraded pass:
+
+  $ awk '/^sanids_budget_truncated_total\{/{t+=$2} /^sanids_degraded_total\{/{d+=$2} \
+  >      /^sanids_packets_total /{p=$2} \
+  >      END{print (t==p && d==p) ? "reconciled" : "MISMATCH"}' adv.prom
+  reconciled
+
+The same flood through the multicore stream pipeline: tight budgets
+keep every worker live (the deadline watchdog has nothing to do), every
+admitted packet is analyzed, and the accounting still reconciles:
+
+  $ sanids scan adv.pcap --no-classify --stream --domains 2 \
+  >   --budget bytes=65536,insns=100,steps=100000,deadline=0.5 --degrade \
+  >   --metrics advs.prom | tail -n 1
+  no alerts
+  $ awk '/^sanids_ingest_records_total /{r=$2} /^sanids_packets_total /{p=$2} \
+  >      /^sanids_ingest_errors_total\{/{e+=$2} /^sanids_shed_total\{/{s+=$2} \
+  >      END{print (r==p+e+s) ? "reconciled" : "MISMATCH"}' advs.prom
+  reconciled
+  $ awk '/^sanids_degraded_total\{/{d+=$2} /^sanids_packets_total /{p=$2} \
+  >      /^sanids_worker_restarts_total /{w=$2} \
+  >      END{print (d==p) ? "degraded-all" : "MISMATCH", "restarts=" w+0}' advs.prom
+  degraded-all restarts=0
+
+Budgets sized for real traffic change nothing on the worm capture —
+the breaker stays closed and the semantic verdicts are untouched:
+
+  $ sanids scan trace.pcap --unused 10.2.200.0/21 \
+  >   --budget bytes=262144,insns=200000,steps=400000,deadline=0 \
+  >   --breaker default --degrade | grep -c 'ALERT code-red-ii'
+  3
+
+Hardening misconfiguration is a usage error, not a silent no-op:
+
+  $ sanids scan adv.pcap --degrade
+  sanids scan: invalid configuration: degrade requires an analysis budget or a breaker (nothing can trigger degradation otherwise)
+  [64]
+  $ sanids scan adv.pcap --breaker fails=0 2> /dev/null
+  [64]
+  $ sanids scan adv.pcap --budget bytes=0 2> /dev/null
+  [64]

@@ -80,12 +80,9 @@ let breaker_conv =
 
 let policy_conv =
   let parse s =
-    match Bqueue.policy_of_string s with
-    | Some p -> Ok p
-    | None ->
-        Error
-          (`Msg
-             (Printf.sprintf "bad drop policy %S (want block|drop_newest|drop_oldest)" s))
+    match Bqueue.policy_of_string_result s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
   in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Bqueue.policy_to_string p))
 
@@ -537,6 +534,126 @@ let sig_scan_cmd =
     Term.(const run $ file_pos $ rules_file)
 
 (* ------------------------------------------------------------------ *)
+(* sanids lint *)
+
+let lint_cmd =
+  let templates_flag =
+    Arg.(value & flag & info [ "templates" ]
+           ~doc:"Lint the shipped semantic template library: per-template \
+                 well-formedness, guard satisfiability over the abstract \
+                 domain, and cross-template subsumption.")
+  in
+  let rules_file =
+    Arg.(value & opt (some file) None & info [ "rules" ] ~docv:"FILE"
+           ~doc:"Lint a Snort-style rule file (without any selection flag, \
+                 the shipped ruleset is linted).")
+  in
+  let config_flag =
+    Arg.(value & flag & info [ "config" ]
+           ~doc:"Lint the configuration assembled from the configuration \
+                 flags below.")
+  in
+  let trace_file =
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Junk diagnostics for a raw code file: trace it from offset \
+                 0 and report the dead-write (junk) density the def-use \
+                 analysis sees.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Lint the embedded deliberately-defective corpus, \
+                 demonstrating every finding code.")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", Lint.Text); ("json", Lint.Json) ]) Lint.Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,text) (findings plus a summary line) \
+                   or $(b,json) (JSONL, one finding object per line).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Fail (exit 65) on warnings as well as errors.")
+  in
+  let scan_threshold =
+    Arg.(value & opt int Config.default.Config.scan_threshold
+         & info [ "scan-threshold" ] ~docv:"N"
+             ~doc:"Scan threshold for --config.")
+  in
+  let verdict_cache =
+    Arg.(value & opt int Config.default.Config.verdict_cache_size
+         & info [ "verdict-cache" ] ~docv:"N"
+             ~doc:"Verdict cache capacity for --config.")
+  in
+  let queue =
+    Arg.(value & opt int Config.default.Config.stream_queue_capacity
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue capacity for --config.")
+  in
+  let drop_policy =
+    Arg.(value & opt policy_conv Config.default.Config.stream_drop_policy
+         & info [ "drop-policy" ] ~docv:"POLICY"
+             ~doc:"Stream drop policy for --config.")
+  in
+  let budget =
+    Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"SPEC"
+           ~doc:"Analysis budget for --config.")
+  in
+  let breaker =
+    Arg.(value & opt (some breaker_conv) None & info [ "breaker" ] ~docv:"SPEC"
+           ~doc:"Circuit breaker for --config.")
+  in
+  let degrade =
+    Arg.(value & flag & info [ "degrade" ] ~doc:"Degraded fallback for --config.")
+  in
+  let run templates_flag rules_file config_flag trace_file selftest format
+      strict scan_threshold verdict_cache queue drop_policy budget breaker
+      degrade =
+    let none_selected =
+      (not (templates_flag || config_flag || selftest))
+      && rules_file = None && trace_file = None
+    in
+    let findings = ref [] in
+    let add fs = findings := !findings @ fs in
+    if selftest then add (Lint_selftest.findings ());
+    if templates_flag || none_selected then
+      add (Lint.templates Template_lib.default_set);
+    (match rules_file with
+    | Some f -> add (Lint.rules_text (read_file f))
+    | None -> if none_selected then add (Lint.rules_text Rule.default_ruleset));
+    if config_flag || none_selected then begin
+      let cfg =
+        Config.default
+        |> Config.with_scan_threshold scan_threshold
+        |> Config.with_verdict_cache verdict_cache
+        |> Config.with_stream_queue queue
+        |> Config.with_stream_policy drop_policy
+        |> Config.with_budget budget
+        |> Config.with_breaker breaker
+        |> Config.with_degrade degrade
+      in
+      add (Config.lint cfg)
+    end;
+    (match trace_file with
+    | Some f -> add (Trace_lint.lint ~subject:("trace:" ^ f) (read_file f))
+    | None -> ());
+    let findings = !findings in
+    print_string (Lint.render format findings);
+    (match format with
+    | Lint.Text -> Printf.printf "lint: %s\n" (Finding.summary findings)
+    | Lint.Json -> ());
+    exit (Lint.exit_code ~strict findings)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze detector artifacts - semantic templates, \
+             baseline rules, configuration - without running any traffic. \
+             Exits 65 when findings fail the run.")
+    Term.(
+      const run $ templates_flag $ rules_file $ config_flag $ trace_file
+      $ selftest $ format_arg $ strict $ scan_threshold $ verdict_cache
+      $ queue $ drop_policy $ budget $ breaker $ degrade)
+
+(* ------------------------------------------------------------------ *)
 (* sanids templates / corpus *)
 
 let templates_cmd =
@@ -573,7 +690,7 @@ let () =
     Cmd.group info
       [
         scan_cmd; sig_scan_cmd; gen_trace_cmd; gen_exploit_cmd; disasm_cmd;
-        match_cmd; emulate_cmd;
+        match_cmd; emulate_cmd; lint_cmd;
         templates_cmd; corpus_cmd;
       ]
   in

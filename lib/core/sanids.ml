@@ -77,6 +77,16 @@ module Iis_asp = Sanids_exploits.Iis_asp
 module Netsky = Sanids_exploits.Netsky
 module Slammer = Sanids_exploits.Slammer
 
+(* detector-artifact lint *)
+module Finding = Sanids_staticlint.Finding
+module Lint_dom = Sanids_staticlint.Dom
+module Template_lint = Sanids_staticlint.Template_lint
+module Subsume = Sanids_staticlint.Subsume
+module Rule_lint = Sanids_staticlint.Rule_lint
+module Trace_lint = Sanids_staticlint.Trace_lint
+module Lint_selftest = Sanids_staticlint.Selftest
+module Lint = Sanids_staticlint.Lint
+
 (* baselines *)
 module Aho_corasick = Sanids_baseline.Aho_corasick
 module Signatures = Sanids_baseline.Signatures

@@ -22,7 +22,7 @@ type t = (kind * float) list
 let of_string s =
   let parse_tok tok =
     match String.index_opt tok '=' with
-    | None -> Error (Printf.sprintf "fault %S: want kind=probability" tok)
+    | None -> Error (Printf.sprintf "fault: %S is not kind=probability" tok)
     | Some i -> (
         let name = String.sub tok 0 i in
         let p = String.sub tok (i + 1) (String.length tok - i - 1) in
@@ -30,19 +30,22 @@ let of_string s =
         | None, _ ->
             Error
               (Printf.sprintf
-                 "fault %S: unknown kind %S (want truncate|bitflip|dup|reorder|garbage)"
-                 tok name)
-        | _, None -> Error (Printf.sprintf "fault %S: bad probability %S" tok p)
+                 "fault: unknown kind %S (want truncate|bitflip|dup|reorder|garbage)"
+                 name)
+        | _, None ->
+            Error (Printf.sprintf "fault: %s wants a probability, got %S" name p)
         | Some k, Some p when p >= 0. && p <= 1. -> Ok (k, p)
         | Some _, Some p ->
-            Error (Printf.sprintf "fault %S: probability %g outside [0,1]" tok p))
+            Error
+              (Printf.sprintf "fault: %s wants a probability in [0,1], got %g"
+                 name p))
   in
   let toks =
     String.split_on_char ',' (String.trim s)
     |> List.map String.trim
     |> List.filter (fun t -> t <> "")
   in
-  if toks = [] then Error "empty fault spec"
+  if toks = [] then Error "fault: empty spec"
   else
     List.fold_left
       (fun acc tok ->

@@ -51,33 +51,60 @@ let with_budget analysis_budget t = { t with analysis_budget }
 let with_breaker breaker t = { t with breaker }
 let with_degrade degrade t = { t with degrade }
 
-let validate t =
+module Finding = Sanids_staticlint.Finding
+
+(* Finding order mirrors the historical short-circuit order of
+   [validate], which reports the first Error's message unchanged. *)
+let lint t =
+  let fs = ref [] in
+  let emit code severity message =
+    fs := Finding.v ~code ~severity ~subject:"config" message :: !fs
+  in
   if t.scan_threshold <= 0 then
-    Error
-      (Printf.sprintf "scan_threshold must be positive (got %d)" t.scan_threshold)
-  else if t.verdict_cache_size < 0 then
-    Error
+    emit "SL201" Finding.Error
+      (Printf.sprintf "scan_threshold must be positive (got %d)"
+         t.scan_threshold);
+  if t.verdict_cache_size < 0 then
+    emit "SL201" Finding.Error
       (Printf.sprintf "verdict_cache_size must be >= 0 (got %d)"
-         t.verdict_cache_size)
-  else if t.flow_alert_cache_size <= 0 then
-    Error
+         t.verdict_cache_size);
+  if t.flow_alert_cache_size <= 0 then
+    emit "SL201" Finding.Error
       (Printf.sprintf "flow_alert_cache_size must be positive (got %d)"
-         t.flow_alert_cache_size)
-  else if t.min_payload < 0 then
-    Error (Printf.sprintf "min_payload must be >= 0 (got %d)" t.min_payload)
-  else if t.stream_queue_capacity < 1 then
-    Error
+         t.flow_alert_cache_size);
+  if t.min_payload < 0 then
+    emit "SL201" Finding.Error
+      (Printf.sprintf "min_payload must be >= 0 (got %d)" t.min_payload);
+  if t.stream_queue_capacity < 1 then
+    emit "SL201" Finding.Error
       (Printf.sprintf "stream_queue_capacity must be positive (got %d)"
-         t.stream_queue_capacity)
-  else
-    match Option.map Budget.validate_limits t.analysis_budget with
-    | Some (Error m) -> Error m
-    | Some (Ok _) | None -> (
-        match Option.map Breaker.validate_config t.breaker with
-        | Some (Error m) -> Error m
-        | Some (Ok _) | None ->
-            if t.degrade && t.analysis_budget = None && t.breaker = None then
-              Error
-                "degrade requires an analysis budget or a breaker (nothing \
-                 can trigger degradation otherwise)"
-            else Ok t)
+         t.stream_queue_capacity);
+  (match Option.map Budget.validate_limits t.analysis_budget with
+  | Some (Error m) -> emit "SL202" Finding.Error m
+  | Some (Ok _) | None -> ());
+  (match Option.map Breaker.validate_config t.breaker with
+  | Some (Error m) -> emit "SL203" Finding.Error m
+  | Some (Ok _) | None -> ());
+  if t.degrade && t.analysis_budget = None && t.breaker = None then
+    emit "SL204" Finding.Error
+      "degrade requires an analysis budget or a breaker (nothing can trigger \
+       degradation otherwise)";
+  if t.verdict_cache_size > 0 && t.verdict_cache_size < 64 then
+    emit "SL205" Finding.Warn
+      (Printf.sprintf
+         "verdict_cache_size %d is too small to survive an outbreak's \
+          payload diversity; use 0 (off) or >= 64"
+         t.verdict_cache_size);
+  if (not t.degrade) && (t.analysis_budget <> None || t.breaker <> None) then
+    emit "SL206" Finding.Warn
+      "an analysis budget or breaker is set without degrade: truncated \
+       packets are silently under-analyzed instead of falling back to the \
+       baseline pass";
+  List.rev !fs
+
+let validate t =
+  match
+    List.find_opt (fun f -> f.Finding.severity = Finding.Error) (lint t)
+  with
+  | Some f -> Error f.Finding.message
+  | None -> Ok t

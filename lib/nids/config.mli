@@ -87,10 +87,26 @@ val with_budget : Budget.limits option -> t -> t
 val with_breaker : Breaker.config option -> t -> t
 val with_degrade : bool -> t -> t
 
+val lint : t -> Sanids_staticlint.Finding.t list
+(** Configuration findings, subject ["config"].
+
+    Codes (stable):
+    - [SL201] {e error} — an out-of-range core value: negative
+      [verdict_cache_size], non-positive [scan_threshold],
+      [flow_alert_cache_size] or [stream_queue_capacity], negative
+      [min_payload].
+    - [SL202] {e error} — invalid budget limits
+      ({!Budget.validate_limits}).
+    - [SL203] {e error} — invalid breaker settings
+      ({!Breaker.validate_config}).
+    - [SL204] {e error} — [degrade] without any mechanism (budget or
+      breaker) that could trigger degradation.
+    - [SL205] {e warn} — a verdict cache too small to be useful
+      (between 1 and 63 entries).
+    - [SL206] {e warn} — a budget or breaker without [degrade]:
+      truncated packets are silently under-analyzed. *)
+
 val validate : t -> (t, string) result
 (** Reject configurations that would silently misbehave rather than
-    letting them: negative [verdict_cache_size], non-positive
-    [scan_threshold], [flow_alert_cache_size] or
-    [stream_queue_capacity], negative [min_payload], invalid budget
-    limits or breaker settings, and [degrade] without any mechanism
-    (budget or breaker) that could trigger degradation. *)
+    letting them: the first [Error]-severity {!lint} finding, as its
+    bare message.  Warnings do not reject. *)

@@ -1,0 +1,73 @@
+type severity = Error | Warn | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : string;
+  loc : string option;
+  message : string;
+}
+
+let v ~code ~severity ~subject ?loc message =
+  { code; severity; subject; loc; message }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+let counts fs =
+  List.fold_left
+    (fun (e, w, i) f ->
+      match f.severity with
+      | Error -> (e + 1, w, i)
+      | Warn -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) fs
+
+let summary fs =
+  let e, w, i = counts fs in
+  Printf.sprintf "%d errors, %d warnings, %d infos" e w i
+
+let failed ~strict fs =
+  List.exists
+    (fun f -> f.severity = Error || (strict && f.severity = Warn))
+    fs
+
+let to_line f =
+  Printf.sprintf "%s %-5s %s%s: %s" f.code
+    (severity_to_string f.severity)
+    f.subject
+    (match f.loc with Some l -> " (" ^ l ^ ")" | None -> "")
+    f.message
+
+(* Minimal JSON string escaping: quotes, backslashes, control bytes. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf "{\"code\":%s,\"severity\":%s,\"subject\":%s%s,\"message\":%s}"
+    (json_string f.code)
+    (json_string (severity_to_string f.severity))
+    (json_string f.subject)
+    (match f.loc with
+    | Some l -> Printf.sprintf ",\"loc\":%s" (json_string l)
+    | None -> "")
+    (json_string f.message)
+
+let pp ppf f = Format.pp_print_string ppf (to_line f)

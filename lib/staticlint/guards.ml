@@ -1,0 +1,42 @@
+type doms = (Template.cvar * Dom.t) list
+
+let dom doms v = Option.value (List.assoc_opt v doms) ~default:Dom.any
+
+let constrain doms v d =
+  let d = Dom.meet (dom doms v) d in
+  if List.mem_assoc v doms then
+    List.map (fun (v', d') -> if v' = v then (v', d) else (v', d')) doms
+  else doms @ [ (v, d) ]
+
+let infer gs =
+  List.fold_left
+    (fun doms g ->
+      match g with
+      | Template.Nonzero v -> constrain doms v (Dom.exclude 0l)
+      | Template.Equals (v, c) -> constrain doms v (Dom.singleton c)
+      | Template.One_of (v, cs) -> constrain doms v (Dom.of_list cs)
+      | Template.Differ _ -> doms)
+    [] gs
+
+let differ_unsat doms = function
+  | Template.Differ (a, b) ->
+      a = b
+      || (match (Dom.is_singleton (dom doms a), Dom.is_singleton (dom doms b)) with
+         | Some x, Some y -> Int32.equal x y
+         | _, _ -> false)
+  | Template.Nonzero _ | Template.Equals _ | Template.One_of _ -> false
+
+let implied doms others g =
+  match g with
+  | Template.Nonzero v -> Dom.subset (dom doms v) (Dom.exclude 0l)
+  | Template.Equals (v, c) -> Dom.subset (dom doms v) (Dom.singleton c)
+  | Template.One_of (v, cs) -> Dom.subset (dom doms v) (Dom.of_list cs)
+  | Template.Differ (a, b) ->
+      a <> b
+      && (Dom.disjoint (dom doms a) (dom doms b)
+         || List.exists
+              (function
+                | Template.Differ (x, y) -> (x = a && y = b) || (x = b && y = a)
+                | Template.Nonzero _ | Template.Equals _ | Template.One_of _ ->
+                    false)
+              others)

@@ -1,0 +1,23 @@
+(** Abstract evaluation of guard conjunctions over {!Dom}.
+
+    Shared by {!Template_lint} (satisfiability / vacuity) and
+    {!Subsume} (guard implication between templates). *)
+
+type doms = (Template.cvar * Dom.t) list
+(** Per-variable admissible sets, in first-mention order. *)
+
+val infer : Template.guard list -> doms
+(** Meet of every unary guard's constraint, per variable.  [Differ] is
+    relational and contributes nothing here; see {!differ_unsat}. *)
+
+val dom : doms -> Template.cvar -> Dom.t
+(** A variable's admissible set ({!Dom.any} when unconstrained). *)
+
+val differ_unsat : doms -> Template.guard -> bool
+(** A [Differ] guard that can never hold under [doms]: same variable on
+    both sides, or both sides forced to the same single value. *)
+
+val implied : doms -> Template.guard list -> Template.guard -> bool
+(** The guard is a consequence of [doms] (with the other guards
+    supplied for syntactic [Differ] matching) — it can never change a
+    match verdict. *)

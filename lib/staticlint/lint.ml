@@ -1,0 +1,18 @@
+type format = Text | Json
+
+let format_of_string = function
+  | "text" -> Ok Text
+  | "json" -> Ok Json
+  | s -> Error (Printf.sprintf "unknown lint format %S (expected text or json)" s)
+
+let templates ts = Template_lint.lint ts @ Subsume.lint ts
+let rules_text = Rule_lint.lint_text
+
+let render fmt findings =
+  let line =
+    match fmt with Text -> Finding.to_line | Json -> Finding.to_json
+  in
+  String.concat "" (List.map (fun f -> line f ^ "\n") findings)
+
+let exit_code ~strict findings =
+  if Finding.failed ~strict findings then 65 else 0

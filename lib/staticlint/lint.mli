@@ -1,0 +1,25 @@
+(** Driver for the detector-artifact linter: compose the per-artifact
+    checks and render their findings.
+
+    The [sanids lint] subcommand and the [@lint] build alias are thin
+    wrappers over this module. *)
+
+type format = Text | Json
+
+val format_of_string : string -> (format, string) result
+(** ["text"] or ["json"]. *)
+
+val templates : Template.t list -> Finding.t list
+(** {!Template_lint.lint} followed by {!Subsume.lint}. *)
+
+val rules_text : string -> Finding.t list
+(** {!Rule_lint.lint_text}. *)
+
+val render : format -> Finding.t list -> string
+(** One line per finding ({!Finding.to_line} or {!Finding.to_json}),
+    each newline-terminated; [""] for no findings.  JSON output is
+    byte-stable for a given finding list. *)
+
+val exit_code : strict:bool -> Finding.t list -> int
+(** [0] when the run passes, [65] ([EX_DATAERR]) when it fails per
+    {!Finding.failed}. *)

@@ -1,0 +1,122 @@
+let lower = String.lowercase_ascii
+
+let substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  nl <= hl
+  &&
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+(* Header of [g] at least as general as [s]'s: every packet passing
+   [s]'s header filter passes [g]'s. *)
+let header_covers (g : Rule.t) (s : Rule.t) =
+  let field eq gv sv = match gv with None -> true | Some _ -> eq gv sv in
+  g.proto = s.proto
+  && field ( = ) g.src s.src
+  && field ( = ) g.src_port s.src_port
+  && field ( = ) g.dst s.dst
+  && field ( = ) g.dst_port s.dst_port
+
+(* [g] fires whenever content [c] is present anywhere: [g] has exactly
+   one content, searched unanchored, whose pattern is a substring of
+   [c.pattern] (case-insensitively when [g] ignores case; exactly when
+   both are case-sensitive). *)
+let content_shadows (g : Rule.content) (c : Rule.content) =
+  g.offset = 0 && g.depth = None
+  &&
+  if g.nocase then substring ~needle:(lower g.pattern) (lower c.pattern)
+  else (not c.nocase) && substring ~needle:g.pattern c.pattern
+
+let lint_rules pairs =
+  let out = ref [] in
+  let emit ?loc code severity subject message =
+    out := Finding.v ~code ~severity ~subject ?loc message :: !out
+  in
+  (* per-rule checks *)
+  List.iter
+    (fun (subject, (r : Rule.t)) ->
+      if r.contents = [] then
+        emit "SL101" Finding.Error subject
+          "no content pattern: the rule alerts on every packet matching its \
+           header"
+      else
+        List.iteri
+          (fun k (c : Rule.content) ->
+            let loc = Printf.sprintf "content %d" (k + 1) in
+            if c.pattern = "" then
+              emit ~loc "SL101" Finding.Error subject
+                "empty content pattern matches every packet"
+            else if String.length c.pattern = 1 && c.offset = 0 && c.depth = None
+            then
+              emit ~loc "SL102" Finding.Warn subject
+                (Printf.sprintf
+                   "unanchored single-byte pattern %S matches a constant \
+                    fraction of all traffic"
+                   c.pattern);
+            if
+              List.exists
+                (fun c' -> c' = c)
+                (List.filteri (fun k' _ -> k' < k) r.contents)
+            then
+              emit ~loc "SL103" Finding.Warn subject
+                "duplicate content constraint within the rule")
+          r.contents)
+    pairs;
+  (* cross-rule checks *)
+  let rec cross = function
+    | [] -> ()
+    | (sa, (a : Rule.t)) :: rest ->
+        List.iter
+          (fun (sb, (b : Rule.t)) ->
+            if
+              a.proto = b.proto && a.src = b.src && a.src_port = b.src_port
+              && a.dst = b.dst && a.dst_port = b.dst_port
+              && a.contents = b.contents
+            then
+              emit "SL104" Finding.Warn sb
+                (Printf.sprintf "duplicate of %s: same header and contents" sa))
+          rest;
+        cross rest
+  in
+  cross pairs;
+  List.iter
+    (fun (ss, (s : Rule.t)) ->
+      match
+        List.find_opt
+          (fun (sg, (g : Rule.t)) ->
+            sg <> ss && header_covers g s
+            && (match g.contents with
+               | [ gc ] ->
+                   List.exists (fun c -> content_shadows gc c) s.contents
+               | _ -> false)
+            (* skip exact duplicates — SL104 already covers those *)
+            && g.contents <> s.contents)
+          pairs
+      with
+      | Some (sg, _) ->
+          emit "SL105" Finding.Warn ss
+            (Printf.sprintf
+               "shadowed by %s, which fires on every packet this rule fires on"
+               sg)
+      | None -> ())
+    pairs;
+  List.rev !out
+
+let lint_text src =
+  let parse_errors = ref [] in
+  let pairs = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let t = String.trim line in
+      if t <> "" && t.[0] <> '#' then
+        match Rule.parse t with
+        | Ok r -> pairs := (Printf.sprintf "rule:%d" lineno, r) :: !pairs
+        | Error e ->
+            parse_errors :=
+              Finding.v ~code:"SL100" ~severity:Finding.Error
+                ~subject:(Printf.sprintf "rule:%d" lineno)
+                ("parse error: " ^ e)
+              :: !parse_errors)
+    (String.split_on_char '\n' src);
+  List.rev !parse_errors @ lint_rules (List.rev !pairs)

@@ -1,0 +1,81 @@
+open Template
+
+let xor_op = [ Sem.Ra Insn.Xor ]
+
+let templates =
+  [
+    make ~name:"st-unbound-guard"
+      ~description:"SL001: guard on a variable no step binds"
+      ~guards:[ Nonzero "key" ]
+      [ Once (Stack_const Any) ];
+    make ~name:"st-same-before-bind"
+      ~description:"SL002: Same constraint precedes the Bind"
+      [
+        Once (Mem_transform { ops = xor_op; ptr = "p"; key = Same "k"; width = Wany });
+        Once (Mem_transform { ops = xor_op; ptr = "p"; key = Bind "k"; width = Wany });
+      ];
+    make ~name:"st-read-before-load"
+      ~description:"SL003: register transformed before any load binds it"
+      [
+        Once (Reg_transform { ops = [ Sem.Ra Insn.Add ]; reg = "acc" });
+        Once (Store { src = "acc"; ptr = "p"; width = Wany });
+      ];
+    make ~name:"st-width-conflict"
+      ~description:"SL004: 8-bit load vs 32-bit store of one variable"
+      [
+        Once (Load { dst = "v"; ptr = "p"; width = W8 });
+        Once (Store { src = "v"; ptr = "q"; width = W32 });
+      ];
+    make ~name:"st-unreachable"
+      ~description:"SL005: a step after the exit syscall"
+      [
+        Once (Syscall { vector = 0x80; al = Exact 1l; bl = Any });
+        Once (Stack_const Any);
+      ];
+    make ~name:"st-unsat-guards"
+      ~description:"SL006: Equals 0 conjoined with Nonzero"
+      ~guards:[ Equals ("k", 0l); Nonzero "k" ]
+      [ Once (Stack_const (Bind "k")) ];
+    make ~name:"st-vacuous-guard"
+      ~description:"SL007: Nonzero implied by Equals 5"
+      ~guards:[ Equals ("k", 5l); Nonzero "k" ]
+      [ Once (Stack_const (Bind "k")) ];
+    make ~name:"st-dup-a" ~description:"SL008: equivalent to st-dup-b"
+      [ Once (Code_const 0xdeadbeefl) ];
+    make ~name:"st-dup-b" ~description:"SL008: equivalent to st-dup-a"
+      [ Once (Code_const 0xdeadbeefl) ];
+    make ~name:"st-specific"
+      ~description:"SL009: strictly more specific than st-dup-a"
+      [
+        Once (Code_const 0xdeadbeefl);
+        Once (Syscall { vector = 0x80; al = Exact 1l; bl = Any });
+      ];
+    make ~name:"st-twin" ~description:"SL010: duplicate variant, first copy"
+      [ Once (Code_const 0x2222l) ];
+    make ~name:"st-twin" ~description:"SL010: duplicate variant, second copy"
+      [ Once (Code_const 0x2222l) ];
+    make ~name:"st-variant" ~description:"SL011: specific variant"
+      [ Once (Stack_const (Exact 7l)); Once (Code_const 0x1111l) ];
+    make ~name:"st-variant" ~description:"SL011: generic sibling"
+      [ Once (Code_const 0x1111l) ];
+  ]
+
+let rules =
+  String.concat "\n"
+    [
+      "# staticlint selftest ruleset - every rule below is defective";
+      "alert bogus nonsense";
+      "alert tcp any any -> any 6666 (msg:\"SL102 single byte\"; content:\"A\";)";
+      "alert tcp any any -> any 80 (msg:\"SL103 dup content\"; \
+       content:\"EVILPAYLOAD\"; content:\"EVILPAYLOAD\";)";
+      "alert tcp any any -> any 80 (msg:\"SL104 first\"; content:\"DUPRULE\";)";
+      "alert tcp any any -> any 80 (msg:\"SL104 second\"; content:\"DUPRULE\";)";
+      "alert tcp any any -> any any (msg:\"SL105 shadower\"; content:\"CMD\";)";
+      "alert tcp any any -> any 80 (msg:\"SL105 shadowed\"; \
+       content:\"CMDSHELL\";)";
+      "";
+    ]
+
+let findings () =
+  Template_lint.lint templates @ Subsume.lint templates
+  @ Rule_lint.lint_text rules

@@ -1,0 +1,14 @@
+(** A deliberately defective artifact corpus, one specimen per defect
+    class, embedded so [sanids lint --selftest] can demonstrate every
+    finding code without external files — and so tests can assert the
+    linter still catches each seeded defect. *)
+
+val templates : Template.t list
+(** Templates seeded with SL001–SL011 defects (names [st-*]). *)
+
+val rules : string
+(** Ruleset text seeded with SL100 and SL102–SL105 defects. *)
+
+val findings : unit -> Finding.t list
+(** Lint the corpus: template findings, subsumption findings, rule
+    findings — in that order. *)

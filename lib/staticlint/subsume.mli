@@ -1,0 +1,33 @@
+(** Cross-template subsumption: does one template's match set contain
+    another's?
+
+    [subsumes a b] holds when {e every} program region matched by [a] is
+    also matched by [b] — [b] is at least as general, so [a] adds no
+    detection coverage.  The check is conservative (sound, incomplete):
+    it looks for a contiguous block of [a]'s steps that implies [b]'s
+    step sequence under a consistent variable correspondence, with
+    [b]'s guards entailed by [a]'s and [b]'s data requirements covered
+    by [a]'s.  A [false] answer proves nothing.
+
+    Codes (stable):
+    - [SL008] {e warn} — two distinct-name templates subsume each other:
+      they are equivalent, one is redundant.
+    - [SL009] {e info} — a distinct-name template is one-way subsumed by
+      a more general one (often a deliberate specific/generic
+      hierarchy, hence informational).
+    - [SL010] {e warn} — two same-name variants are structurally
+      identical: an exact duplicate.
+    - [SL011] {e info} — a same-name variant is subsumed by a sibling
+      variant (per-name settling means the generic sibling answers
+      first anyway).
+
+    Templates with [Error]-severity {!Template_lint} findings are
+    excluded: an unsatisfiable template vacuously subsumes everything
+    and would drown the report. *)
+
+val subsumes : Template.t -> Template.t -> bool
+(** [subsumes a b] — every match of [a] is a match of [b]. *)
+
+val lint : Template.t list -> Finding.t list
+(** Pairwise subsumption report over a library, using
+    {!Template_lint.subjects} naming. *)

@@ -1,0 +1,36 @@
+(** Per-template well-formedness: the compiler front-end for the
+    template library.
+
+    Codes (stable):
+    - [SL001] {e error} — a guard references a constant variable no step
+      binds: {!Template.check_guard} fails on unbound variables, so the
+      template can never match.
+    - [SL002] {e error} — a [Same] constraint precedes any [Bind] of its
+      variable: that step can never match.
+    - [SL003] {e warn} — a register variable is read ([Store] source,
+      [Reg_transform] operand) before any [Load] defines it: the step
+      degenerates to "any register", weakening the template.
+    - [SL004] {e warn} — two steps constrain the same variable to
+      conflicting widths (8-bit vs 32-bit).
+    - [SL005] {e warn} — steps after an exit syscall
+      ([int 0x80] with [EAX = 1]) can never execute.
+    - [SL006] {e error} — the guard conjunction is unsatisfiable over
+      {!Dom} (e.g. [Equals] vs [Nonzero] on the same variable,
+      an empty [One_of], [Differ] of a variable with itself).
+    - [SL007] {e info} — a guard is implied by the guards before it and
+      can never change a verdict. *)
+
+val check : ?subject:string -> Template.t -> Finding.t list
+(** Findings for one template, in step order.  [subject] defaults to
+    ["template:<name>"]. *)
+
+val well_formed : Template.t -> bool
+(** No [Error]-severity finding — the precondition {!Subsume} requires
+    before a template participates in subsumption reasoning. *)
+
+val lint : Template.t list -> Finding.t list
+(** {!check} over a library.  Same-name variants get distinct subjects
+    (["template:<name>#2"]) so findings stay attributable. *)
+
+val subjects : Template.t list -> (string * Template.t) list
+(** The subject naming used by {!lint}, exposed for {!Subsume}. *)

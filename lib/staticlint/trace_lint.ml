@@ -1,0 +1,34 @@
+let junk_threshold = 0.25
+
+let lint ~subject code =
+  let tr = Trace.build code ~entry:0 in
+  if Array.length tr = 0 then
+    [
+      Finding.v ~code:"SL301" ~severity:Finding.Warn ~subject
+        "no decodable instructions at entry offset 0";
+    ]
+  else begin
+    let du = Defuse.analyze tr in
+    let n = Array.length tr in
+    let dead = ref 0 in
+    for i = 0 to n - 1 do
+      if Defuse.is_dead_write du i then incr dead
+    done;
+    let frac = Defuse.dead_fraction du in
+    let density =
+      Finding.v ~code:"SL302" ~severity:Finding.Info ~subject
+        (Printf.sprintf "junk density: %d of %d traced instructions are dead \
+                         writes (%.0f%%)"
+           !dead n (100. *. frac))
+    in
+    if frac >= junk_threshold then
+      [
+        density;
+        Finding.v ~code:"SL303" ~severity:Finding.Warn ~subject
+          (Printf.sprintf
+             "dead-write fraction %.2f is at or above %.2f: the region looks \
+              heavily padded with junk"
+             frac junk_threshold);
+      ]
+    else [ density ]
+  end

@@ -11,6 +11,14 @@ let policy_of_string = function
   | "block" -> Some Block
   | _ -> None
 
+let policy_of_string_result s =
+  match policy_of_string s with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf
+           "drop policy: unknown %S (want block|drop_newest|drop_oldest)" s)
+
 type 'a t = {
   q : 'a Queue.t;
   capacity : int;

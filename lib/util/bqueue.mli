@@ -18,6 +18,11 @@ val policy_to_string : policy -> string
 val policy_of_string : string -> policy option
 (** Inverse of {!policy_to_string}. *)
 
+val policy_of_string_result : string -> (policy, string) result
+(** {!policy_of_string} with a typed error message (["drop policy: …"]),
+    matching the [Budget.limits_of_string] / [Breaker.config_of_string]
+    spec-parser convention. *)
+
 type 'a t
 
 val create : capacity:int -> policy -> 'a t

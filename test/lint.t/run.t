@@ -1,0 +1,108 @@
+The shipped detector artifacts lint clean: the only findings are the
+deliberate specific/generic template hierarchy, reported as info, so
+even --strict passes (this is the @lint build gate):
+
+  $ sanids lint --strict
+  SL011 info  template:shell-spawn#1: every match is also matched by sibling template:shell-spawn#3 — the generic variant settles this name first anyway
+  SL011 info  template:shell-spawn#2: every match is also matched by sibling template:shell-spawn#3 — the generic variant settles this name first anyway
+  SL009 info  template:port-bind-shell: every match is also matched by the more general template:shell-spawn#3 (specific-before-generic hierarchy?)
+  SL009 info  template:connect-back-shell: every match is also matched by the more general template:shell-spawn#3 (specific-before-generic hierarchy?)
+  lint: 0 errors, 0 warnings, 4 infos
+
+Without selection flags, templates, the shipped ruleset and the default
+configuration are all linted:
+
+  $ sanids lint
+  SL011 info  template:shell-spawn#1: every match is also matched by sibling template:shell-spawn#3 — the generic variant settles this name first anyway
+  SL011 info  template:shell-spawn#2: every match is also matched by sibling template:shell-spawn#3 — the generic variant settles this name first anyway
+  SL009 info  template:port-bind-shell: every match is also matched by the more general template:shell-spawn#3 (specific-before-generic hierarchy?)
+  SL009 info  template:connect-back-shell: every match is also matched by the more general template:shell-spawn#3 (specific-before-generic hierarchy?)
+  lint: 0 errors, 0 warnings, 4 infos
+
+JSON output is one stable JSON object per finding (JSONL):
+
+  $ sanids lint --templates --format json
+  {"code":"SL011","severity":"info","subject":"template:shell-spawn#1","message":"every match is also matched by sibling template:shell-spawn#3 — the generic variant settles this name first anyway"}
+  {"code":"SL011","severity":"info","subject":"template:shell-spawn#2","message":"every match is also matched by sibling template:shell-spawn#3 — the generic variant settles this name first anyway"}
+  {"code":"SL009","severity":"info","subject":"template:port-bind-shell","message":"every match is also matched by the more general template:shell-spawn#3 (specific-before-generic hierarchy?)"}
+  {"code":"SL009","severity":"info","subject":"template:connect-back-shell","message":"every match is also matched by the more general template:shell-spawn#3 (specific-before-generic hierarchy?)"}
+
+The embedded selftest corpus demonstrates every finding code and fails
+the run with the data error exit:
+
+  $ sanids lint --selftest
+  SL001 error template:st-unbound-guard (guard 1): guard references constant variable "key", which no step binds — the guard always fails, so the template can never match
+  SL002 error template:st-same-before-bind (step 1): constant variable "k" is matched with =k before any step binds it with ?k — this step can never match
+  SL003 warn  template:st-read-before-load (step 1): register variable "acc" is transformed before any load binds it — the step matches any register
+  SL004 warn  template:st-width-conflict (step 2): width conflict on value "v": 32-bit here vs 8-bit at step 1
+  SL005 warn  template:st-unreachable (step 2): unreachable: the exit syscall at step 1 never returns, so the remaining 1 step(s) can never execute
+  SL006 error template:st-unsat-guards: guards are unsatisfiable: no value of "k" can satisfy their conjunction — the template can never match
+  SL007 info  template:st-vacuous-guard (guard 2): guard is implied by the guards before it and can never change a verdict
+  SL008 warn  template:st-dup-a: equivalent to template:st-dup-b: each subsumes the other, so one of the two templates is redundant
+  SL009 info  template:st-specific: every match is also matched by the more general template:st-dup-a (specific-before-generic hierarchy?)
+  SL009 info  template:st-specific: every match is also matched by the more general template:st-dup-b (specific-before-generic hierarchy?)
+  SL010 warn  template:st-twin#2: exact duplicate of template:st-twin#1
+  SL011 info  template:st-variant#1: every match is also matched by sibling template:st-variant#2 — the generic variant settles this name first anyway
+  SL100 error rule:2: parse error: missing option block
+  SL102 warn  rule:3 (content 1): unanchored single-byte pattern "A" matches a constant fraction of all traffic
+  SL103 warn  rule:4 (content 2): duplicate content constraint within the rule
+  SL104 warn  rule:6: duplicate of rule:5: same header and contents
+  SL105 warn  rule:8: shadowed by rule:7, which fires on every packet this rule fires on
+  lint: 4 errors, 9 warnings, 4 infos
+  [65]
+
+A substring-shadowed rule is caught, and --strict turns the warning
+into a failure:
+
+  $ printf '%s\n' \
+  >   'alert tcp any any -> any any (msg:"generic sh"; content:"sh";)' \
+  >   'alert tcp any any -> any 80 (msg:"binsh"; content:"/bin/sh";)' \
+  >   > shadow.rules
+  $ sanids lint --rules shadow.rules
+  SL105 warn  rule:2: shadowed by rule:1, which fires on every packet this rule fires on
+  lint: 0 errors, 1 warnings, 0 infos
+  $ sanids lint --rules shadow.rules --strict > /dev/null
+  [65]
+
+Configuration lint promotes Config.validate into findings — degrade
+with nothing that could trigger it is an error:
+
+  $ sanids lint --config --degrade
+  SL204 error config: degrade requires an analysis budget or a breaker (nothing can trigger degradation otherwise)
+  lint: 1 errors, 0 warnings, 0 infos
+  [65]
+
+A budget or breaker without degrade only warns:
+
+  $ sanids lint --config --budget default
+  SL206 warn  config: an analysis budget or breaker is set without degrade: truncated packets are silently under-analyzed instead of falling back to the baseline pass
+  lint: 0 errors, 1 warnings, 0 infos
+
+Junk diagnostics for an extracted region, via the def-use dead-write
+analysis:
+
+  $ sanids gen-exploit --shellcode classic --polymorphic -o poly.bin --seed 7
+  wrote poly.bin (154 bytes)
+  $ sanids lint --trace poly.bin
+  SL302 info  trace:poly.bin: junk density: 8 of 82 traced instructions are dead writes (10%)
+  lint: 0 errors, 0 warnings, 1 infos
+
+Malformed specs are usage errors (64) with typed messages, one per
+spec-parser flag:
+
+  $ sanids lint --config --budget bytes=never 2>err; echo $?
+  64
+  $ grep -qo 'budget: bytes wants a positive integer' err && echo typed
+  typed
+  $ sanids lint --config --breaker fails=x 2>err; echo $?
+  64
+  $ grep -qo 'breaker: fails wants an integer' err && echo typed
+  typed
+  $ sanids lint --config --drop-policy sometimes 2>err; echo $?
+  64
+  $ grep -qo 'drop policy: unknown "sometimes"' err && echo typed
+  typed
+  $ sanids scan --fault meteor=0.5 poly.bin 2>err; echo $?
+  64
+  $ grep -qo 'fault: unknown kind "meteor"' err && echo typed
+  typed

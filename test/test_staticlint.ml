@@ -1,0 +1,271 @@
+(* Tests for the detector-artifact linter: the abstract domain's lattice
+   laws, each seeded defect class, subsumption on the shipped library,
+   rule lint, config lint, and the qcheck guarantee that no template —
+   however malformed — makes the linter raise. *)
+
+open Sanids_semantic
+open Sanids_baseline
+open Sanids_staticlint
+module Config = Sanids_nids.Config
+
+let codes fs = List.map (fun (f : Finding.t) -> f.Finding.code) fs
+
+let has_code c fs = List.mem c (codes fs)
+
+let check_has name c fs =
+  Alcotest.(check bool) (name ^ " flags " ^ c) true (has_code c fs)
+
+(* ------------------------------------------------------------------ *)
+(* the abstract domain *)
+
+let test_dom_laws () =
+  let open Dom in
+  let s1 = singleton 5l and s2 = singleton 7l in
+  let nz = exclude 0l in
+  Alcotest.(check bool) "bottom empty" true (is_empty none);
+  Alcotest.(check bool) "top not empty" false (is_empty any);
+  Alcotest.(check bool) "meet with top is identity" true
+    (subset (meet s1 any) s1 && subset s1 (meet s1 any));
+  Alcotest.(check bool) "disjoint singletons" true (disjoint s1 s2);
+  Alcotest.(check bool) "5 avoids not-0" true (subset s1 nz);
+  Alcotest.(check bool) "0 meets not-0 is bottom" true
+    (is_empty (meet (singleton 0l) nz));
+  Alcotest.(check bool) "of_list subset" true
+    (subset s1 (of_list [ 5l; 7l ]));
+  Alcotest.(check bool) "cofinite never inside finite" false
+    (subset nz (of_list [ 1l; 2l ]));
+  Alcotest.(check bool) "two cofinite sets intersect" false
+    (disjoint nz (exclude 1l));
+  Alcotest.(check (option int32)) "singleton identified" (Some 5l)
+    (is_singleton (meet s1 any))
+
+(* ------------------------------------------------------------------ *)
+(* seeded defect classes: every selftest specimen announces its expected
+   code as a description prefix "SLnnn:"; the linter must flag exactly
+   what each specimen seeds *)
+
+let test_seeded_defects () =
+  let all = Selftest.findings () in
+  List.iter
+    (fun (t : Template.t) ->
+      let expected = String.sub t.Template.description 0 5 in
+      check_has t.Template.name expected all)
+    Selftest.templates;
+  List.iter
+    (fun c -> check_has "selftest rules" c all)
+    [ "SL100"; "SL102"; "SL103"; "SL104"; "SL105" ];
+  Alcotest.(check bool) "selftest fails lint" true
+    (Finding.failed ~strict:false all)
+
+(* ------------------------------------------------------------------ *)
+(* the shipped template library lints clean (the @lint golden) *)
+
+let test_shipped_templates_clean () =
+  let fs = Lint.templates Template_lib.default_set in
+  let errors, warns, _ = Finding.counts fs in
+  Alcotest.(check int) "no errors" 0 errors;
+  Alcotest.(check int) "no warnings" 0 warns;
+  (* the known deliberate hierarchy, as stable info findings *)
+  Alcotest.(check (list string)) "hierarchy infos"
+    [ "SL011"; "SL011"; "SL009"; "SL009" ] (codes fs)
+
+let test_shipped_rules_clean () =
+  let fs = Lint.rules_text Rule.default_ruleset in
+  Alcotest.(check (list string)) "no findings" [] (codes fs)
+
+(* ------------------------------------------------------------------ *)
+(* subsumption on the shipped library *)
+
+let shell_spawn_generic =
+  List.nth Template_lib.default_set 6 (* shell-spawn, bare execve *)
+
+let port_bind = List.nth Template_lib.default_set 7
+
+let test_subsume_shipped () =
+  Alcotest.(check bool) "port-bind under shell-spawn" true
+    (Subsume.subsumes port_bind shell_spawn_generic);
+  Alcotest.(check bool) "not the other way" false
+    (Subsume.subsumes shell_spawn_generic port_bind);
+  Alcotest.(check bool) "self-subsumption" true
+    (Subsume.subsumes port_bind port_bind)
+
+let test_subsume_gap_and_quant () =
+  let open Template in
+  let two_step ~max_gap q =
+    make ~name:"g" ~description:"" ~max_gap
+      [ q (Stack_const (Exact 1l)); q (Stack_const (Exact 2l)) ]
+  in
+  let tight = two_step ~max_gap:8 (fun p -> Once p) in
+  let loose = two_step ~max_gap:32 (fun p -> Once p) in
+  (* a looser gap on the subsumer is fine; a tighter one is not *)
+  Alcotest.(check bool) "tight under loose" true (Subsume.subsumes tight loose);
+  Alcotest.(check bool) "loose not under tight" false
+    (Subsume.subsumes loose tight);
+  let many = two_step ~max_gap:32 (fun p -> Many p) in
+  (* Many occurrences on the matched side are junk for a Once reading *)
+  Alcotest.(check bool) "Many not under Once" false
+    (Subsume.subsumes many loose);
+  Alcotest.(check bool) "Many under Many" true (Subsume.subsumes many many);
+  Alcotest.(check bool) "Once under Many" true (Subsume.subsumes tight many)
+
+(* ------------------------------------------------------------------ *)
+(* config lint *)
+
+let test_config_lint () =
+  let fs = Config.lint Config.default in
+  Alcotest.(check (list string)) "default config clean" [] (codes fs);
+  let bad = Config.default |> Config.with_degrade true in
+  check_has "degrade alone" "SL204" (Config.lint bad);
+  (match Config.validate bad with
+  | Error m ->
+      Alcotest.(check bool) "validate message preserved" true
+        (m = "degrade requires an analysis budget or a breaker (nothing can \
+              trigger degradation otherwise)")
+  | Ok _ -> Alcotest.fail "degrade-alone accepted");
+  let tiny = Config.default |> Config.with_verdict_cache 10 in
+  check_has "tiny cache" "SL205" (Config.lint tiny);
+  (match Config.validate tiny with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "warning rejected the config: %s" m);
+  let silent =
+    Config.default |> Config.with_budget (Some Sanids_util.Budget.default_limits)
+  in
+  check_has "budget without degrade" "SL206" (Config.lint silent);
+  let negative = Config.default |> Config.with_scan_threshold 0 in
+  check_has "bad threshold" "SL201" (Config.lint negative);
+  match Config.validate negative with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad threshold accepted"
+
+(* ------------------------------------------------------------------ *)
+(* property: the linter never raises, on any template *)
+
+let gen_template =
+  let open QCheck2.Gen in
+  let var = oneofl [ "a"; "b"; "c"; "k" ] in
+  let pval =
+    oneof
+      [
+        return Template.Any;
+        map (fun v -> Template.Exact (Int32.of_int v)) (int_bound 64);
+        map (fun v -> Template.Bind v) var;
+        map (fun v -> Template.Same v) var;
+      ]
+  in
+  let width = oneofl [ Template.W8; Template.W32; Template.Wany ] in
+  let ops = return [ Sanids_ir.Sem.Ra Sanids_x86.Insn.Xor ] in
+  let pstep =
+    oneof
+      [
+        map3
+          (fun dst ptr width -> Template.Load { dst; ptr; width })
+          var var width;
+        map3
+          (fun ptr key width ->
+            Template.Mem_transform
+              { ops = [ Sanids_ir.Sem.Ra Sanids_x86.Insn.Xor ]; ptr; key; width })
+          var pval width;
+        (let* ops = ops in
+         map (fun reg -> Template.Reg_transform { ops; reg }) var);
+        map3
+          (fun src ptr width -> Template.Store { src; ptr; width })
+          var var width;
+        map (fun ptr -> Template.Ptr_advance { ptr }) var;
+        return Template.Back_edge;
+        map3
+          (fun vector al bl -> Template.Syscall { vector; al; bl })
+          (oneofl [ 0x80; 0x21 ])
+          pval pval;
+        map (fun v -> Template.Stack_const v) pval;
+        map (fun v -> Template.Code_const (Int32.of_int v)) (int_bound 1024);
+      ]
+  in
+  let quant =
+    let* p = pstep in
+    oneofl [ Template.Once p; Template.Many p ]
+  in
+  let guard =
+    oneof
+      [
+        map (fun v -> Template.Nonzero v) var;
+        map2 (fun v c -> Template.Equals (v, Int32.of_int c)) var (int_bound 8);
+        map2
+          (fun v cs -> Template.One_of (v, List.map Int32.of_int cs))
+          var
+          (list_size (int_bound 3) (int_bound 8));
+        map2 (fun a b -> Template.Differ (a, b)) var var;
+      ]
+  in
+  let* steps = list_size (int_range 1 6) quant in
+  let* guards = list_size (int_bound 4) guard in
+  let* max_gap = int_range 0 48 in
+  let* data = list_size (int_bound 2) (string_size (int_bound 6)) in
+  return (Template.make ~name:"wild" ~description:"generated" ~guards ~max_gap ~data steps)
+
+let test_lint_never_raises =
+  QCheck2.Test.make ~name:"linter total on wild templates" ~count:300
+    QCheck2.(Gen.pair gen_template gen_template)
+    (fun (a, b) ->
+      let fa = Template_lint.check a in
+      (* deterministic *)
+      assert (fa = Template_lint.check a);
+      let (_ : bool) = Subsume.subsumes a b in
+      let (_ : Finding.t list) = Lint.templates [ a; b ] in
+      true)
+
+let test_rule_lint_never_raises =
+  QCheck2.Test.make ~name:"rule lint total on noise" ~count:200
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0x20 0x7e)) (int_bound 200))
+    (fun s ->
+      let (_ : Finding.t list) = Rule_lint.lint_text s in
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* rendering stability *)
+
+let test_render_stable () =
+  let f =
+    Finding.v ~code:"SL001" ~severity:Finding.Error ~subject:"template:x"
+      ~loc:"guard 1" "a \"quoted\" message"
+  in
+  Alcotest.(check string) "text line"
+    "SL001 error template:x (guard 1): a \"quoted\" message" (Finding.to_line f);
+  Alcotest.(check string) "json line"
+    "{\"code\":\"SL001\",\"severity\":\"error\",\"subject\":\"template:x\",\
+     \"loc\":\"guard 1\",\"message\":\"a \\\"quoted\\\" message\"}"
+    (Finding.to_json f);
+  Alcotest.(check string) "summary" "1 errors, 0 warnings, 0 infos"
+    (Finding.summary [ f ]);
+  Alcotest.(check int) "strict exit" 65 (Lint.exit_code ~strict:true [ f ]);
+  Alcotest.(check int) "info-only passes" 0
+    (Lint.exit_code ~strict:true
+       [ Finding.v ~code:"SL302" ~severity:Finding.Info ~subject:"t" "d" ])
+
+let () =
+  Alcotest.run "staticlint"
+    [
+      ("dom", [ Alcotest.test_case "lattice laws" `Quick test_dom_laws ]);
+      ( "template-lint",
+        [
+          Alcotest.test_case "seeded defects all flagged" `Quick
+            test_seeded_defects;
+          Alcotest.test_case "shipped templates clean" `Quick
+            test_shipped_templates_clean;
+        ] );
+      ( "subsume",
+        [
+          Alcotest.test_case "shipped hierarchy" `Quick test_subsume_shipped;
+          Alcotest.test_case "gap and quantifier rules" `Quick
+            test_subsume_gap_and_quant;
+        ] );
+      ( "rule-lint",
+        [
+          Alcotest.test_case "shipped ruleset clean" `Quick
+            test_shipped_rules_clean;
+        ] );
+      ("config-lint", [ Alcotest.test_case "codes" `Quick test_config_lint ]);
+      ("render", [ Alcotest.test_case "stable" `Quick test_render_stable ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ test_lint_never_raises; test_rule_lint_never_raises ] );
+    ]

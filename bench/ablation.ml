@@ -104,9 +104,9 @@ let run () =
            List.exists
              (fun (f : Sanids_extract.Extractor.frame) ->
                Matcher.scan ~templates:Template_lib.default_set
-                 f.Sanids_extract.Extractor.data
+                 (Slice.to_string f.Sanids_extract.Extractor.data)
                <> [])
-             (Sanids_extract.Extractor.extract ~config p))
+             (Sanids_extract.Extractor.extract ~config (Slice.of_string p)))
          exploits)
   in
   Bench_util.table

@@ -1,0 +1,228 @@
+(* Machine-readable bench trajectory (`--json OUT`).
+
+   Emits one stable JSON document per run — packets/sec on the
+   outbreak-replay and stream-shedding workloads, per-stage latency
+   quantiles read back from the pipeline's own obs histograms, and
+   minor-heap allocation words/packet via [Gc.minor_words].  The
+   committed BENCH_<pr>.json is the trajectory point this PR lands;
+   check_bench.ml compares a fresh smoke run against it so a future
+   change that tanks throughput fails `@bench-json` loudly instead of
+   rotting silently in text output. *)
+
+open Sanids_net
+open Sanids_nids
+open Sanids_exploits
+module Obs = Sanids_obs
+
+let schema = "sanids-bench/1"
+let pr = 6
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emission: deterministic key order, fixed float format
+   (%.6g keeps the file diffable without drowning it in noise). *)
+
+let jfloat f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let jfield buf ~last name v =
+  Buffer.add_string buf (Printf.sprintf "%S: %s%s" name v (if last then "" else ", "))
+
+(* ------------------------------------------------------------------ *)
+
+let stage_names = [ "classify"; "extract"; "match"; "analyze" ]
+
+let stage_json snap name =
+  let h = Obs.Snapshot.histogram snap ("sanids_stage_" ^ name ^ "_seconds") in
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  jfield buf ~last:false "count" (string_of_int (Obs.Histogram.count h));
+  jfield buf ~last:false "mean_s" (jfloat (Obs.Histogram.mean h));
+  jfield buf ~last:false "p50_s" (jfloat (Obs.Histogram.quantile h 0.5));
+  jfield buf ~last:true "p95_s" (jfloat (Obs.Histogram.quantile h 0.95));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Workload 1: outbreak replay.  The same few exploit payloads delivered
+   over and over (classification off, verdict cache on) — the
+   steady-state the zero-copy path is for. *)
+
+let outbreak_variants rng =
+  [|
+    Exploit_gen.http_exploit rng
+      ~shellcode:(Shellcodes.find "classic").Shellcodes.code;
+    Code_red.request ();
+    Iis_asp.request ();
+    (Sanids_polymorph.Admmutate.generate rng
+       ~payload:(Shellcodes.find "classic").Shellcodes.code)
+      .Sanids_polymorph.Admmutate.code;
+  |]
+
+let outbreak_replay ~packets =
+  let rng = Rng.create 0x0B0B0B0BL in
+  let slices = Array.map Slice.of_string (outbreak_variants rng) in
+  let nids = Pipeline.create (Config.default |> Config.with_classification false) in
+  let alerts = ref 0 in
+  let w0 = Gc.minor_words () in
+  let (), dt =
+    time (fun () ->
+        for i = 0 to packets - 1 do
+          let r =
+            Pipeline.analyze_report_slice nids slices.(i mod Array.length slices)
+          in
+          alerts := !alerts + List.length r.Pipeline.verdicts
+        done)
+  in
+  let words_per_packet = (Gc.minor_words () -. w0) /. float_of_int packets in
+  let snap = Pipeline.snapshot nids in
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  jfield buf ~last:false "packets" (string_of_int packets);
+  jfield buf ~last:false "alerts" (string_of_int !alerts);
+  jfield buf ~last:false "seconds" (jfloat dt);
+  jfield buf ~last:false "packets_per_sec"
+    (jfloat (float_of_int packets /. Float.max dt 1e-9));
+  jfield buf ~last:false "minor_words_per_packet" (jfloat words_per_packet);
+  jfield buf ~last:true "stages"
+    ("{"
+    ^ String.concat ", "
+        (List.map
+           (fun s -> Printf.sprintf "%S: %s" s (stage_json snap s))
+           stage_names)
+    ^ "}");
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Workload 2: stream shedding.  Benign traffic through the parallel
+   stream path — flow-hash sharding (classification off), batched
+   admission, a small queue with a drop policy so shedding is
+   exercised and counted. *)
+
+let clients = Ipaddr.prefix_of_string "192.168.1.0/24"
+let servers = Ipaddr.prefix_of_string "192.168.2.0/24"
+
+let stream_shedding ~packets =
+  let domains = min 4 (max 1 (Domain.recommended_domain_count ())) in
+  let capacity = 256 in
+  let policy = Bqueue.Drop_oldest in
+  let cfg =
+    Config.default
+    |> Config.with_classification false
+    |> Config.with_stream_queue capacity
+    |> Config.with_stream_policy policy
+  in
+  let rng = Rng.create 0x5EED_CAFEL in
+  let seq =
+    Sanids_workload.Benign_gen.seq rng ~n:packets ~t0:0.0 ~clients ~servers
+  in
+  let alerts = ref 0 in
+  let snap, dt =
+    time (fun () ->
+        Parallel.process_seq_snapshot ~domains cfg seq (fun al ->
+            alerts := !alerts + List.length al))
+  in
+  let stats = Stats.of_snapshot snap in
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  jfield buf ~last:false "packets" (string_of_int packets);
+  jfield buf ~last:false "domains" (string_of_int domains);
+  jfield buf ~last:false "queue_capacity" (string_of_int capacity);
+  jfield buf ~last:false "policy"
+    (Printf.sprintf "%S" (Bqueue.policy_to_string policy));
+  jfield buf ~last:false "processed" (string_of_int stats.Stats.packets);
+  jfield buf ~last:false "shed" (string_of_int stats.Stats.shed);
+  jfield buf ~last:false "alerts" (string_of_int !alerts);
+  jfield buf ~last:false "seconds" (jfloat dt);
+  jfield buf ~last:true "packets_per_sec"
+    (jfloat (float_of_int packets /. Float.max dt 1e-9));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Workload 3: pure decode.  pcap record -> Ethernet -> IPv4 -> TCP with
+   nothing downstream — the layer the slice refactor rewrote, and the
+   cleanest allocation number to track. *)
+
+let decode_only ~packets =
+  let rng = Rng.create 0xDEC0DEL in
+  let pkts =
+    Sanids_workload.Benign_gen.packets rng ~n:256 ~t0:0.0 ~clients ~servers
+  in
+  let records =
+    Array.of_list
+      (List.map
+         (fun p ->
+           let raw = Sanids_net.Ethernet.wrap_ipv4 (Packet.to_bytes p) in
+           {
+             Sanids_pcap.Pcap.ts = 0.0;
+             orig_len = String.length raw;
+             data = Slice.of_string raw;
+           })
+         pkts)
+  in
+  let n = Array.length records in
+  let sink = ref 0 in
+  let w0 = Gc.minor_words () in
+  let (), dt =
+    time (fun () ->
+        for i = 0 to packets - 1 do
+          match
+            Sanids_ingest.Ingest.decode_record
+              ~linktype:Sanids_pcap.Pcap.linktype_ethernet
+              records.(i mod n)
+          with
+          | Ok p -> sink := !sink + Slice.length (Packet.payload p)
+          | Error _ -> ()
+        done)
+  in
+  let words_per_packet = (Gc.minor_words () -. w0) /. float_of_int packets in
+  ignore !sink;
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  jfield buf ~last:false "packets" (string_of_int packets);
+  jfield buf ~last:false "seconds" (jfloat dt);
+  jfield buf ~last:false "packets_per_sec"
+    (jfloat (float_of_int packets /. Float.max dt 1e-9));
+  jfield buf ~last:true "minor_words_per_packet" (jfloat words_per_packet);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let run ~mode ~out () =
+  let replay_packets, stream_packets, decode_packets =
+    match mode with
+    | `Smoke -> (400, 2_000, 5_000)
+    | `Quick -> (2_000, 20_000, 50_000)
+    | `Full -> (10_000, 100_000, 200_000)
+  in
+  let mode_name =
+    match mode with `Smoke -> "smoke" | `Quick -> "quick" | `Full -> "full"
+  in
+  Printf.printf "bench-json: outbreak replay (%d packets)...\n%!" replay_packets;
+  let replay = outbreak_replay ~packets:replay_packets in
+  Printf.printf "bench-json: stream shedding (%d packets)...\n%!" stream_packets;
+  let stream = stream_shedding ~packets:stream_packets in
+  Printf.printf "bench-json: decode (%d packets)...\n%!" decode_packets;
+  let decode = decode_only ~packets:decode_packets in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": %S,\n" schema);
+  Buffer.add_string buf (Printf.sprintf "  \"pr\": %d,\n" pr);
+  Buffer.add_string buf (Printf.sprintf "  \"mode\": %S,\n" mode_name);
+  Buffer.add_string buf "  \"workloads\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"outbreak_replay\": %s,\n" replay);
+  Buffer.add_string buf (Printf.sprintf "    \"stream_shedding\": %s,\n" stream);
+  Buffer.add_string buf (Printf.sprintf "    \"decode\": %s\n" decode);
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "bench-json: wrote %s\n%!" out

@@ -1,0 +1,111 @@
+(* Bench-trajectory checker: `check_bench.exe FRESH BASELINE`.
+
+   Validates that FRESH (a just-emitted --json document) carries the
+   sanids-bench/1 schema with every required key, then compares each
+   workload's packets/sec against the committed BASELINE
+   (BENCH_<pr>.json).  The tolerance is deliberately loose — CI boxes
+   and dev laptops differ by integer factors — so only a large
+   regression (fresh < 10% of baseline) fails.  Exit 0 clean, exit 1
+   loud. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error m -> die "cannot read %s: %s" path m
+
+(* String-scanning extraction: no JSON parser in the tree, and the
+   emitter's key order is fixed, so ordered scanning is exact enough. *)
+
+let find_from s pos sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go pos
+
+let require s pos sub ~ctx =
+  match find_from s pos sub with
+  | Some p -> p
+  | None -> die "missing %s in %s" sub ctx
+
+let number_after s pos ~ctx =
+  let n = String.length s in
+  let rec skip i =
+    if i < n && (s.[i] = ' ' || s.[i] = ':') then skip (i + 1) else i
+  in
+  let start = skip pos in
+  let rec stop i =
+    if
+      i < n
+      && (match s.[i] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+    then stop (i + 1)
+    else i
+  in
+  let fin = stop start in
+  if fin = start then die "no number after %s" ctx
+  else
+    match float_of_string_opt (String.sub s start (fin - start)) with
+    | Some f -> f
+    | None -> die "unparsable number after %s" ctx
+
+let workload_pps doc ~file workload =
+  let p = require doc 0 (Printf.sprintf "%S" workload) ~ctx:file in
+  let p = require doc p "\"packets_per_sec\"" ~ctx:(file ^ "/" ^ workload) in
+  number_after doc p ~ctx:(workload ^ ".packets_per_sec")
+
+let workloads = [ "outbreak_replay"; "stream_shedding"; "decode" ]
+
+let validate_schema doc ~file =
+  ignore (require doc 0 "\"schema\": \"sanids-bench/1\"" ~ctx:file);
+  ignore (require doc 0 "\"pr\"" ~ctx:file);
+  ignore (require doc 0 "\"workloads\"" ~ctx:file);
+  List.iter (fun w -> ignore (require doc 0 (Printf.sprintf "%S" w) ~ctx:file)) workloads;
+  (* per-stage quantiles must be present on the replay workload *)
+  let p = require doc 0 "\"outbreak_replay\"" ~ctx:file in
+  let p = require doc p "\"stages\"" ~ctx:(file ^ "/outbreak_replay") in
+  List.fold_left
+    (fun p stage ->
+      let p = require doc p (Printf.sprintf "%S" stage) ~ctx:(file ^ "/stages") in
+      let p = require doc p "\"p95_s\"" ~ctx:(file ^ "/stages/" ^ stage) in
+      p)
+    p
+    [ "classify"; "extract"; "match"; "analyze" ]
+  |> ignore;
+  ignore (require doc 0 "\"minor_words_per_packet\"" ~ctx:file)
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _ |] -> ()
+  | _ -> die "usage: check_bench FRESH.json BASELINE.json");
+  let fresh_file = Sys.argv.(1) and base_file = Sys.argv.(2) in
+  let fresh = read_file fresh_file and base = read_file base_file in
+  validate_schema fresh ~file:fresh_file;
+  validate_schema base ~file:base_file;
+  let tolerance = 0.10 in
+  let failures =
+    List.filter_map
+      (fun w ->
+        let fpps = workload_pps fresh ~file:fresh_file w in
+        let bpps = workload_pps base ~file:base_file w in
+        Printf.printf "check_bench: %-16s fresh %10.0f pkt/s, baseline %10.0f pkt/s\n"
+          w fpps bpps;
+        if fpps < tolerance *. bpps then
+          Some
+            (Printf.sprintf "%s: %.0f pkt/s is below %.0f%% of baseline %.0f pkt/s"
+               w fpps (100.0 *. tolerance) bpps)
+        else None)
+      workloads
+  in
+  match failures with
+  | [] -> print_endline "check_bench: OK"
+  | fs ->
+      List.iter (fun f -> prerr_endline ("check_bench: REGRESSION " ^ f)) fs;
+      exit 1

@@ -23,7 +23,7 @@ let run ~packets () =
     Bench_util.time (fun () ->
         Seq.iter
           (fun p ->
-            bytes := !bytes + String.length (Packet.payload p);
+            bytes := !bytes + Slice.length (Packet.payload p);
             alerts := !alerts + List.length (Pipeline.process_packet nids p))
           seq)
   in

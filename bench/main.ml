@@ -8,22 +8,33 @@
                      bench bit-rot (`dune build @bench-smoke`)
      --section NAME  run one section: table1 table2 table3 fp efficiency
                      baseline micro
+     --json OUT      machine-readable mode: run the trajectory workloads
+                     (outbreak replay, stream shedding, decode) and write
+                     a sanids-bench/1 JSON document to OUT instead of the
+                     text sections; combine with --smoke/--full for size
 *)
 
 let sections =
   [ "table1"; "table2"; "table3"; "fp"; "efficiency"; "baseline"; "ablation"; "containment"; "parallel"; "adversarial"; "micro" ]
 
+let arg_value flag =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
   let smoke = (not full) && Array.exists (( = ) "--smoke") Sys.argv in
-  let selected =
-    let rec find i =
-      if i >= Array.length Sys.argv - 1 then None
-      else if Sys.argv.(i) = "--section" then Some Sys.argv.(i + 1)
-      else find (i + 1)
-    in
-    find 1
-  in
+  (match arg_value "--json" with
+  | Some out ->
+      let mode = if full then `Full else if smoke then `Smoke else `Quick in
+      Bench_json.run ~mode ~out ();
+      exit 0
+  | None -> ());
+  let selected = arg_value "--section" in
   let want name = match selected with None -> true | Some s -> s = name in
   (match selected with
   | Some s when not (List.mem s sections) ->

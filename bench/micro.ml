@@ -18,6 +18,8 @@ let tests () =
   in
   let crii = Code_red.request () in
   let benign = Sanids_workload.Benign_gen.payload rng in
+  let crii_s = Slice.of_string crii in
+  let benign_s = Slice.of_string benign in
   let templates = Template_lib.default_set in
   let nids =
     Sanids_nids.Pipeline.create
@@ -38,8 +40,8 @@ let tests () =
           Sanids_nids.Pipeline.analyze_payload nids benign);
       (* stage kernels *)
       mk "stage/disassemble-4KB" (fun () -> Sanids_x86.Decode.all poly);
-      mk "stage/extract-codered" (fun () -> Sanids_extract.Extractor.extract crii);
-      mk "stage/suspicious-gate" (fun () -> Sanids_extract.Extractor.suspicious benign);
+      mk "stage/extract-codered" (fun () -> Sanids_extract.Extractor.extract crii_s);
+      mk "stage/suspicious-gate" (fun () -> Sanids_extract.Extractor.suspicious benign_s);
       mk "stage/aho-corasick" (fun () -> Sanids_baseline.Signatures.scan poly);
     ]
 

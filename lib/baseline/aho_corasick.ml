@@ -91,4 +91,30 @@ let first_match t hay =
   go 0 0
 
 let matches t hay = first_match t hay <> None
+
+(* Slice variants walk the view in place — scanning an extracted frame
+   or a reassembled window allocates nothing. *)
+let search_slice t hay =
+  let n = Slice.length hay in
+  let state = ref 0 in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    state := t.nodes.(!state).next.(Char.code (Slice.unsafe_get hay i));
+    List.iter (fun tag -> out := (i, tag) :: !out) t.nodes.(!state).outputs
+  done;
+  List.rev !out
+
+let first_match_slice t hay =
+  let n = Slice.length hay in
+  let rec go state i =
+    if i >= n then None
+    else
+      let state = t.nodes.(state).next.(Char.code (Slice.unsafe_get hay i)) in
+      match t.nodes.(state).outputs with
+      | tag :: _ -> Some tag
+      | [] -> go state (i + 1)
+  in
+  go 0 0
+
+let matches_slice t hay = first_match_slice t hay <> None
 let pattern_count t = t.count

@@ -18,4 +18,11 @@ val first_match : t -> string -> string option
 (** Tag of the first match, scanning left to right. *)
 
 val matches : t -> string -> bool
+
+val search_slice : t -> Slice.t -> (int * string) list
+(** {!search} over a payload view: offsets are view-relative and no
+    bytes are copied. *)
+
+val first_match_slice : t -> Slice.t -> string option
+val matches_slice : t -> Slice.t -> bool
 val pattern_count : t -> int

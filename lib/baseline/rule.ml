@@ -207,20 +207,17 @@ type engine = t list
 
 let compile rules = rules
 
-let lower = String.lowercase_ascii
-
-let content_matches payload (c : content) =
-  let hay, needle =
-    if c.nocase then (lower payload, lower c.pattern) else (payload, c.pattern)
-  in
-  let n = String.length hay and m = String.length needle in
+let content_matches (payload : Slice.t) (c : content) =
+  let n = Slice.length payload and m = String.length c.pattern in
   let stop =
     match c.depth with
     | Some d -> min n (c.offset + d)
     | None -> n
   in
-  let rec go i = i + m <= stop && (String.sub hay i m = needle || go (i + 1)) in
-  m > 0 && c.offset <= stop && go c.offset
+  m > 0 && c.offset <= stop
+  && Search.find_slice ~nocase:c.nocase ~start:c.offset ~stop ~needle:c.pattern
+       payload
+     <> None
 
 let header_matches (r : t) p =
   let proto_ok =
@@ -259,6 +256,7 @@ let match_packet engine p =
     engine
 
 let match_payload engine payload =
+  let payload = Slice.of_string payload in
   List.filter_map
     (fun r ->
       if List.for_all (content_matches payload) r.contents then Some r.msg else None)

@@ -1,9 +1,6 @@
 type t = { tokens : string list; trained_on : int }
 
-let contains hay needle =
-  let n = String.length hay and m = String.length needle in
-  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
-  m = 0 || go 0
+let contains hay needle = Search.contains ~needle hay
 
 (* Fraction of the pool containing [tok]. *)
 let pool_coverage pool tok =
@@ -55,6 +52,10 @@ let infer ?(min_token_len = 8) ?(coverage = 0.9) ?(max_tokens = 8) pool =
 
 let matches t payload =
   t.tokens <> [] && List.for_all (contains payload) t.tokens
+
+let matches_slice t payload =
+  t.tokens <> []
+  && List.for_all (fun needle -> Search.contains_slice ~needle payload) t.tokens
 
 let specificity t = List.fold_left (fun acc tok -> acc + String.length tok) 0 t.tokens
 

@@ -1,5 +1,5 @@
 type origin = Unicode_escape | Raw_binary
-type frame = { off : int; data : string; origin : origin }
+type frame = { off : int; data : Slice.t; origin : origin }
 
 type config = {
   min_unicode_run : int;
@@ -32,13 +32,13 @@ let is_text c =
 (* Maximal [gap_merge]-merged regions of non-text bytes of at least
    [min_len], as (start, length) pairs. *)
 let binary_regions ~min_len ~gap_merge s =
-  let n = String.length s in
+  let n = Slice.length s in
   let raw = ref [] in
   let i = ref 0 in
   while !i < n do
-    if not (is_text s.[!i]) then begin
+    if not (is_text (Slice.unsafe_get s !i)) then begin
       let j = ref (!i + 1) in
-      while !j < n && not (is_text s.[!j]) do
+      while !j < n && not (is_text (Slice.unsafe_get s !j)) do
         incr j
       done;
       raw := (!i, !j - !i) :: !raw;
@@ -81,8 +81,8 @@ let record_frames reg frames =
     List.fold_left
       (fun (u, r, b) f ->
         match f.origin with
-        | Unicode_escape -> (u + 1, r, b + String.length f.data)
-        | Raw_binary -> (u, r + 1, b + String.length f.data))
+        | Unicode_escape -> (u + 1, r, b + Slice.length f.data)
+        | Raw_binary -> (u, r + 1, b + Slice.length f.data))
       (0, 0, 0) frames
   in
   bump "sanids_extract_unicode_frames_total"
@@ -92,11 +92,15 @@ let record_frames reg frames =
   bump "sanids_extract_bytes_total" "bytes across all extracted frames" bytes
 
 let extract_frames ?budget ~config payload =
-  let n = String.length payload in
+  let n = Slice.length payload in
   let unicode_frames =
     List.map
       (fun (r : Unicode.run) ->
-        { off = r.Unicode.off; data = r.Unicode.decoded; origin = Unicode_escape })
+        {
+          off = r.Unicode.off;
+          data = Slice.of_string r.Unicode.decoded;
+          origin = Unicode_escape;
+        })
       (Unicode.unicode_runs ~min_run:config.min_unicode_run
          ~max_decoded:config.max_frame_bytes payload)
   in
@@ -106,7 +110,12 @@ let extract_frames ?budget ~config payload =
         let start = max 0 (o - config.context_before) in
         let stop = min n (o + l + config.context_after) in
         let stop = min stop (start + config.max_frame_bytes) in
-        { off = start; data = String.sub payload start (stop - start); origin = Raw_binary })
+        (* a raw frame is a re-view of the payload, not a copy *)
+        {
+          off = start;
+          data = Slice.sub payload ~off:start ~len:(stop - start);
+          origin = Raw_binary;
+        })
       (binary_regions ~min_len:config.min_binary_region ~gap_merge:config.gap_merge
          payload)
   in
@@ -118,7 +127,7 @@ let extract_frames ?budget ~config payload =
     | _ when k = 0 -> []
     | f :: tl -> (
         match budget with
-        | Some b when not (Budget.take_bytes b (String.length f.data)) ->
+        | Some b when not (Budget.take_bytes b (Slice.length f.data)) ->
             (* out of extraction fuel: everything materialized so far is
                still analyzed, the rest of the payload is not *)
             []
@@ -138,4 +147,4 @@ let extract_bounded ?metrics ?(config = default_config) ~budget payload =
 let pp_frame ppf f =
   Format.fprintf ppf "frame@@%d %s %d bytes" f.off
     (match f.origin with Unicode_escape -> "unicode" | Raw_binary -> "raw")
-    (String.length f.data)
+    (Slice.length f.data)

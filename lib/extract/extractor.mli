@@ -13,7 +13,10 @@
       disassembler over every byte (the paper's efficiency claim). *)
 
 type origin = Unicode_escape | Raw_binary
-type frame = { off : int; data : string; origin : origin }
+
+type frame = { off : int; data : Slice.t; origin : origin }
+(** Raw-binary frames are views into the scanned payload (no copy);
+    unicode frames own their decoded bytes. *)
 
 type config = {
   min_unicode_run : int;  (** escapes, default 4 *)
@@ -33,7 +36,7 @@ type config = {
 
 val default_config : config
 
-val suspicious : ?config:config -> string -> bool
+val suspicious : ?config:config -> Slice.t -> bool
 (** Cheap pre-filter: does the payload show any overflow indicator
     (escape runs, long filler runs, NOP-like sleds, binary regions)? *)
 
@@ -41,7 +44,7 @@ val extract :
   ?budget:Budget.t ->
   ?metrics:Sanids_obs.Registry.t ->
   ?config:config ->
-  string ->
+  Slice.t ->
   frame list
 (** Binary frames, in payload order.  Empty for plain protocol text.
     When [metrics] is given, per-origin frame counts and frame bytes are
@@ -55,7 +58,7 @@ val extract_bounded :
   ?metrics:Sanids_obs.Registry.t ->
   ?config:config ->
   budget:Budget.t ->
-  string ->
+  Slice.t ->
   frame list * Budget.outcome
 (** {!extract} with the stage outcome made explicit: [Truncated Bytes]
     when extraction ran out of byte fuel, [Complete] otherwise (the

@@ -5,13 +5,13 @@ type run = { off : int; byte : char; len : int }
    sizes), so scanning a reassembled megabyte-scale stream end to end is
    pure attack surface. *)
 let runs ?(min_len = 32) ?(max_scan = max_int) s =
-  let n = min (String.length s) max_scan in
+  let n = min (Slice.length s) max_scan in
   let out = ref [] in
   let i = ref 0 in
   while !i < n do
-    let b = s.[!i] in
+    let b = Slice.unsafe_get s !i in
     let j = ref (!i + 1) in
-    while !j < n && s.[!j] = b do
+    while !j < n && Slice.unsafe_get s !j = b do
       incr j
     done;
     let len = !j - !i in
@@ -43,17 +43,18 @@ let nop_like c =
   | _ -> false
 
 let sled_like ?(min_len = 16) ?(max_scan = max_int) s =
-  let n = min (String.length s) max_scan in
+  let n = min (Slice.length s) max_scan in
   let out = ref [] in
   let i = ref 0 in
   while !i < n do
-    if nop_like s.[!i] then begin
+    if nop_like (Slice.unsafe_get s !i) then begin
       let j = ref (!i + 1) in
-      while !j < n && nop_like s.[!j] do
+      while !j < n && nop_like (Slice.unsafe_get s !j) do
         incr j
       done;
       let len = !j - !i in
-      if len >= min_len then out := { off = !i; byte = s.[!i]; len } :: !out;
+      if len >= min_len then
+        out := { off = !i; byte = Slice.unsafe_get s !i; len } :: !out;
       i := !j
     end
     else incr i
@@ -63,7 +64,7 @@ let sled_like ?(min_len = 16) ?(max_scan = max_int) s =
 type ret_run = { off : int; base : int32; count : int }
 
 let dword_at s i =
-  let b k = Int32.of_int (Char.code s.[i + k]) in
+  let b k = Int32.of_int (Char.code (Slice.unsafe_get s (i + k))) in
   Int32.logor (b 0)
     (Int32.logor
        (Int32.shift_left (b 1) 8)
@@ -78,7 +79,7 @@ let address_like base =
   not (b 1 = b 2 && b 2 = b 3)
 
 let ret_address_runs ?(min_count = 4) ?(max_scan = max_int) s =
-  let n = min (String.length s) max_scan in
+  let n = min (Slice.length s) max_scan in
   let out = ref [] in
   let i = ref 0 in
   while !i + 4 <= n do

@@ -3,15 +3,15 @@
 
 type run = { off : int; byte : char; len : int }
 
-val runs : ?min_len:int -> ?max_scan:int -> string -> run list
+val runs : ?min_len:int -> ?max_scan:int -> Slice.t -> run list
 (** Maximal runs of one repeated byte with length at least [min_len]
     (default 32), left to right.  [max_scan] (default unlimited) bounds
     the scanned window: repetition past it is ignored, which keeps the
     scanners O(window) on adversarially long reassembled streams. *)
 
-val longest : string -> run option
+val longest : Slice.t -> run option
 
-val sled_like : ?min_len:int -> ?max_scan:int -> string -> run list
+val sled_like : ?min_len:int -> ?max_scan:int -> Slice.t -> run list
 (** Runs of bytes drawn from the single-byte NOP-equivalence class (nop,
     inc/dec/push/pop reg, cld, ...) of length at least [min_len]
     (default 16).  Unlike {!runs} the bytes may differ — this is what a
@@ -21,7 +21,7 @@ type ret_run = { off : int; base : int32; count : int }
 (** [count] consecutive little-endian dwords agreeing on their upper 24
     bits [base] (the LSB may vary). *)
 
-val ret_address_runs : ?min_count:int -> ?max_scan:int -> string -> ret_run list
+val ret_address_runs : ?min_count:int -> ?max_scan:int -> Slice.t -> ret_run list
 (** The paper's §4.2 observation: a buffer-overflow's return-address
     region repeats one address in which {e only the least significant
     byte can be varied} (it must stay inside the sled).  Finds maximal

@@ -8,16 +8,18 @@ let hex_digit c =
   | _ -> None
 
 let decode_u_escape s i =
-  if i + 6 > String.length s then None
-  else if not (s.[i] = '%' && (s.[i + 1] = 'u' || s.[i + 1] = 'U')) then None
+  if i + 6 > Slice.length s then None
   else
-    match (hex_digit s.[i + 2], hex_digit s.[i + 3], hex_digit s.[i + 4], hex_digit s.[i + 5]) with
-    | Some a, Some b, Some c, Some d ->
-        Some ((a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d, i + 6)
-    | _, _, _, _ -> None
+    let c k = Slice.unsafe_get s (i + k) in
+    if not (c 0 = '%' && (c 1 = 'u' || c 1 = 'U')) then None
+    else
+      match (hex_digit (c 2), hex_digit (c 3), hex_digit (c 4), hex_digit (c 5)) with
+      | Some a, Some b, Some c, Some d ->
+          Some ((a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d, i + 6)
+      | _, _, _, _ -> None
 
 let unicode_runs ?(min_run = 4) ?(max_decoded = max_int) s =
-  let n = String.length s in
+  let n = Slice.length s in
   let runs = ref [] in
   let i = ref 0 in
   while !i < n do

@@ -6,7 +6,7 @@ type run = { off : int; count : int; decoded : string }
     '%', [count] the number of escapes, [decoded] the binary form
     (2 bytes per [%uXXXX], little-endian; 1 byte per [%XX]). *)
 
-val unicode_runs : ?min_run:int -> ?max_decoded:int -> string -> run list
+val unicode_runs : ?min_run:int -> ?max_decoded:int -> Slice.t -> run list
 (** Maximal runs of at least [min_run] (default 4) consecutive [%uXXXX]
     escapes.  [max_decoded] (default unlimited) caps each run's
     [decoded] output: the run is still scanned to its true end ([count]
@@ -17,6 +17,6 @@ val percent_decode : string -> string
 (** Decode [%XX] escapes (and '+' to space); malformed escapes pass
     through verbatim. *)
 
-val decode_u_escape : string -> int -> (int * int) option
+val decode_u_escape : Slice.t -> int -> (int * int) option
 (** [decode_u_escape s i] decodes one [%uXXXX] at offset [i]: the 16-bit
     value and the next offset. *)

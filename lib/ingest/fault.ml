@@ -63,25 +63,28 @@ let to_string t =
   String.concat ","
     (List.map (fun (k, p) -> Printf.sprintf "%s=%g" (kind_to_string k) p) t)
 
-let mutate_bytes rng plan data =
+let mutate_bytes rng plan (data : Slice.t) =
   List.fold_left
     (fun data (kind, p) ->
       match kind with
       | Duplicate | Reorder -> data
       | Truncate ->
-          if Rng.chance rng p && String.length data > 0 then
-            String.sub data 0 (Rng.int rng (String.length data))
+          (* a truncation is just a narrower view — no copy *)
+          if Rng.chance rng p && Slice.length data > 0 then
+            Slice.sub data ~off:0 ~len:(Rng.int rng (Slice.length data))
           else data
       | Bit_flip ->
-          if Rng.chance rng p && String.length data > 0 then (
-            let b = Bytes.of_string data in
+          if Rng.chance rng p && Slice.length data > 0 then (
+            let b = Bytes.of_string (Slice.to_string data) in
             let i = Rng.int rng (Bytes.length b) in
             let bit = 1 lsl Rng.int rng 8 in
             Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
-            Bytes.to_string b)
+            Slice.of_string (Bytes.to_string b))
           else data
       | Garbage_prepend ->
-          if Rng.chance rng p then Rng.bytes rng (Rng.int_in rng 1 16) ^ data
+          if Rng.chance rng p then
+            Slice.of_string
+              (Rng.bytes rng (Rng.int_in rng 1 16) ^ Slice.to_string data)
           else data)
     data plan
 
@@ -125,8 +128,8 @@ let file ~seed plan (f : Pcap.file) =
 let packets ~seed plan seq =
   let rng = Rng.create seed in
   let mutate_packet pkt =
-    let bytes = mutate_bytes rng plan (Packet.to_bytes pkt) in
-    match Packet.parse ~ts:pkt.Packet.ts bytes with
+    let bytes = mutate_bytes rng plan (Slice.of_string (Packet.to_bytes pkt)) in
+    match Packet.parse_slice ~ts:pkt.Packet.ts bytes with
     | Ok p -> Some p
     | Error _ -> None
   in

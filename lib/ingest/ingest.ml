@@ -99,11 +99,11 @@ let frame_body ~linktype (r : Pcap.record) =
 
 let decode_record ?metrics ?(max_payload = default_max_payload) ~linktype r =
   let result =
-    if String.length r.Pcap.data > max_payload then
+    if Slice.length r.Pcap.data > max_payload then
       Error
         (Payload_bound
            (Printf.sprintf "record of %d bytes exceeds bound %d"
-              (String.length r.Pcap.data) max_payload))
+              (Slice.length r.Pcap.data) max_payload))
     else
       match frame_body ~linktype r with
       | Error _ as e -> e

@@ -9,3 +9,11 @@ val ones_complement_list : string list -> int
 val valid : string -> bool
 (** A buffer whose embedded checksum field is correct sums to 0xFFFF...
     i.e. [ones_complement buf = 0]. *)
+
+val ones_complement_slices : Slice.t list -> int
+(** {!ones_complement_list} over slices — the zero-copy decode path sums
+    headers and payloads in place.  The same even-length-except-last
+    convention applies. *)
+
+val valid_slice : Slice.t -> bool
+

@@ -38,29 +38,30 @@ let mac_equal (a : mac) b = String.equal a b
 let ethertype_ipv4 = 0x0800
 let ethertype_arp = 0x0806
 
-type t = { dst : mac; src : mac; ethertype : int; payload : string }
+type t = { dst : mac; src : mac; ethertype : int; payload : Slice.t }
 
 let encode t =
-  let w = Byte_io.Writer.create ~capacity:(14 + String.length t.payload) () in
+  let w = Byte_io.Writer.create ~capacity:(14 + Slice.length t.payload) () in
   Byte_io.Writer.string w t.dst;
   Byte_io.Writer.string w t.src;
   Byte_io.Writer.u16_be w t.ethertype;
-  Byte_io.Writer.string w t.payload;
+  Byte_io.Writer.slice w t.payload;
   Byte_io.Writer.contents w
 
 let decode s =
-  if String.length s < 14 then Error "short frame"
+  if Slice.length s < 14 then Error "short frame"
   else
-    let r = Byte_io.Reader.of_string s in
+    let r = Byte_io.Reader.of_slice s in
+    (* the 6-byte addresses are tiny fixed copies; the payload is a view *)
     let dst = Byte_io.Reader.take r 6 in
     let src = Byte_io.Reader.take r 6 in
     let ethertype = Byte_io.Reader.u16_be r in
-    Ok { dst; src; ethertype; payload = Byte_io.Reader.rest r }
+    Ok { dst; src; ethertype; payload = Byte_io.Reader.rest_slice r }
 
 let default_src = mac_of_string "02:00:00:00:00:01"
 let default_dst = mac_of_string "02:00:00:00:00:02"
 
 let wrap_ipv4 ?(src = default_src) ?(dst = default_dst) datagram =
-  encode { dst; src; ethertype = ethertype_ipv4; payload = datagram }
+  encode { dst; src; ethertype = ethertype_ipv4; payload = Slice.of_string datagram }
 
 let pp_mac ppf m = Format.pp_print_string ppf (mac_to_string m)

@@ -20,10 +20,13 @@ val mac_equal : mac -> mac -> bool
 val ethertype_ipv4 : int
 val ethertype_arp : int
 
-type t = { dst : mac; src : mac; ethertype : int; payload : string }
+type t = { dst : mac; src : mac; ethertype : int; payload : Slice.t }
 
 val encode : t -> string
-val decode : string -> (t, string) Stdlib.result
+
+val decode : Slice.t -> (t, string) Stdlib.result
+(** The payload is a view into the frame's backing string — no bytes are
+    copied beyond the two 6-byte addresses. *)
 
 val wrap_ipv4 : ?src:mac -> ?dst:mac -> string -> string
 (** Frame an IPv4 datagram with default locally administered

@@ -52,8 +52,8 @@ let evict_oldest t =
 
 (* Insert a segment, keeping the list sorted and dropping overlap with
    existing data (first writer wins). *)
-let insert_segment st off data =
-  let len = String.length data in
+let insert_segment st off (data : Slice.t) =
+  let len = Slice.length data in
   if len = 0 then false
   else begin
     let covers o l (o', l') = o' >= o && o' + l' <= o + l in
@@ -61,7 +61,11 @@ let insert_segment st off data =
     if List.exists (fun (o', d') -> covers o' (String.length d') (off, len)) existing
     then false
     else begin
-      st.segments <- List.merge (fun (a, _) (b, _) -> compare a b) existing [ (off, data) ];
+      (* materialize only segments we keep: flow state is long-lived and
+         must not pin whole capture buffers through a payload view *)
+      st.segments <-
+        List.merge (fun (a, _) (b, _) -> compare a b) existing
+          [ (off, Slice.to_string data) ];
       (* recompute the contiguous prefix *)
       let rec extend reach = function
         | [] -> reach
@@ -94,7 +98,7 @@ let push t p =
   match (key_of_packet p, seq_of p) with
   | Some k, Some seq when Packet.is_tcp p ->
       let data = Packet.payload p in
-      if data = "" then None
+      if Slice.is_empty data then None
       else begin
         t.clock <- t.clock + 1;
         let st =
@@ -108,7 +112,7 @@ let push t p =
         in
         st.last_use <- t.clock;
         let off = Int32.to_int (Int32.sub seq st.base_seq) in
-        if off < 0 || off + String.length data > t.max_stream then None
+        if off < 0 || off + Slice.length data > t.max_stream then None
         else if insert_segment st off data then Some (assemble st)
         else None
       end

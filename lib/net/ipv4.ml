@@ -4,15 +4,15 @@ type t = {
   proto : int;
   ttl : int;
   ident : int;
-  payload : string;
+  payload : Slice.t;
 }
 
 let proto_tcp = 6
 let proto_udp = 17
 
 let encode t =
-  let w = Byte_io.Writer.create ~capacity:(20 + String.length t.payload) () in
-  let total_len = 20 + String.length t.payload in
+  let w = Byte_io.Writer.create ~capacity:(20 + Slice.length t.payload) () in
+  let total_len = 20 + Slice.length t.payload in
   if total_len > 0xFFFF then invalid_arg "Ipv4.encode: datagram too large";
   Byte_io.Writer.u8 w 0x45;
   (* version 4, IHL 5 *)
@@ -30,19 +30,19 @@ let encode t =
   let header = Byte_io.Writer.contents w in
   let csum = Checksum.ones_complement header in
   Byte_io.Writer.patch_u16_be w 10 csum;
-  Byte_io.Writer.string w t.payload;
+  Byte_io.Writer.slice w t.payload;
   Byte_io.Writer.contents w
 
 let decode s =
   let open Byte_io in
   try
-    let r = Reader.of_string s in
+    let r = Reader.of_slice s in
     let vi = Reader.u8 r in
     let version = vi lsr 4 in
     let ihl = (vi land 0xF) * 4 in
     if version <> 4 then Error "not IPv4"
     else if ihl < 20 then Error "bad IHL"
-    else if String.length s < ihl then Error "truncated header"
+    else if Slice.length s < ihl then Error "truncated header"
     else begin
       let _tos = Reader.u8 r in
       let total_len = Reader.u16_be r in
@@ -53,11 +53,12 @@ let decode s =
       let _csum = Reader.u16_be r in
       let src = Ipaddr.of_int32 (Reader.u32_be r) in
       let dst = Ipaddr.of_int32 (Reader.u32_be r) in
-      if total_len < ihl || total_len > String.length s then Error "bad total length"
-      else if not (Checksum.valid (String.sub s 0 ihl)) then Error "bad header checksum"
+      if total_len < ihl || total_len > Slice.length s then Error "bad total length"
+      else if not (Checksum.valid_slice (Slice.sub s ~off:0 ~len:ihl)) then
+        Error "bad header checksum"
       else begin
         Reader.seek r ihl;
-        let payload = String.sub s ihl (total_len - ihl) in
+        let payload = Slice.sub s ~off:ihl ~len:(total_len - ihl) in
         Ok { src; dst; proto; ttl; ident; payload }
       end
     end

@@ -6,7 +6,7 @@ type t = {
   proto : int;  (** 6 = TCP, 17 = UDP *)
   ttl : int;
   ident : int;
-  payload : string;
+  payload : Slice.t;
 }
 
 val proto_tcp : int
@@ -15,7 +15,7 @@ val proto_udp : int
 val encode : t -> string
 (** Header (checksummed) followed by the payload. *)
 
-val decode : string -> (t, string) Stdlib.result
+val decode : Slice.t -> (t, string) Stdlib.result
 (** Parses a datagram; the error string names the defect.  The total
     length field is honoured (trailing bytes dropped); a bad header
     checksum is an error. *)

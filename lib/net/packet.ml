@@ -1,10 +1,20 @@
-type l4 = Tcp_seg of Tcp.t | Udp_dgram of Udp.t | Raw of int * string
+type l4 = Tcp_seg of Tcp.t | Udp_dgram of Udp.t | Raw of int * Slice.t
 
 type t = { ts : float; ip : Ipv4.t; l4 : l4 }
 
 let build_tcp ~ts ~src ~dst ~src_port ~dst_port ?(seq = 1000l) ?(ack_no = 0l)
     ?(flags = Tcp.flags_pshack) ?(ttl = 64) ?(ident = 0) payload =
-  let seg = { Tcp.src_port; dst_port; seq; ack_no; flags; window = 65535; payload } in
+  let seg =
+    {
+      Tcp.src_port;
+      dst_port;
+      seq;
+      ack_no;
+      flags;
+      window = 65535;
+      payload = Slice.of_string payload;
+    }
+  in
   let ip =
     {
       Ipv4.src;
@@ -12,13 +22,13 @@ let build_tcp ~ts ~src ~dst ~src_port ~dst_port ?(seq = 1000l) ?(ack_no = 0l)
       proto = Ipv4.proto_tcp;
       ttl;
       ident;
-      payload = Tcp.encode ~src ~dst seg;
+      payload = Slice.of_string (Tcp.encode ~src ~dst seg);
     }
   in
   { ts; ip; l4 = Tcp_seg seg }
 
 let build_udp ~ts ~src ~dst ~src_port ~dst_port ?(ttl = 64) ?(ident = 0) payload =
-  let dgram = { Udp.src_port; dst_port; payload } in
+  let dgram = { Udp.src_port; dst_port; payload = Slice.of_string payload } in
   let ip =
     {
       Ipv4.src;
@@ -26,14 +36,14 @@ let build_udp ~ts ~src ~dst ~src_port ~dst_port ?(ttl = 64) ?(ident = 0) payload
       proto = Ipv4.proto_udp;
       ttl;
       ident;
-      payload = Udp.encode ~src ~dst dgram;
+      payload = Slice.of_string (Udp.encode ~src ~dst dgram);
     }
   in
   { ts; ip; l4 = Udp_dgram dgram }
 
 let to_bytes t = Ipv4.encode t.ip
 
-let parse ~ts bytes =
+let parse_slice ~ts bytes =
   match Ipv4.decode bytes with
   | Error e -> Error e
   | Ok ip ->
@@ -50,6 +60,8 @@ let parse ~ts bytes =
       in
       (match l4 with Ok l4 -> Ok { ts; ip; l4 } | Error e -> Error e)
 
+let parse ~ts bytes = parse_slice ~ts (Slice.of_string bytes)
+
 let src t = t.ip.Ipv4.src
 let dst t = t.ip.Ipv4.dst
 
@@ -65,6 +77,7 @@ let payload t =
   | Udp_dgram d -> d.Udp.payload
   | Raw (_, p) -> p
 
+let payload_string t = Slice.to_string (payload t)
 let is_tcp t = match t.l4 with Tcp_seg _ -> true | Udp_dgram _ | Raw _ -> false
 
 let pp ppf t =
@@ -75,4 +88,4 @@ let pp ppf t =
     | Raw (p, _) -> (Printf.sprintf "proto%d" p, 0, 0)
   in
   Format.fprintf ppf "%.3f %a:%d > %a:%d %s len=%d" t.ts Ipaddr.pp (src t) sp
-    Ipaddr.pp (dst t) dp proto (String.length (payload t))
+    Ipaddr.pp (dst t) dp proto (Slice.length (payload t))

@@ -7,7 +7,7 @@
 type l4 =
   | Tcp_seg of Tcp.t
   | Udp_dgram of Udp.t
-  | Raw of int * string  (** other protocol: number and payload *)
+  | Raw of int * Slice.t  (** other protocol: number and payload *)
 
 type t = {
   ts : float;  (** seconds since trace start *)
@@ -46,14 +46,24 @@ val to_bytes : t -> string
 
 val parse : ts:float -> string -> (t, string) Stdlib.result
 
+val parse_slice : ts:float -> Slice.t -> (t, string) Stdlib.result
+(** Zero-copy parse: every payload in the result is a view into the
+    given slice's backing string.  A packet that outlives the capture
+    buffer it was parsed from pins that buffer — long-lived state should
+    materialize ({!Slice.to_string}) what it keeps. *)
+
 val src : t -> Ipaddr.t
 val dst : t -> Ipaddr.t
 
 val ports : t -> (int * int) option
 (** (src_port, dst_port) for TCP/UDP. *)
 
-val payload : t -> string
-(** Application payload ("" for [Raw]). *)
+val payload : t -> Slice.t
+(** Application payload view (the raw IP payload for [Raw]). *)
+
+val payload_string : t -> string
+(** [Slice.to_string (payload t)] — free when the payload is a whole
+    view, one copy otherwise. *)
 
 val is_tcp : t -> bool
 val pp : Format.formatter -> t -> unit

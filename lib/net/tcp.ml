@@ -15,7 +15,7 @@ type t = {
   ack_no : int32;
   flags : flags;
   window : int;
-  payload : string;
+  payload : Slice.t;
 }
 
 let flags_byte f =
@@ -46,7 +46,7 @@ let pseudo_header ~src ~dst ~len =
   Byte_io.Writer.contents w
 
 let encode ~src ~dst t =
-  let w = Byte_io.Writer.create ~capacity:(20 + String.length t.payload) () in
+  let w = Byte_io.Writer.create ~capacity:(20 + Slice.length t.payload) () in
   Byte_io.Writer.u16_be w t.src_port;
   Byte_io.Writer.u16_be w t.dst_port;
   Byte_io.Writer.u32_be w t.seq;
@@ -59,7 +59,7 @@ let encode ~src ~dst t =
   (* checksum placeholder *)
   Byte_io.Writer.u16_be w 0;
   (* urgent pointer *)
-  Byte_io.Writer.string w t.payload;
+  Byte_io.Writer.slice w t.payload;
   let seg = Byte_io.Writer.contents w in
   let csum =
     Checksum.ones_complement_list
@@ -71,9 +71,9 @@ let encode ~src ~dst t =
 let decode ~src ~dst s =
   let open Byte_io in
   try
-    if String.length s < 20 then Error "short segment"
+    if Slice.length s < 20 then Error "short segment"
     else begin
-      let r = Reader.of_string s in
+      let r = Reader.of_slice s in
       let src_port = Reader.u16_be r in
       let dst_port = Reader.u16_be r in
       let seq = Reader.u32_be r in
@@ -83,15 +83,15 @@ let decode ~src ~dst s =
       let window = Reader.u16_be r in
       let _csum = Reader.u16_be r in
       let _urg = Reader.u16_be r in
-      if off < 20 || off > String.length s then Error "bad data offset"
+      if off < 20 || off > Slice.length s then Error "bad data offset"
       else begin
         let sum =
-          Checksum.ones_complement_list
-            [ pseudo_header ~src ~dst ~len:(String.length s); s ]
+          Checksum.ones_complement_slices
+            [ Slice.of_string (pseudo_header ~src ~dst ~len:(Slice.length s)); s ]
         in
         if sum <> 0 then Error "bad checksum"
         else begin
-          let payload = String.sub s off (String.length s - off) in
+          let payload = Slice.sub s ~off ~len:(Slice.length s - off) in
           Ok { src_port; dst_port; seq; ack_no; flags; window; payload }
         end
       end

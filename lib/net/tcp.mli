@@ -18,13 +18,13 @@ type t = {
   ack_no : int32;
   flags : flags;
   window : int;
-  payload : string;
+  payload : Slice.t;
 }
 
 val encode : src:Ipaddr.t -> dst:Ipaddr.t -> t -> string
 (** Segment bytes with a valid checksum. *)
 
-val decode : src:Ipaddr.t -> dst:Ipaddr.t -> string -> (t, string) Stdlib.result
+val decode : src:Ipaddr.t -> dst:Ipaddr.t -> Slice.t -> (t, string) Stdlib.result
 (** A wrong checksum is reported as an error. *)
 
 val pp_flags : Format.formatter -> flags -> unit

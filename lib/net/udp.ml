@@ -1,4 +1,4 @@
-type t = { src_port : int; dst_port : int; payload : string }
+type t = { src_port : int; dst_port : int; payload : Slice.t }
 
 let pseudo_header ~src ~dst ~len =
   let w = Byte_io.Writer.create ~capacity:12 () in
@@ -10,13 +10,13 @@ let pseudo_header ~src ~dst ~len =
   Byte_io.Writer.contents w
 
 let encode ~src ~dst t =
-  let len = 8 + String.length t.payload in
+  let len = 8 + Slice.length t.payload in
   let w = Byte_io.Writer.create ~capacity:len () in
   Byte_io.Writer.u16_be w t.src_port;
   Byte_io.Writer.u16_be w t.dst_port;
   Byte_io.Writer.u16_be w len;
   Byte_io.Writer.u16_be w 0;
-  Byte_io.Writer.string w t.payload;
+  Byte_io.Writer.slice w t.payload;
   let dgram = Byte_io.Writer.contents w in
   let csum = Checksum.ones_complement_list [ pseudo_header ~src ~dst ~len; dgram ] in
   let csum = if csum = 0 then 0xFFFF else csum in
@@ -26,21 +26,23 @@ let encode ~src ~dst t =
 let decode ~src ~dst s =
   let open Byte_io in
   try
-    if String.length s < 8 then Error "short datagram"
+    if Slice.length s < 8 then Error "short datagram"
     else begin
-      let r = Reader.of_string s in
+      let r = Reader.of_slice s in
       let src_port = Reader.u16_be r in
       let dst_port = Reader.u16_be r in
       let len = Reader.u16_be r in
       let csum = Reader.u16_be r in
-      if len < 8 || len > String.length s then Error "bad length"
+      if len < 8 || len > Slice.length s then Error "bad length"
       else begin
-        let body = String.sub s 0 len in
+        let body = Slice.sub s ~off:0 ~len in
         if
           csum <> 0
-          && Checksum.ones_complement_list [ pseudo_header ~src ~dst ~len; body ] <> 0
+          && Checksum.ones_complement_slices
+               [ Slice.of_string (pseudo_header ~src ~dst ~len); body ]
+             <> 0
         then Error "bad checksum"
-        else Ok { src_port; dst_port; payload = String.sub s 8 (len - 8) }
+        else Ok { src_port; dst_port; payload = Slice.sub s ~off:8 ~len:(len - 8) }
       end
     end
   with Truncated _ -> Error "truncated"

@@ -1,6 +1,6 @@
 (** UDP datagram codec with pseudo-header checksum. *)
 
-type t = { src_port : int; dst_port : int; payload : string }
+type t = { src_port : int; dst_port : int; payload : Slice.t }
 
 val encode : src:Ipaddr.t -> dst:Ipaddr.t -> t -> string
-val decode : src:Ipaddr.t -> dst:Ipaddr.t -> string -> (t, string) Stdlib.result
+val decode : src:Ipaddr.t -> dst:Ipaddr.t -> Slice.t -> (t, string) Stdlib.result

@@ -37,9 +37,9 @@ let try_infer t name =
       t.signatures <- (name, s) :: t.signatures
   end
 
-let fast_path t payload =
+let fast_path t (payload : Slice.t) =
   List.filter_map
-    (fun (name, s) -> if Siggen.matches s payload then Some name else None)
+    (fun (name, s) -> if Siggen.matches_slice s payload then Some name else None)
     t.signatures
 
 let process_packet t packet =
@@ -83,7 +83,8 @@ let process_packet t packet =
           if not a.Alert.degraded then begin
             let name = a.Alert.template in
             let pool = Option.value ~default:[] (Hashtbl.find_opt t.pools name) in
-            Hashtbl.replace t.pools name (payload :: pool);
+            (* pools outlive the packet: own the bytes (rare — alert path) *)
+            Hashtbl.replace t.pools name (Slice.to_string payload :: pool);
             try_infer t name
           end)
         alerts;

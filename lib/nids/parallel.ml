@@ -4,16 +4,41 @@ let shard_of addr ~shards =
   if shards <= 0 then invalid_arg "Parallel.shard_of: shards must be positive";
   Ipaddr.hash addr mod shards
 
+(* Hash the full flow 5-tuple.  Source-only sharding concentrates an
+   outbreak (one worm source, many victims) onto a single worker; the
+   5-tuple spreads its flows across every domain.  Non-TCP/UDP packets
+   have no flow key and fall back to the source shard. *)
+let flow_shard_of p ~shards =
+  if shards <= 0 then
+    invalid_arg "Parallel.flow_shard_of: shards must be positive";
+  match Flow.key_of_packet p with
+  | None -> shard_of (Packet.src p) ~shards
+  | Some k ->
+      let h = Ipaddr.hash k.Flow.src in
+      let h = (h * 31) + Ipaddr.hash k.Flow.dst in
+      let h = (h * 31) + k.Flow.src_port in
+      let h = (h * 31) + k.Flow.dst_port in
+      let h = (h * 31) + k.Flow.proto in
+      h land max_int mod shards
+
+(* Which sharding a configuration admits: per-source classifier state
+   (honeypot marks, scan counters) requires all of a source's packets on
+   one worker, so flow-hash sharding is only sound with classification
+   off — then the pipeline's state is purely per-flow. *)
+let shard_of_packet (cfg : Config.t) p ~shards =
+  if cfg.Config.classification_enabled then shard_of (Packet.src p) ~shards
+  else flow_shard_of p ~shards
+
 let default_domains () = min 8 (max 1 (Domain.recommended_domain_count ()))
 
 let merge_snapshots snaps =
   Array.fold_left Obs.Snapshot.merge Obs.Snapshot.empty snaps
 
-let shard_packets packets ~shards =
+let shard_packets cfg packets ~shards =
   let buckets = Array.make shards [] in
   List.iter
     (fun p ->
-      let k = shard_of (Packet.src p) ~shards in
+      let k = shard_of_packet cfg p ~shards in
       buckets.(k) <- p :: buckets.(k))
     packets;
   Array.map List.rev buckets
@@ -26,7 +51,7 @@ let process_snapshot ?domains cfg packets =
     (alerts, Pipeline.snapshot nids)
   end
   else begin
-    let buckets = shard_packets packets ~shards in
+    let buckets = shard_packets cfg packets ~shards in
     let workers =
       Array.map
         (fun shard ->
@@ -212,14 +237,31 @@ let process_seq_snapshot ?domains ?(batch = 8192) cfg packets on_alerts =
             done))
       wd_cfg
   in
+  (* Batched admission: accumulate per-shard runs and push each run
+     under one lock acquisition instead of locking per packet.  The held
+     batch is bounded, and every shard flushes before the queues close,
+     so no packet is lost to batching. *)
+  let feed_batch = 256 in
+  let pending = Array.make shards [] in
+  let pending_n = Array.make shards 0 in
+  let flush k =
+    if pending_n.(k) > 0 then begin
+      let res = Bqueue.push_batch queues.(k) (List.rev pending.(k)) in
+      if res.Bqueue.shed > 0 then Obs.Registry.add shed res.Bqueue.shed;
+      pending.(k) <- [];
+      pending_n.(k) <- 0
+    end
+  in
   Seq.iter
     (fun p ->
-      let k = shard_of (Packet.src p) ~shards in
-      match Bqueue.push queues.(k) p with
-      | Bqueue.Queued -> ()
-      | Bqueue.Shed_newest -> Obs.Registry.incr shed
-      | Bqueue.Shed_oldest n -> Obs.Registry.add shed n)
+      let k = shard_of_packet cfg p ~shards in
+      pending.(k) <- p :: pending.(k);
+      pending_n.(k) <- pending_n.(k) + 1;
+      if pending_n.(k) >= feed_batch then flush k)
     packets;
+  for k = 0 to shards - 1 do
+    flush k
+  done;
   Array.iter Bqueue.close queues;
   let final_slots, final_retired =
     match wd_cfg with
@@ -274,7 +316,9 @@ let process_seq_snapshot ?domains ?(batch = 8192) cfg packets on_alerts =
   in
   let leaked_c =
     Obs.Registry.counter wd_reg
-      ~help:"packets abandoned after analysis raised inside a worker"
+      ~help:
+        "worker domains still wedged at shutdown, leaked unjoined with \
+         their metrics lost"
       worker_failures_total
   in
   let snaps =

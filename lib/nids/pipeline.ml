@@ -54,12 +54,22 @@ type counters = {
   flow_evictions : Obs.Registry.counter;
 }
 
+(* Stage timers, resolved once: Span.with_ re-derives the metric name
+   and help string per call, which the per-packet path cannot afford. *)
+type stages = {
+  st_classify : Obs.Span.stage;
+  st_extract : Obs.Span.stage;
+  st_match : Obs.Span.stage;
+  st_analyze : Obs.Span.stage;
+}
+
 type t = {
   cfg : Config.t;
   classifier : Classifier.t;
   reg : Obs.Registry.t;
   tracer : Obs.Span.tracer option;
   m : counters;
+  st : stages;
   vcache_entries : Obs.Registry.gauge;
   flow_entries : Obs.Registry.gauge;
   breaker : Breaker.t option;
@@ -135,6 +145,13 @@ let create ?tracer (cfg : Config.t) =
     reg;
     tracer;
     m = counters_of reg;
+    st =
+      {
+        st_classify = Obs.Span.stage reg "classify";
+        st_extract = Obs.Span.stage reg "extract";
+        st_match = Obs.Span.stage reg "match";
+        st_analyze = Obs.Span.stage reg "analyze";
+      };
     vcache_entries =
       Obs.Registry.gauge reg ~help:"verdict cache occupancy"
         "sanids_verdict_cache_entries";
@@ -153,24 +170,24 @@ let create ?tracer (cfg : Config.t) =
        else None);
   }
 
-let span t name f = Obs.Span.with_ ?tracer:t.tracer t.reg name f
+let span t st f = Obs.Span.time ?tracer:t.tracer st f
 
-let frames_of t ?budget payload =
+let frames_of t ?budget (payload : Slice.t) =
   if t.cfg.Config.extraction_enabled then
-    span t "extract" (fun () -> Extractor.extract ?budget ~metrics:t.reg payload)
+    span t t.st.st_extract (fun () -> Extractor.extract ?budget ~metrics:t.reg payload)
   else
     let frame =
       { Extractor.off = 0; data = payload; origin = Extractor.Raw_binary }
     in
     match budget with
-    | Some b when not (Budget.take_bytes b (String.length payload)) -> []
+    | Some b when not (Budget.take_bytes b (Slice.length payload)) -> []
     | Some _ | None -> [ frame ]
 
 (* Template scan over one frame; the matcher accumulates its decode-memo
    and budget counters straight into the pipeline registry. *)
 let scan_frame t ?budget ?step_cap ~templates data =
-  span t "match" (fun () ->
-      Matcher.scan_report ?budget ?step_cap ~metrics:t.reg ~templates data)
+  span t t.st.st_match (fun () ->
+      Matcher.scan_report_slice ?budget ?step_cap ~metrics:t.reg ~templates data)
 
 let count_truncated t reason =
   Obs.Registry.incr
@@ -201,7 +218,7 @@ let step_cap_of t =
 (* Conjunctive pattern matching for the degraded pass: a candidate
    template counts as (tentatively) present when every one of its data
    patterns occurs in the buffer. *)
-let degraded_verdicts fb buffer candidates =
+let degraded_verdicts fb (buffer : Slice.t) candidates =
   if candidates = [] then []
   else begin
     let found = Hashtbl.create 8 in
@@ -209,7 +226,7 @@ let degraded_verdicts fb buffer candidates =
       (fun (end_off, pat) ->
         if not (Hashtbl.mem found pat) then
           Hashtbl.add found pat (end_off - String.length pat + 1))
-      (Sanids_baseline.Aho_corasick.search fb.ac buffer);
+      (Sanids_baseline.Aho_corasick.search_slice fb.ac buffer);
     List.filter_map
       (fun name ->
         match List.assoc_opt name fb.per_template with
@@ -271,7 +288,7 @@ let analyze_frames t payload =
       List.concat_map
         (fun (frame : Extractor.frame) ->
           Obs.Registry.incr t.m.frames;
-          Obs.Registry.add t.m.frame_bytes (String.length frame.Extractor.data);
+          Obs.Registry.add t.m.frame_bytes (Slice.length frame.Extractor.data);
           let report =
             scan_frame t ?budget ?step_cap ~templates frame.Extractor.data
           in
@@ -356,11 +373,15 @@ let analyze_core t buffer =
    worm-outbreak shape — cannot change any verdict.  Anything less than
    pristine is never cached: the next identical buffer deserves a fresh
    attempt under whatever fuel and breaker state then hold. *)
-let analyze_uncached t buffer =
+let analyze_uncached t (buffer : Slice.t) =
   match t.verdicts with
   | None -> analyze_core t buffer
   | Some cache -> (
-      match Lru.find cache buffer with
+      (* the cache is keyed on materialized bytes (content equality, not
+         view identity) — free when the buffer is a whole view, and a
+         cached buffer must own its bytes anyway *)
+      let key = Slice.to_string buffer in
+      match Lru.find cache key with
       | Some verdicts ->
           Obs.Registry.incr t.m.vcache_hits;
           {
@@ -377,29 +398,33 @@ let analyze_uncached t buffer =
             && report.tripped = []
           then begin
             let before = Lru.evictions cache in
-            Lru.add cache buffer report.verdicts;
+            Lru.add cache key report.verdicts;
             Obs.Registry.add t.m.vcache_evictions (Lru.evictions cache - before)
           end;
           report)
 
-let analyze_report t buffer = span t "analyze" (fun () -> analyze_uncached t buffer)
+let analyze_report_slice t buffer =
+  span t t.st.st_analyze (fun () -> analyze_uncached t buffer)
+
+let analyze_slice t buffer = (analyze_report_slice t buffer).verdicts
+let analyze_report t buffer = analyze_report_slice t (Slice.of_string buffer)
 let analyze t buffer = (analyze_report t buffer).verdicts
 
 (* In stream mode the analyzed buffer is the flow's reassembled prefix and
    alerts deduplicate per flow; otherwise it is the packet payload. *)
-let buffer_for t packet payload =
+let buffer_for t packet (payload : Slice.t) =
   match t.reasm with
-  | Some r when Packet.is_tcp packet && payload <> "" -> (
+  | Some r when Packet.is_tcp packet && not (Slice.is_empty payload) -> (
       match Flow.push r packet with
-      | Some stream -> Some (stream, Flow.key_of_packet packet)
+      | Some stream -> Some (Slice.of_string stream, Flow.key_of_packet packet)
       | None -> None (* waiting for a gap to fill; nothing new to analyze *))
   | Some _ | None -> Some (payload, None)
 
 let process_packet t packet =
   Obs.Registry.incr t.m.packets;
   let payload = Packet.payload packet in
-  Obs.Registry.add t.m.bytes (String.length payload);
-  match span t "classify" (fun () -> Classifier.classify t.classifier packet) with
+  Obs.Registry.add t.m.bytes (Slice.length payload);
+  match span t t.st.st_classify (fun () -> Classifier.classify t.classifier packet) with
   | Classifier.Benign -> []
   | Classifier.Suspicious reason -> (
       Obs.Registry.incr t.m.suspicious;
@@ -407,13 +432,13 @@ let process_packet t packet =
           m "suspicious packet from %a (%s), %d payload bytes" Ipaddr.pp
             (Packet.src packet)
             (Classifier.reason_to_string reason)
-            (String.length payload));
+            (Slice.length payload));
       match buffer_for t packet payload with
       | None -> []
       | Some (buffer, flow_key) ->
-          if String.length buffer < t.cfg.Config.min_payload then []
+          if Slice.length buffer < t.cfg.Config.min_payload then []
           else begin
-            let verdicts = analyze t buffer in
+            let verdicts = analyze_slice t buffer in
             let fresh (v : verdict) =
               match flow_key with
               | None -> true

@@ -62,6 +62,11 @@ val analyze_report : t -> string -> analysis
     Only pristine analyses (budget untripped, nothing abandoned or
     excluded, no fallback) enter the verdict cache. *)
 
+val analyze_report_slice : t -> Slice.t -> analysis
+(** {!analyze_report} over a payload view — the zero-copy entry the
+    packet path uses.  [analyze_report t s = analyze_report_slice t
+    (Slice.of_string s)]. *)
+
 val analyze : t -> string -> verdict list
 (** [analyze_report] projected to its verdicts.  This is what the timing
     experiments measure. *)

@@ -50,16 +50,32 @@ let emit t name ~ts ~dur =
 
 let metric_of_stage name = "sanids_stage_" ^ name ^ "_seconds"
 
-let with_ ?tracer reg name f =
-  let h =
-    Registry.histogram reg
-      ~help:(Printf.sprintf "latency of the %s stage" name)
-      (metric_of_stage name)
-  in
+type stage = { h : Histogram.t; stage_name : string }
+
+let stage reg name =
+  {
+    h =
+      Registry.histogram reg
+        ~help:(Printf.sprintf "latency of the %s stage" name)
+        (metric_of_stage name);
+    stage_name = name;
+  }
+
+(* Hand-rolled rather than Fun.protect: this wraps every packet's
+   classify span, so the finally-closure allocation is worth avoiding. *)
+let time ?tracer st f =
   let t0 = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () ->
-      let dur = Unix.gettimeofday () -. t0 in
-      Histogram.observe h dur;
-      match tracer with None -> () | Some t -> emit t name ~ts:t0 ~dur)
-    f
+  let finish () =
+    let dur = Unix.gettimeofday () -. t0 in
+    Histogram.observe st.h dur;
+    match tracer with None -> () | Some t -> emit t st.stage_name ~ts:t0 ~dur
+  in
+  match f () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
+let with_ ?tracer reg name f = time ?tracer (stage reg name) f

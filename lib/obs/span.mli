@@ -23,10 +23,24 @@ val emitted : tracer -> int
 
 val flush : tracer -> unit
 
+type stage
+(** A pre-resolved stage timer: the histogram handle and name, looked up
+    once.  [with_] resolves the stage on every call (a name concat, a
+    help-string format and a registry lookup); per-packet hot paths
+    should resolve a {!stage} at setup and call {!time}. *)
+
+val stage : Registry.t -> string -> stage
+(** Register (or find) [sanids_stage_<name>_seconds] and bundle it with
+    the name for tracing. *)
+
+val time : ?tracer:tracer -> stage -> (unit -> 'a) -> 'a
+(** Like {!with_} over a pre-resolved stage — no per-call allocation
+    beyond the two clock reads. *)
+
 val with_ : ?tracer:tracer -> Registry.t -> string -> (unit -> 'a) -> 'a
 (** [with_ ?tracer reg stage f] runs [f] inside a span named [stage].
     The stage name must make [sanids_stage_<stage>_seconds] a valid
-    metric name. *)
+    metric name.  Equivalent to [time ?tracer (stage reg name) f]. *)
 
 val metric_of_stage : string -> string
 (** ["match" -> "sanids_stage_match_seconds"] — the histogram a span

@@ -1,4 +1,4 @@
-type record = { ts : float; orig_len : int; data : string }
+type record = { ts : float; orig_len : int; data : Slice.t }
 type file = { nanos : bool; linktype : int; records : record list }
 
 exception Malformed of string
@@ -33,9 +33,9 @@ let encode ?(nanos = false) ?(linktype = linktype_raw) records =
       in
       Byte_io.Writer.u32_le_int w secs;
       Byte_io.Writer.u32_le_int w frac;
-      Byte_io.Writer.u32_le_int w (String.length r.data);
+      Byte_io.Writer.u32_le_int w (Slice.length r.data);
       Byte_io.Writer.u32_le_int w r.orig_len;
-      Byte_io.Writer.string w r.data)
+      Byte_io.Writer.slice w r.data)
     records;
   Byte_io.Writer.contents w
 
@@ -77,7 +77,7 @@ let decode_exn s =
        let incl = u32 r in
        let orig = u32 r in
        if Reader.remaining r < incl then raise (Malformed "truncated record body");
-       let data = Reader.take r incl in
+       let data = Reader.take_slice r incl in
        let scale = if nanos then 1e9 else 1e6 in
        records :=
          { ts = float_of_int secs +. (float_of_int frac /. scale); orig_len = orig; data }
@@ -107,14 +107,14 @@ let of_packets pkts =
   List.map
     (fun p ->
       let bytes = Packet.to_bytes p in
-      { ts = p.Packet.ts; orig_len = String.length bytes; data = bytes })
+      { ts = p.Packet.ts; orig_len = String.length bytes; data = Slice.of_string bytes })
     pkts
 
 let of_packets_ethernet pkts =
   List.map
     (fun p ->
       let frame = Ethernet.wrap_ipv4 (Packet.to_bytes p) in
-      { ts = p.Packet.ts; orig_len = String.length frame; data = frame })
+      { ts = p.Packet.ts; orig_len = String.length frame; data = Slice.of_string frame })
     pkts
 
 let to_packets f =
@@ -130,6 +130,6 @@ let to_packets f =
   List.map
     (fun r ->
       match body r with
-      | Ok datagram -> Packet.parse ~ts:r.ts datagram
+      | Ok datagram -> Packet.parse_slice ~ts:r.ts datagram
       | Error e -> Error e)
     f.records

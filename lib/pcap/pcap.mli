@@ -5,7 +5,9 @@
     [LINKTYPE_RAW] (101): each record body is a raw IPv4 datagram, which
     is exactly what {!Packet.to_bytes} produces. *)
 
-type record = { ts : float; orig_len : int; data : string }
+type record = { ts : float; orig_len : int; data : Slice.t }
+(** [data] is a view: decoding a capture yields record bodies that alias
+    the capture string instead of copying it record by record. *)
 
 type file = { nanos : bool; linktype : int; records : record list }
 

@@ -398,6 +398,32 @@ let data_prefilter ~templates code =
       templates
   end
 
+(* {!data_prefilter} over a payload view: the AC pass walks the slice in
+   place, so a frame that fails every data requirement is rejected
+   without its bytes ever being copied. *)
+let data_prefilter_slice ~templates code =
+  let patterns =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (t : Template.t) ->
+           List.filter (fun p -> p <> "") t.Template.data)
+         templates)
+  in
+  if patterns = [] then templates
+  else begin
+    let ac = Sanids_baseline.Aho_corasick.build (List.map (fun p -> (p, p)) patterns) in
+    let present = Hashtbl.create 16 in
+    List.iter
+      (fun (_, tag) -> Hashtbl.replace present tag ())
+      (Sanids_baseline.Aho_corasick.search_slice ac code);
+    List.filter
+      (fun (t : Template.t) ->
+        List.for_all
+          (fun p -> p = "" || Hashtbl.mem present p)
+          t.Template.data)
+      templates
+  end
+
 type scan_report = {
   results : result list;
   outcome : Budget.outcome;
@@ -408,14 +434,25 @@ type scan_report = {
           what the circuit breaker feeds on *)
 }
 
-let scan_report ?entries ?metrics ?(memoize = true) ?budget ?step_cap ~templates
+(* The scan body, entered after the data prefilter has run: [filtered]
+   are the surviving templates.  An empty survivor set returns before any
+   per-scan state (icache, coverage map) is allocated — on benign traffic
+   this is the common path. *)
+let scan_filtered ?entries ?metrics ?(memoize = true) ?budget ?step_cap ~filtered
     code =
   let n = String.length code in
   let results = ref [] in
   let tripped = ref [] in
   if n = 0 then { results = []; outcome = Budget.Complete; tripped = [] }
+  else if filtered = [] then
+    {
+      results = [];
+      outcome =
+        (match budget with Some b -> Budget.outcome b | None -> Budget.Complete);
+      tripped = [];
+    }
   else begin
-    let remaining = ref (data_prefilter ~templates code) in
+    let remaining = ref filtered in
     (* Byte offsets already visited by some trace: starting there again
        could only rediscover a suffix of work already matched against.
        This keeps the whole-buffer entry enumeration near-linear even on
@@ -526,6 +563,27 @@ let scan_report ?entries ?metrics ?(memoize = true) ?budget ?step_cap ~templates
       tripped = List.rev !tripped;
     }
   end
+
+let scan_report ?entries ?metrics ?memoize ?budget ?step_cap ~templates code =
+  scan_filtered ?entries ?metrics ?memoize ?budget ?step_cap
+    ~filtered:(data_prefilter ~templates code)
+    code
+
+let scan_report_slice ?entries ?metrics ?memoize ?budget ?step_cap ~templates
+    code =
+  (* prefilter on the view; materialize the bytes only when at least one
+     template survives (free anyway when the slice is a whole view) *)
+  let filtered = data_prefilter_slice ~templates code in
+  if filtered = [] then
+    {
+      results = [];
+      outcome =
+        (match budget with Some b -> Budget.outcome b | None -> Budget.Complete);
+      tripped = [];
+    }
+  else
+    scan_filtered ?entries ?metrics ?memoize ?budget ?step_cap ~filtered
+      (Slice.to_string code)
 
 let scan ?entries ?metrics ?memoize ?budget ?step_cap ~templates code =
   (scan_report ?entries ?metrics ?memoize ?budget ?step_cap ~templates code)

@@ -69,6 +69,21 @@ val scan_report :
     supplied, behaviour and results are exactly the unbudgeted
     matcher's. *)
 
+val scan_report_slice :
+  ?entries:int list ->
+  ?metrics:Sanids_obs.Registry.t ->
+  ?memoize:bool ->
+  ?budget:Budget.t ->
+  ?step_cap:int ->
+  templates:Template.t list ->
+  Slice.t ->
+  scan_report
+(** {!scan_report} over a payload view.  The data prefilter (one
+    Aho–Corasick pass answering every template's byte-string
+    requirements) runs on the slice in place; the region is materialized
+    to a string only when at least one template survives it — on benign
+    traffic the common case is that none does and nothing is copied. *)
+
 val scan :
   ?entries:int list ->
   ?metrics:Sanids_obs.Registry.t ->

@@ -1,12 +1,3 @@
-let lower = String.lowercase_ascii
-
-let substring ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  nl <= hl
-  &&
-  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
-  at 0
-
 (* Header of [g] at least as general as [s]'s: every packet passing
    [s]'s header filter passes [g]'s. *)
 let header_covers (g : Rule.t) (s : Rule.t) =
@@ -24,8 +15,8 @@ let header_covers (g : Rule.t) (s : Rule.t) =
 let content_shadows (g : Rule.content) (c : Rule.content) =
   g.offset = 0 && g.depth = None
   &&
-  if g.nocase then substring ~needle:(lower g.pattern) (lower c.pattern)
-  else (not c.nocase) && substring ~needle:g.pattern c.pattern
+  if g.nocase then Search.contains ~nocase:true ~needle:g.pattern c.pattern
+  else (not c.nocase) && Search.contains ~needle:g.pattern c.pattern
 
 let lint_rules pairs =
   let out = ref [] in

@@ -77,6 +77,47 @@ let push t x =
   Mutex.unlock t.mutex;
   result
 
+type batch_result = { queued : int; shed : int }
+
+let push_batch t xs =
+  Mutex.lock t.mutex;
+  let queued = ref 0 and shed = ref 0 in
+  List.iter
+    (fun x ->
+      if t.closed then incr shed
+      else begin
+        (match t.policy with
+        | Block ->
+            while Queue.length t.q >= t.capacity && not t.closed do
+              (* items enqueued earlier in this batch are not yet
+                 signalled: wake the consumer before sleeping, or a full
+                 queue deadlocks against a waiting worker *)
+              Condition.broadcast t.not_empty;
+              Condition.wait t.not_full t.mutex
+            done
+        | Drop_newest | Drop_oldest -> ());
+        if t.closed then incr shed
+        else if Queue.length t.q < t.capacity then begin
+          Queue.push x t.q;
+          incr queued
+        end
+        else
+          match t.policy with
+          | Drop_newest -> incr shed
+          | Block (* unreachable: the wait loop guarantees space or closed *)
+          | Drop_oldest ->
+              while Queue.length t.q >= t.capacity do
+                ignore (Queue.pop t.q);
+                incr shed
+              done;
+              Queue.push x t.q;
+              incr queued
+      end)
+    xs;
+  if !queued > 0 then Condition.broadcast t.not_empty;
+  Mutex.unlock t.mutex;
+  { queued = !queued; shed = !shed }
+
 let pop_batch t ~max =
   if max < 1 then invalid_arg "Bqueue.pop_batch: max must be >= 1";
   Mutex.lock t.mutex;

@@ -39,6 +39,17 @@ val push : 'a t -> 'a -> push_result
     closed queue returns [Shed_newest] regardless of policy: the
     consumer side is gone. *)
 
+type batch_result = {
+  queued : int;  (** items admitted to the queue *)
+  shed : int;  (** items lost: discarded pushes plus [Drop_oldest] evictions *)
+}
+
+val push_batch : 'a t -> 'a list -> batch_result
+(** Enqueue a batch under one lock acquisition, applying the queue's
+    policy per item exactly as a sequence of {!push} calls would —
+    [queued + shed] accounts for every offered item plus every eviction.
+    The stream feeder uses this to amortize per-packet lock traffic. *)
+
 val pop_batch : 'a t -> max:int -> 'a list
 (** Dequeue up to [max] items in arrival order, waiting while the queue
     is empty and open.  [[]] means the queue is closed and drained —

@@ -9,6 +9,9 @@ module Reader = struct
       invalid_arg "Reader.of_string: view out of bounds";
     { src; base = pos; len; cur = 0 }
 
+  let of_slice s =
+    { src = Slice.base s; base = Slice.offset s; len = Slice.length s; cur = 0 }
+
   let pos t = t.cur
   let length t = t.len
   let remaining t = t.len - t.cur
@@ -64,6 +67,14 @@ module Reader = struct
     s
 
   let rest t = take t (remaining t)
+
+  let take_slice t n =
+    need t n "take_slice";
+    let s = Slice.of_sub t.src ~off:(t.base + t.cur) ~len:n in
+    t.cur <- t.cur + n;
+    s
+
+  let rest_slice t = take_slice t (remaining t)
 end
 
 module Writer = struct
@@ -93,6 +104,8 @@ module Writer = struct
   let u32_be t v = u32_be_int t (Int32.to_int v land 0xFFFFFFFF)
   let u32_le t v = u32_le_int t (Int32.to_int v land 0xFFFFFFFF)
   let string = Buffer.add_string
+
+  let slice t s = Buffer.add_substring t (Slice.base s) (Slice.offset s) (Slice.length s)
 
   let fill t byte n =
     for _ = 1 to n do

@@ -15,6 +15,9 @@ module Reader : sig
   (** View onto [string] starting at [pos] (default 0) spanning [len]
       bytes (default: to the end).  The string is not copied. *)
 
+  val of_slice : Slice.t -> t
+  (** Reader over a slice's bytes; nothing is copied. *)
+
   val pos : t -> int
   (** Current cursor, relative to the start of the view. *)
 
@@ -49,6 +52,13 @@ module Reader : sig
 
   val rest : t -> string
   (** Consume and return everything left. *)
+
+  val take_slice : t -> int -> Slice.t
+  (** [take] without the copy: the returned slice views the reader's
+      backing string.  @raise Truncated as [take]. *)
+
+  val rest_slice : t -> Slice.t
+  (** [rest] without the copy. *)
 end
 
 module Writer : sig
@@ -64,6 +74,10 @@ module Writer : sig
   val u32_be_int : t -> int -> unit
   val u32_le_int : t -> int -> unit
   val string : t -> string -> unit
+
+  val slice : t -> Slice.t -> unit
+  (** Append a slice's bytes (no intermediate string). *)
+
   val char : t -> char -> unit
   val fill : t -> int -> int -> unit
   (** [fill t byte n] appends [n] copies of [byte]. *)

@@ -1,0 +1,56 @@
+(* One substring scanner for every literal-content matcher in the tree
+   (rule engine, siggen, rule lint): first-byte skip plus an inline
+   byte-by-byte compare, allocating nothing.  The previous per-caller
+   copies each built a fresh String.sub per candidate position. *)
+
+let fold c = Char.lowercase_ascii c
+
+(* Core: find [needle] inside [base.[lo .. hi)] (absolute bounds), or -1. *)
+let find_in ~nocase base lo hi needle =
+  let m = String.length needle in
+  if m = 0 then if lo <= hi then lo else -1
+  else if hi - lo < m then -1
+  else begin
+    let c0 = if nocase then fold needle.[0] else needle.[0] in
+    let matches_at i =
+      let rec go k =
+        k >= m
+        ||
+        let h = String.unsafe_get base (i + k) and n = String.unsafe_get needle k in
+        (if nocase then fold h = fold n else h = n) && go (k + 1)
+      in
+      go 1
+    in
+    let last = hi - m in
+    let rec scan i =
+      if i > last then -1
+      else
+        let h = String.unsafe_get base i in
+        if (if nocase then fold h = c0 else h = c0) && matches_at i then i
+        else scan (i + 1)
+    in
+    scan lo
+  end
+
+let find ?(nocase = false) ?(start = 0) ?stop ~needle hay =
+  let n = String.length hay in
+  let stop = match stop with Some s -> min s n | None -> n in
+  if start < 0 || start > n then None
+  else
+    match find_in ~nocase hay start stop needle with
+    | -1 -> None
+    | i -> Some i
+
+let contains ?nocase ~needle hay = find ?nocase ~needle hay <> None
+
+let find_slice ?(nocase = false) ?(start = 0) ?stop ~needle s =
+  let n = Slice.length s in
+  let stop = match stop with Some x -> min x n | None -> n in
+  if start < 0 || start > n then None
+  else
+    let off = Slice.offset s in
+    match find_in ~nocase (Slice.base s) (off + start) (off + stop) needle with
+    | -1 -> None
+    | i -> Some (i - off)
+
+let contains_slice ?nocase ~needle s = find_slice ?nocase ~needle s <> None

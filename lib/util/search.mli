@@ -1,0 +1,22 @@
+(** Allocation-free literal substring search (first-byte skip + inline
+    compare) — the one scanner shared by the rule engine, signature
+    generation and the detector lint, replacing their per-position
+    [String.sub] loops.
+
+    [nocase] folds both sides through [Char.lowercase_ascii] during the
+    compare; neither side is copied or pre-lowered.  An empty needle is
+    found at the window start. *)
+
+val find :
+  ?nocase:bool -> ?start:int -> ?stop:int -> needle:string -> string -> int option
+(** Leftmost occurrence of [needle] in [hay.[start .. stop)] (defaults:
+    the whole string); the returned index is into [hay].  [None] when
+    absent or the window is empty/out of range. *)
+
+val contains : ?nocase:bool -> needle:string -> string -> bool
+
+val find_slice :
+  ?nocase:bool -> ?start:int -> ?stop:int -> needle:string -> Slice.t -> int option
+(** {!find} over a slice window; indices are view-relative. *)
+
+val contains_slice : ?nocase:bool -> needle:string -> Slice.t -> bool

@@ -1,0 +1,72 @@
+(** Immutable zero-copy byte views: a backing string plus an offset and a
+    length.
+
+    The decode chain threads these through the hot path — pcap record
+    bodies, IP/TCP/UDP payloads, extracted frames — so a packet's bytes
+    are copied when the capture buffer is read and then never again.
+    {!sub} is an O(1) re-view; {!to_string} is the one explicit
+    materialization point (and is itself free for whole-string views).
+
+    A slice pins its backing string: long-lived state must materialize
+    ({!to_string}) rather than store views, or a 64-byte segment keeps a
+    whole capture file alive. *)
+
+type t
+
+val of_string : string -> t
+(** Whole-string view; O(1), no copy. *)
+
+val of_sub : string -> off:int -> len:int -> t
+(** View of [len] bytes of [s] starting at [off]; O(1), no copy.
+    @raise Invalid_argument when the window exceeds the string. *)
+
+val empty : t
+
+val base : t -> string
+(** The backing string (for interop with string-consuming code that
+    carries its own offsets — prefer {!to_string} otherwise). *)
+
+val offset : t -> int
+(** Start of the view within {!base}. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val get : t -> int -> char
+(** @raise Invalid_argument out of bounds; index is view-relative. *)
+
+val unsafe_get : t -> int -> char
+(** No bounds check — for scanners that maintain their own loop bound. *)
+
+val get_u8 : t -> int -> int
+
+val get_u16_be : t -> int -> int
+val get_u16_le : t -> int -> int
+val get_u32_be : t -> int -> int32
+val get_u32_le : t -> int -> int32
+val get_u32_be_int : t -> int -> int
+val get_u32_le_int : t -> int -> int
+
+val sub : t -> off:int -> len:int -> t
+(** O(1) re-view of a sub-range; shares the backing string.
+    @raise Invalid_argument when the range exceeds the view. *)
+
+val to_string : t -> string
+(** Materialize the viewed bytes.  A view covering its whole backing
+    string returns that string without copying, so wrapping an existing
+    string with {!of_string} and reading it back is free. *)
+
+val blit : t -> src_off:int -> bytes -> dst_off:int -> len:int -> unit
+
+val equal : t -> t -> bool
+(** Byte-content equality, independent of view position. *)
+
+val equal_string : t -> string -> bool
+
+val exists : (char -> bool) -> t -> bool
+val for_all : (char -> bool) -> t -> bool
+
+val hash : t -> int
+(** Content hash (FNV-1a), consistent with {!equal}. *)
+
+val pp : Format.formatter -> t -> unit

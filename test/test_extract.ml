@@ -35,7 +35,7 @@ let test_http_target_offset () =
 (* ------------------------------------------------------------------ *)
 
 let test_unicode_single_escape () =
-  match Unicode.decode_u_escape "%u9090" 0 with
+  match Unicode.decode_u_escape (Slice.of_string "%u9090") 0 with
   | Some (v, next) ->
       Alcotest.(check int) "value" 0x9090 v;
       Alcotest.(check int) "next" 6 next
@@ -43,7 +43,7 @@ let test_unicode_single_escape () =
 
 let test_unicode_run_decoding () =
   (* the Code Red II idiom: little-endian pairs *)
-  let s = "AAAA%u6858%ucbd3%u7801%u9090BBBB" in
+  let s = Slice.of_string "AAAA%u6858%ucbd3%u7801%u9090BBBB" in
   match Unicode.unicode_runs ~min_run:4 s with
   | [ r ] ->
       Alcotest.(check int) "offset" 4 r.Unicode.off;
@@ -53,11 +53,11 @@ let test_unicode_run_decoding () =
 
 let test_unicode_short_run_ignored () =
   Alcotest.(check int) "below min_run" 0
-    (List.length (Unicode.unicode_runs ~min_run:4 "x%u1234%u5678x"))
+    (List.length (Unicode.unicode_runs ~min_run:4 (Slice.of_string "x%u1234%u5678x")))
 
 let test_unicode_malformed () =
   Alcotest.(check int) "bad digits" 0
-    (List.length (Unicode.unicode_runs "%uZZZZ%u12"))
+    (List.length (Unicode.unicode_runs (Slice.of_string "%uZZZZ%u12")))
 
 let test_percent_decode () =
   Alcotest.(check string) "basic" "a b/c" (Unicode.percent_decode "a+b%2Fc");
@@ -66,7 +66,7 @@ let test_percent_decode () =
 (* ------------------------------------------------------------------ *)
 
 let test_repetition_runs () =
-  let s = "ab" ^ String.make 40 'X' ^ "cd" ^ String.make 10 'Y' in
+  let s = Slice.of_string ("ab" ^ String.make 40 'X' ^ "cd" ^ String.make 10 'Y') in
   match Repetition.runs ~min_len:32 s with
   | [ r ] ->
       Alcotest.(check int) "offset" 2 r.Repetition.off;
@@ -75,7 +75,7 @@ let test_repetition_runs () =
   | other -> Alcotest.failf "expected one run, got %d" (List.length other)
 
 let test_repetition_longest () =
-  match Repetition.longest "aaabbbbcc" with
+  match Repetition.longest (Slice.of_string "aaabbbbcc") with
   | Some r ->
       Alcotest.(check char) "byte" 'b' r.Repetition.byte;
       Alcotest.(check int) "len" 4 r.Repetition.len
@@ -85,7 +85,7 @@ let test_sled_like_polymorphic () =
   (* a polymorphic sled has differing bytes, all NOP-like *)
   let rng = Sanids_util.Rng.create 7L in
   let sled = Sanids_polymorph.Nops.sled_bytes rng 64 in
-  match Repetition.sled_like ~min_len:32 ("text" ^ sled ^ "text") with
+  match Repetition.sled_like ~min_len:32 (Slice.of_string ("text" ^ sled ^ "text")) with
   | [ r ] -> Alcotest.(check int) "length" 64 r.Repetition.len
   | other -> Alcotest.failf "expected one sled, got %d" (List.length other)
 
@@ -96,7 +96,7 @@ let test_ret_address_runs () =
     Sanids_exploits.Exploit_gen.raw_overflow rng
       ~shellcode:(Sanids_exploits.Shellcodes.find "classic").Sanids_exploits.Shellcodes.code
   in
-  (match Repetition.ret_address_runs region with
+  (match Repetition.ret_address_runs (Slice.of_string region) with
   | r :: _ ->
       Alcotest.(check int32) "base is the jittered address" 0xBFFFF200l
         (Int32.logand r.Repetition.base 0xFFFFFF00l);
@@ -104,7 +104,7 @@ let test_ret_address_runs () =
   | [] -> Alcotest.fail "expected a return-address run");
   (* uniform text must not look like a return region *)
   Alcotest.(check int) "text run rejected" 0
-    (List.length (Repetition.ret_address_runs (String.make 64 'a')));
+    (List.length (Repetition.ret_address_runs (Slice.of_string (String.make 64 'a'))));
   (* and below the count threshold nothing fires *)
   let w = Sanids_util.Byte_io.Writer.create () in
   for _ = 1 to 3 do
@@ -112,18 +112,20 @@ let test_ret_address_runs () =
   done;
   Alcotest.(check int) "short run rejected" 0
     (List.length
-       (Repetition.ret_address_runs (Sanids_util.Byte_io.Writer.contents w)))
+       (Repetition.ret_address_runs
+          (Slice.of_string (Sanids_util.Byte_io.Writer.contents w))))
 
 (* ------------------------------------------------------------------ *)
 
 let benign_get = "GET /a/b.html HTTP/1.1\r\nHost: x\r\nUser-Agent: test\r\n\r\n"
 
 let test_extract_benign_empty () =
-  Alcotest.(check int) "no frames" 0 (List.length (Extractor.extract benign_get));
-  Alcotest.(check bool) "not suspicious" false (Extractor.suspicious benign_get)
+  let s = Slice.of_string benign_get in
+  Alcotest.(check int) "no frames" 0 (List.length (Extractor.extract s));
+  Alcotest.(check bool) "not suspicious" false (Extractor.suspicious s)
 
 let test_extract_code_red () =
-  let req = Sanids_exploits.Code_red.request () in
+  let req = Slice.of_string (Sanids_exploits.Code_red.request ()) in
   Alcotest.(check bool) "suspicious" true (Extractor.suspicious req);
   let frames = Extractor.extract req in
   let unicode =
@@ -134,7 +136,7 @@ let test_extract_code_red () =
   let has_const =
     List.exists
       (fun f ->
-        let ds = Sanids_x86.Decode.all f.Extractor.data in
+        let ds = Sanids_x86.Decode.all (Slice.to_string f.Extractor.data) in
         Array.exists
           (fun (d : Sanids_x86.Decode.decoded) ->
             match d.Sanids_x86.Decode.insn with
@@ -147,7 +149,7 @@ let test_extract_code_red () =
 
 let test_extract_raw_binary_with_context () =
   let payload = benign_get ^ String.make 100 'A' ^ Sanids_util.Rng.bytes (Sanids_util.Rng.create 9L) 80 in
-  let frames = Extractor.extract payload in
+  let frames = Extractor.extract (Slice.of_string payload) in
   match frames with
   | [ f ] ->
       Alcotest.(check bool) "origin raw" true (f.Extractor.origin = Extractor.Raw_binary);
@@ -162,7 +164,8 @@ let test_extract_gap_merge () =
   let bin n = String.concat "" (List.init n (fun _ -> "\x01\xfe")) in
   ignore rng;
   let payload = "head" ^ bin 20 ^ "gap-text" ^ bin 20 ^ "tail" in
-  Alcotest.(check int) "merged" 1 (List.length (Extractor.extract payload))
+  Alcotest.(check int) "merged" 1
+    (List.length (Extractor.extract (Slice.of_string payload)))
 
 let test_extract_max_frames () =
   let cfg = { Extractor.default_config with Extractor.max_frames = 2; gap_merge = 0; context_before = 0; context_after = 0 } in
@@ -170,25 +173,27 @@ let test_extract_max_frames () =
   let payload =
     String.concat (String.make 64 'a') [ chunk; chunk; chunk; chunk ]
   in
-  Alcotest.(check int) "capped" 2 (List.length (Extractor.extract ~config:cfg payload))
+  Alcotest.(check int) "capped" 2
+    (List.length (Extractor.extract ~config:cfg (Slice.of_string payload)))
 
 let prop_extract_never_raises =
   QCheck2.Test.make ~name:"extractor total on arbitrary bytes" ~count:500
     QCheck2.Gen.(string_size (int_bound 2000))
     (fun s ->
-      let frames = Extractor.extract s in
+      let frames = Extractor.extract (Slice.of_string s) in
       List.for_all
         (fun f ->
           f.Extractor.off >= 0
           && f.Extractor.off <= String.length s
-          && String.length f.Extractor.data > 0)
+          && Slice.length f.Extractor.data > 0)
         frames
       || frames = [])
 
 let prop_suspicious_monotone_unicode =
   QCheck2.Test.make ~name:"appending a unicode run makes payload suspicious" ~count:100
     QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0x61 0x7a)) (int_bound 200))
-    (fun s -> Extractor.suspicious (s ^ "%u9090%u9090%u9090%u9090%u9090"))
+    (fun s ->
+      Extractor.suspicious (Slice.of_string (s ^ "%u9090%u9090%u9090%u9090%u9090")))
 
 let properties =
   List.map QCheck_alcotest.to_alcotest

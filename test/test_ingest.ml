@@ -32,7 +32,9 @@ let test_decode_file () =
 
 let test_decode_record () =
   let pkt = List.hd (benign 1 0xBEEFL) in
-  let record data = { Pcap.ts = 1.0; orig_len = String.length data; data } in
+  let record data =
+    { Pcap.ts = 1.0; orig_len = String.length data; data = Slice.of_string data }
+  in
   let raw = Packet.to_bytes pkt in
   (match Ingest.decode_record ~linktype:Pcap.linktype_raw (record raw) with
   | Ok p -> Alcotest.(check bool) "same src" true (Ipaddr.equal (Packet.src p) (Packet.src pkt))

@@ -46,20 +46,27 @@ let a = ip "10.0.0.1"
 let b = ip "10.0.0.2"
 
 let test_ipv4_roundtrip () =
-  let t = { Ipv4.src = a; dst = b; proto = 6; ttl = 63; ident = 77; payload = "hello" } in
-  match Ipv4.decode (Ipv4.encode t) with
+  let t =
+    { Ipv4.src = a; dst = b; proto = 6; ttl = 63; ident = 77;
+      payload = Slice.of_string "hello" }
+  in
+  match Ipv4.decode (Slice.of_string (Ipv4.encode t)) with
   | Ok t' ->
-      Alcotest.(check string) "payload" "hello" t'.Ipv4.payload;
+      Alcotest.(check string) "payload" "hello" (Slice.to_string t'.Ipv4.payload);
       Alcotest.(check bool) "src" true (Ipaddr.equal t'.Ipv4.src a);
       Alcotest.(check int) "ttl" 63 t'.Ipv4.ttl;
       Alcotest.(check int) "ident" 77 t'.Ipv4.ident
   | Error e -> Alcotest.failf "decode failed: %s" e
 
 let test_ipv4_corrupt_checksum () =
-  let raw = Bytes.of_string (Ipv4.encode { Ipv4.src = a; dst = b; proto = 6; ttl = 1; ident = 0; payload = "" }) in
+  let raw =
+    Bytes.of_string
+      (Ipv4.encode
+         { Ipv4.src = a; dst = b; proto = 6; ttl = 1; ident = 0; payload = Slice.empty })
+  in
   Bytes.set raw 8 '\xFF';
   (* ttl tampered *)
-  match Ipv4.decode (Bytes.to_string raw) with
+  match Ipv4.decode (Slice.of_string (Bytes.to_string raw)) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "tampered header must not decode"
 
@@ -72,13 +79,15 @@ let test_tcp_roundtrip () =
       ack_no = 5l;
       flags = Tcp.flags_pshack;
       window = 1024;
-      payload = "GET / HTTP/1.0\r\n\r\n";
+      payload = Slice.of_string "GET / HTTP/1.0\r\n\r\n";
     }
   in
-  match Tcp.decode ~src:a ~dst:b (Tcp.encode ~src:a ~dst:b seg) with
+  match Tcp.decode ~src:a ~dst:b (Slice.of_string (Tcp.encode ~src:a ~dst:b seg)) with
   | Ok seg' ->
       Alcotest.(check int) "sport" 3127 seg'.Tcp.src_port;
-      Alcotest.(check string) "payload" seg.Tcp.payload seg'.Tcp.payload;
+      Alcotest.(check string) "payload"
+        (Slice.to_string seg.Tcp.payload)
+        (Slice.to_string seg'.Tcp.payload);
       Alcotest.(check bool) "flags" true (seg'.Tcp.flags = Tcp.flags_pshack)
   | Error e -> Alcotest.failf "tcp decode: %s" e
 
@@ -86,10 +95,10 @@ let test_tcp_wrong_pseudo_header () =
   let seg =
     {
       Tcp.src_port = 1; dst_port = 2; seq = 0l; ack_no = 0l;
-      flags = Tcp.flags_ack; window = 1; payload = "x";
+      flags = Tcp.flags_ack; window = 1; payload = Slice.of_string "x";
     }
   in
-  let bytes = Tcp.encode ~src:a ~dst:b seg in
+  let bytes = Slice.of_string (Tcp.encode ~src:a ~dst:b seg) in
   (* decoding against a different address must fail the checksum (note:
      merely swapping src and dst would NOT change a one's-complement sum,
      which is commutative over the pseudo-header words) *)
@@ -98,9 +107,9 @@ let test_tcp_wrong_pseudo_header () =
   | Ok _ -> Alcotest.fail "checksum must bind addresses"
 
 let test_udp_roundtrip () =
-  let d = { Udp.src_port = 5353; dst_port = 53; payload = "query" } in
-  match Udp.decode ~src:a ~dst:b (Udp.encode ~src:a ~dst:b d) with
-  | Ok d' -> Alcotest.(check string) "payload" "query" d'.Udp.payload
+  let d = { Udp.src_port = 5353; dst_port = 53; payload = Slice.of_string "query" } in
+  match Udp.decode ~src:a ~dst:b (Slice.of_string (Udp.encode ~src:a ~dst:b d)) with
+  | Ok d' -> Alcotest.(check string) "payload" "query" (Slice.to_string d'.Udp.payload)
   | Error e -> Alcotest.failf "udp decode: %s" e
 
 let test_packet_roundtrip () =
@@ -109,7 +118,7 @@ let test_packet_roundtrip () =
   in
   match Packet.parse ~ts:1.5 (Packet.to_bytes p) with
   | Ok p' ->
-      Alcotest.(check string) "payload" "payload!" (Packet.payload p');
+      Alcotest.(check string) "payload" "payload!" (Packet.payload_string p');
       Alcotest.(check (option (pair int int))) "ports" (Some (1234, 80)) (Packet.ports p')
   | Error e -> Alcotest.failf "packet parse: %s" e
 
@@ -148,8 +157,8 @@ let test_pcap_roundtrip () =
   Alcotest.(check int) "linktype" Sanids_pcap.Pcap.linktype_raw f.Sanids_pcap.Pcap.linktype;
   match Sanids_pcap.Pcap.to_packets f with
   | [ Ok p1; Ok p2 ] ->
-      Alcotest.(check string) "p1" "one" (Packet.payload p1);
-      Alcotest.(check string) "p2" "two" (Packet.payload p2);
+      Alcotest.(check string) "p1" "one" (Packet.payload_string p1);
+      Alcotest.(check string) "p2" "two" (Packet.payload_string p2);
       Alcotest.(check (float 0.001)) "ts" 1.75 p2.Packet.ts
   | _ -> Alcotest.fail "expected two parsed packets"
 
@@ -176,7 +185,7 @@ let prop_packet_roundtrip =
     (fun payload ->
       let p = Packet.build_tcp ~ts:0.0 ~src:a ~dst:b ~src_port:10 ~dst_port:20 payload in
       match Packet.parse ~ts:0.0 (Packet.to_bytes p) with
-      | Ok p' -> Packet.payload p' = payload
+      | Ok p' -> Slice.equal_string (Packet.payload p') payload
       | Error _ -> false)
 
 let prop_checksum_detects_flip =
@@ -184,18 +193,20 @@ let prop_checksum_detects_flip =
     QCheck2.Gen.(pair (string_size (int_range 1 100)) (int_bound 10000))
     (fun (payload, flip) ->
       let raw =
-        Ipv4.encode { Ipv4.src = a; dst = b; proto = 200; ttl = 9; ident = 1; payload }
+        Ipv4.encode
+          { Ipv4.src = a; dst = b; proto = 200; ttl = 9; ident = 1;
+            payload = Slice.of_string payload }
       in
       let pos = flip mod min 20 (String.length raw) in
       let bytes = Bytes.of_string raw in
       Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x5A));
-      match Ipv4.decode (Bytes.to_string bytes) with
+      match Ipv4.decode (Slice.of_string (Bytes.to_string bytes)) with
       | Error _ -> true
       | Ok t ->
           (* flips that survive decoding must not masquerade as intact:
              only flips that keep the checksum valid would, which a single
              bit flip cannot *)
-          t.Ipv4.payload <> payload || false)
+          not (Slice.equal_string t.Ipv4.payload payload) || false)
 
 let test_ethernet_mac () =
   let m = Ethernet.mac_of_string "aa:bb:cc:00:11:ff" in
@@ -213,18 +224,19 @@ let test_ethernet_frame_roundtrip () =
       Ethernet.dst = Ethernet.mac_broadcast;
       src = Ethernet.mac_of_string "02:00:00:00:00:09";
       ethertype = Ethernet.ethertype_ipv4;
-      payload = "datagram-bytes";
+      payload = Slice.of_string "datagram-bytes";
     }
   in
-  match Ethernet.decode (Ethernet.encode t) with
+  match Ethernet.decode (Slice.of_string (Ethernet.encode t)) with
   | Ok t' ->
-      Alcotest.(check string) "payload" "datagram-bytes" t'.Ethernet.payload;
+      Alcotest.(check string) "payload" "datagram-bytes"
+        (Slice.to_string t'.Ethernet.payload);
       Alcotest.(check int) "ethertype" Ethernet.ethertype_ipv4 t'.Ethernet.ethertype;
       Alcotest.(check bool) "dst" true (Ethernet.mac_equal t'.Ethernet.dst Ethernet.mac_broadcast)
   | Error e -> Alcotest.failf "decode: %s" e
 
 let test_ethernet_short_frame () =
-  match Ethernet.decode "short" with
+  match Ethernet.decode (Slice.of_string "short") with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "short frame must not decode"
 
@@ -244,7 +256,8 @@ let test_pcap_ethernet_linktype () =
   Alcotest.(check int) "linktype" Sanids_pcap.Pcap.linktype_ethernet
     f.Sanids_pcap.Pcap.linktype;
   match Sanids_pcap.Pcap.to_packets f with
-  | [ Ok p ] -> Alcotest.(check string) "payload through framing" "framed" (Packet.payload p)
+  | [ Ok p ] ->
+      Alcotest.(check string) "payload through framing" "framed" (Packet.payload_string p)
   | _ -> Alcotest.fail "expected one parsed packet"
 
 let properties =

@@ -121,7 +121,9 @@ let test_nops_sync_with_extractor () =
      extractor's sled heuristic *)
   let rng = Rng.create 3001L in
   let sled = Nops.sled_bytes rng 500 in
-  let runs = Sanids_extract.Repetition.sled_like ~min_len:400 sled in
+  let runs =
+    Sanids_extract.Repetition.sled_like ~min_len:400 (Slice.of_string sled)
+  in
   Alcotest.(check int) "one full run" 1 (List.length runs)
 
 let test_junk_avoids_live_regs () =

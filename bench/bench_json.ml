@@ -15,7 +15,7 @@ open Sanids_exploits
 module Obs = Sanids_obs
 
 let schema = "sanids-bench/1"
-let pr = 6
+let pr = 7
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON emission: deterministic key order, fixed float format
@@ -195,6 +195,43 @@ let decode_only ~packets =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Workload 4: serve steady state.  The same benign stream, but through
+   the whole daemon engine — feeder control polls, source framing,
+   epoch retire, reconciliation — so the row prices the serving path's
+   overhead against the bare stream number above. *)
+
+let serve_steady_state ~packets =
+  let domains = min 4 (max 1 (Domain.recommended_domain_count ())) in
+  let rng = Rng.create 0x5E12_7EADL in
+  let pkts =
+    Sanids_workload.Benign_gen.packets rng ~n:packets ~t0:0.0 ~clients ~servers
+  in
+  let path = Filename.temp_file "sanids_bench_serve" ".pcap" in
+  Sanids_pcap.Pcap.write_file path (Sanids_pcap.Pcap.of_packets pkts);
+  let options =
+    {
+      Sanids_serve.Serve.default_options with
+      source = path;
+      base = Config.default |> Config.with_classification false;
+      domains = Some domains;
+      install_signals = false;
+    }
+  in
+  let result, dt = time (fun () -> Sanids_serve.Serve.run options) in
+  (try Sys.remove path with Sys_error _ -> ());
+  let reconciled = match result with Ok () -> true | Error _ -> false in
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  jfield buf ~last:false "packets" (string_of_int packets);
+  jfield buf ~last:false "domains" (string_of_int domains);
+  jfield buf ~last:false "reconciled" (string_of_bool reconciled);
+  jfield buf ~last:false "seconds" (jfloat dt);
+  jfield buf ~last:true "packets_per_sec"
+    (jfloat (float_of_int packets /. Float.max dt 1e-9));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 
 let run ~mode ~out () =
   let replay_packets, stream_packets, decode_packets =
@@ -212,6 +249,9 @@ let run ~mode ~out () =
   let stream = stream_shedding ~packets:stream_packets in
   Printf.printf "bench-json: decode (%d packets)...\n%!" decode_packets;
   let decode = decode_only ~packets:decode_packets in
+  Printf.printf "bench-json: serve steady state (%d packets)...\n%!"
+    stream_packets;
+  let serve = serve_steady_state ~packets:stream_packets in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema\": %S,\n" schema);
@@ -220,7 +260,9 @@ let run ~mode ~out () =
   Buffer.add_string buf "  \"workloads\": {\n";
   Buffer.add_string buf (Printf.sprintf "    \"outbreak_replay\": %s,\n" replay);
   Buffer.add_string buf (Printf.sprintf "    \"stream_shedding\": %s,\n" stream);
-  Buffer.add_string buf (Printf.sprintf "    \"decode\": %s\n" decode);
+  Buffer.add_string buf (Printf.sprintf "    \"decode\": %s,\n" decode);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"serve_steady_state\": %s\n" serve);
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);

@@ -61,7 +61,8 @@ let workload_pps doc ~file workload =
   let p = require doc p "\"packets_per_sec\"" ~ctx:(file ^ "/" ^ workload) in
   number_after doc p ~ctx:(workload ^ ".packets_per_sec")
 
-let workloads = [ "outbreak_replay"; "stream_shedding"; "decode" ]
+let workloads =
+  [ "outbreak_replay"; "stream_shedding"; "decode"; "serve_steady_state" ]
 
 let validate_schema doc ~file =
   ignore (require doc 0 "\"schema\": \"sanids-bench/1\"" ~ctx:file);

@@ -1,0 +1,213 @@
+(* Shared plumbing for the per-subcommand modules: BSD sysexits codes,
+   small file helpers, and cmdliner argument combinators.
+
+   Every spec-valued flag (--budget, --breaker, --fault, --drop-policy,
+   --set) goes through [conv_of_parser] over the same typed
+   [string -> (_, string) result] parsers the daemon's hot-reload path
+   uses ({!Config.of_spec} / {!Config.of_file}), so a bad flag and a
+   rejected reload produce the same message. *)
+
+open Sanids
+open Cmdliner
+
+(* BSD sysexits-style codes, cram-tested: bad flags or configuration
+   are the caller's fault (64), data a decoder or gate rejects is bad
+   input (65), a missing input file is 66, an unreachable daemon is
+   69, anything unexpected is ours (70). *)
+let exit_usage = 64
+let exit_dataerr = 65
+let exit_noinput = 66
+let exit_unavailable = 69
+let exit_software = 70
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ]
+           ~doc:"Log classification and alerts as they happen.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* argument combinators *)
+
+(* Lift a typed [of_string : string -> ('a, string) result] parser and
+   its printer into a cmdliner converter — the one bridge between the
+   library's spec grammar and the command line. *)
+let conv_of_parser ~parse ~print =
+  Arg.conv
+    ( (fun s -> match parse s with Ok v -> Ok v | Error m -> Error (`Msg m)),
+      fun ppf v -> Format.pp_print_string ppf (print v) )
+
+let ipaddr_conv =
+  conv_of_parser
+    ~parse:(fun s ->
+      match Ipaddr.of_string_opt s with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "bad IPv4 address %S" s))
+    ~print:Ipaddr.to_string
+
+let prefix_conv =
+  conv_of_parser
+    ~parse:(fun s ->
+      match Ipaddr.prefix_of_string_opt s with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "bad prefix %S (want a.b.c.d/len)" s))
+    ~print:Ipaddr.prefix_to_string
+
+let fault_conv =
+  conv_of_parser ~parse:Fault.of_string ~print:Fault.to_string
+
+let budget_conv =
+  conv_of_parser ~parse:Budget.limits_of_string ~print:Budget.limits_to_string
+
+let breaker_conv =
+  conv_of_parser ~parse:Breaker.config_of_string ~print:Breaker.config_to_string
+
+let policy_conv =
+  conv_of_parser ~parse:Bqueue.policy_of_string_result
+    ~print:Bqueue.policy_to_string
+
+(* [--set key=value] parses through the daemon's reload grammar
+   ({!Config.of_spec}), yielding a configuration updater. *)
+let spec_conv =
+  Arg.conv
+    ( (fun s ->
+        match Config.of_spec s with
+        | Ok update -> Ok (s, update)
+        | Error m -> Error (`Msg m)),
+      fun ppf (s, _) -> Format.pp_print_string ppf s )
+
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"N" ~doc:"Deterministic RNG seed.")
+
+let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+(* ------------------------------------------------------------------ *)
+(* the shared configuration flag set
+
+   [scan], [lint --config] and [serve] assemble a {!Config.t} from the
+   same flags; this term evaluates to an updater applied to
+   [Config.default] (or whatever base the subcommand chooses), with
+   [--set] specs composing after the dedicated flags. *)
+
+let config_term =
+  let honeypots =
+    Arg.(value & opt_all ipaddr_conv []
+         & info [ "honeypot" ] ~docv:"IP"
+             ~doc:"Register a honeypot decoy address (repeatable).")
+  in
+  let unused =
+    Arg.(value & opt_all prefix_conv []
+         & info [ "unused" ] ~docv:"CIDR"
+             ~doc:"Declare unused address space for scan detection \
+                   (repeatable).")
+  in
+  let no_classify =
+    Arg.(value & flag
+         & info [ "no-classify" ]
+             ~doc:"Disable classification: analyze every payload (the \
+                   paper's false-positive-run configuration).")
+  in
+  let no_extract =
+    Arg.(value & flag
+         & info [ "no-extract" ]
+             ~doc:"Disable binary extraction: hand whole payloads to the \
+                   disassembler (reference-[5] style).")
+  in
+  let scan_threshold =
+    Arg.(value & opt int Config.default.Config.scan_threshold
+         & info [ "scan-threshold" ] ~docv:"N"
+             ~doc:"Distinct unused addresses before a source is flagged.")
+  in
+  let verdict_cache =
+    Arg.(value & opt int Config.default.Config.verdict_cache_size
+         & info [ "verdict-cache" ] ~docv:"N"
+             ~doc:"Verdict cache capacity (0 disables).")
+  in
+  let queue =
+    Arg.(value & opt int Config.default.Config.stream_queue_capacity
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Per-worker admission queue capacity (stream mode).")
+  in
+  let drop_policy =
+    Arg.(value & opt policy_conv Config.default.Config.stream_drop_policy
+         & info [ "drop-policy" ] ~docv:"POLICY"
+             ~doc:"Full-queue behaviour in stream mode: $(b,block) \
+                   (lossless backpressure), $(b,drop_newest) or \
+                   $(b,drop_oldest); shed packets are counted as \
+                   sanids_shed_total.")
+  in
+  let budget =
+    Arg.(value & opt (some budget_conv) None
+         & info [ "budget" ] ~docv:"SPEC"
+             ~doc:"Per-packet analysis work budget: $(b,default) or \
+                   $(b,bytes=N,insns=N,steps=N,deadline=S) - the \
+                   adversarial-load ceiling on extraction, disassembly \
+                   and matching.  Truncated analyses are counted as \
+                   sanids_budget_truncated_total.")
+  in
+  let breaker =
+    Arg.(value & opt (some breaker_conv) None
+         & info [ "breaker" ] ~docv:"SPEC"
+             ~doc:"Per-template circuit breaker: $(b,default) or \
+                   $(b,fails=N,cooldown=N,max=N) (cooldowns counted in \
+                   analyzed packets).  Open transitions are counted as \
+                   sanids_breaker_open_total.")
+  in
+  let degrade =
+    Arg.(value & flag
+         & info [ "degrade" ]
+             ~doc:"When analysis is budget-truncated or templates are \
+                   held open by the breaker, fall back to the cheap \
+                   baseline pattern pass instead of silently reporting \
+                   less; degraded alerts carry a [degraded] marker and \
+                   sanids_degraded_total counts the fallbacks.")
+  in
+  let sets =
+    Arg.(value & opt_all spec_conv []
+         & info [ "set" ] ~docv:"KEY=VALUE"
+             ~doc:"Set a configuration key through the key=value grammar \
+                   shared with $(b,--config-file) and the daemon's hot \
+                   reload (repeatable, applied after the dedicated \
+                   flags; keys: honeypot, unused, scan_threshold, \
+                   classify, extract, min_payload, reassemble, \
+                   verdict_cache, flow_alert_cache, queue, drop_policy, \
+                   budget, breaker, degrade).")
+  in
+  let build honeypots unused no_classify no_extract scan_threshold
+      verdict_cache queue drop_policy budget breaker degrade sets cfg =
+    let cfg =
+      cfg
+      |> Config.with_honeypots honeypots
+      |> Config.with_unused unused
+      |> Config.with_classification (not no_classify)
+      |> Config.with_extraction (not no_extract)
+      |> Config.with_scan_threshold scan_threshold
+      |> Config.with_verdict_cache verdict_cache
+      |> Config.with_stream_queue queue
+      |> Config.with_stream_policy drop_policy
+      |> Config.with_budget budget
+      |> Config.with_breaker breaker
+      |> Config.with_degrade degrade
+    in
+    List.fold_left (fun cfg (_, update) -> update cfg) cfg sets
+  in
+  Term.(
+    const build $ honeypots $ unused $ no_classify $ no_extract
+    $ scan_threshold $ verdict_cache $ queue $ drop_policy $ budget $ breaker
+    $ degrade $ sets)

@@ -1,0 +1,94 @@
+(* sanids lint: static analysis of detector artifacts. *)
+
+open Sanids
+open Cmdliner
+open Cli_common
+
+let lint_cmd : unit Cmd.t =
+  let templates_flag =
+    Arg.(value & flag & info [ "templates" ]
+           ~doc:"Lint the shipped semantic template library: per-template \
+                 well-formedness, guard satisfiability over the abstract \
+                 domain, and cross-template subsumption.")
+  in
+  let rules_file =
+    Arg.(value & opt (some file) None & info [ "rules" ] ~docv:"FILE"
+           ~doc:"Lint a Snort-style rule file (without any selection flag, \
+                 the shipped ruleset is linted).")
+  in
+  let config_flag =
+    Arg.(value & flag & info [ "config" ]
+           ~doc:"Lint the configuration assembled from the configuration \
+                 flags below.")
+  in
+  let config_file =
+    Arg.(value & opt (some file) None & info [ "config-file" ] ~docv:"FILE"
+           ~doc:"Lint the configuration built by applying $(docv) (the \
+                 key=value grammar the serve daemon hot-reloads) on top \
+                 of the configuration flags - exactly the daemon's \
+                 reload gate, runnable offline.")
+  in
+  let trace_file =
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Junk diagnostics for a raw code file: trace it from offset \
+                 0 and report the dead-write (junk) density the def-use \
+                 analysis sees.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Lint the embedded deliberately-defective corpus, \
+                 demonstrating every finding code.")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", Lint.Text); ("json", Lint.Json) ]) Lint.Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,text) (findings plus a summary line) \
+                   or $(b,json) (JSONL, one finding object per line).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Fail (exit 65) on warnings as well as errors.")
+  in
+  let run templates_flag rules_file config_flag config_file trace_file
+      selftest format strict build_cfg =
+    let none_selected =
+      (not (templates_flag || config_flag || selftest))
+      && rules_file = None && trace_file = None && config_file = None
+    in
+    let findings = ref [] in
+    let add fs = findings := !findings @ fs in
+    if selftest then add (Lint_selftest.findings ());
+    if templates_flag || none_selected then
+      add (Lint.templates Template_lib.default_set);
+    (match rules_file with
+    | Some f -> add (Lint.rules_text (read_file f))
+    | None -> if none_selected then add (Lint.rules_text Rule.default_ruleset));
+    if config_flag || config_file <> None || none_selected then begin
+      let base = build_cfg Config.default in
+      match config_file with
+      | None -> add (Config.lint base)
+      | Some path -> (
+          match Config.of_file path with
+          | Ok update -> add (Config.lint (update base))
+          | Error m ->
+              Printf.eprintf "sanids lint: %s\n" m;
+              exit exit_dataerr)
+    end;
+    (match trace_file with
+    | Some f -> add (Trace_lint.lint ~subject:("trace:" ^ f) (read_file f))
+    | None -> ());
+    let findings = !findings in
+    print_string (Lint.render format findings);
+    (match format with
+    | Lint.Text -> Printf.printf "lint: %s\n" (Finding.summary findings)
+    | Lint.Json -> ());
+    exit (Lint.exit_code ~strict findings)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze detector artifacts - semantic templates, \
+             baseline rules, configuration - without running any traffic. \
+             Exits 65 when findings fail the run.")
+    Term.(
+      const run $ templates_flag $ rules_file $ config_flag $ config_file
+      $ trace_file $ selftest $ format_arg $ strict $ config_term)

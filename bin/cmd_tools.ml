@@ -1,0 +1,81 @@
+(* sanids disasm / match / emulate / templates: binary-analysis tools. *)
+
+open Sanids
+open Cmdliner
+open Cli_common
+
+let disasm_cmd =
+  let run path =
+    let code = read_file path in
+    Array.iter
+      (fun (d : Decode.decoded) ->
+        Printf.printf "%04x: %s\n" d.Decode.off (Pretty.to_string d.Decode.insn))
+      (Decode.all code)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Linear-sweep disassembly of a binary file.")
+    Term.(const run $ file_pos)
+
+let match_cmd =
+  let run path =
+    let code = read_file path in
+    match Matcher.scan ~templates:Template_lib.default_set code with
+    | [] ->
+        print_endline "no template matches";
+        exit 1
+    | results ->
+        List.iter
+          (fun r -> Format.printf "%a@." Matcher.pp_result r)
+          results
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Run the semantic template matcher over a binary file.")
+    Term.(const run $ file_pos)
+
+let emulate_cmd =
+  let max_steps =
+    Arg.(value & opt int 100_000 & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Execution budget.")
+  in
+  let run path max_steps =
+    let code = read_file path in
+    let emu = Emulator.create ~code () in
+    let rec drive budget syscalls =
+      match Emulator.run ~max_steps:budget emu with
+      | Emulator.Syscall n, steps ->
+          Printf.printf
+            "syscall int 0x%x after %d steps: eax=0x%lx ebx=0x%lx ecx=0x%lx edx=0x%lx\n"
+            n (Emulator.steps_taken emu) (Emulator.reg emu Reg.EAX)
+            (Emulator.reg emu Reg.EBX) (Emulator.reg emu Reg.ECX)
+            (Emulator.reg emu Reg.EDX);
+          if syscalls < 16 && budget - steps > 0 then begin
+            (* fake a kernel return and continue *)
+            Emulator.set_reg emu Reg.EAX 3l;
+            drive (budget - steps) (syscalls + 1)
+          end
+          else Printf.printf "stopping after %d syscalls\n" (syscalls + 1)
+      | Emulator.Halted m, _ ->
+          Printf.printf "halted after %d steps: %s (eip=0x%lx)\n"
+            (Emulator.steps_taken emu) m (Emulator.eip emu)
+      | Emulator.Running, _ ->
+          Printf.printf "still running after %d steps (eip=0x%lx)\n"
+            (Emulator.steps_taken emu) (Emulator.eip emu)
+    in
+    drive max_steps 0
+  in
+  Cmd.v
+    (Cmd.info "emulate"
+       ~doc:"Execute a binary file in the sandboxed x86 interpreter and report \
+             its syscalls - dynamic ground truth for what the code does.")
+    Term.(const run $ file_pos $ max_steps)
+
+let templates_cmd =
+  let run () =
+    List.iter
+      (fun (t : Template.t) ->
+        Printf.printf "%-18s %s\n" t.Template.name t.Template.description)
+      Template_lib.default_set
+  in
+  Cmd.v
+    (Cmd.info "templates" ~doc:"List the shipped semantic templates.")
+    Term.(const run $ const ())

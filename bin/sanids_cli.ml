@@ -1,685 +1,21 @@
 (* The sanids command-line tool.
 
      sanids scan capture.pcap --honeypot 10.0.0.9 --unused 10.9.0.0/16
+     sanids serve spool/ --socket /run/sanids.sock --config-file sanids.conf
+     sanids ctl metrics --socket /run/sanids.sock
      sanids gen-trace out.pcap --kind codered --packets 20000 --seed 7
      sanids gen-exploit --shellcode classic --polymorphic -o exploit.bin
      sanids disasm exploit.bin
      sanids match exploit.bin
      sanids templates
      sanids corpus
-*)
+
+   Each subcommand lives in its own bin/cmd_*.ml module over the
+   shared Cli_common combinators; this file is only the group and the
+   top-level error discipline. *)
 
 open Sanids
 open Cmdliner
-
-(* BSD sysexits-style codes, cram-tested: bad flags or configuration are
-   the caller's fault (64), a capture the decoder rejects is bad data
-   (65), anything unexpected is ours (70). *)
-let exit_usage = 64
-let exit_dataerr = 65
-let exit_software = 70
-
-let setup_logs verbose =
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
-
-let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log classification and alerts as they happen.")
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let write_file path data =
-  let oc = open_out_bin path in
-  output_string oc data;
-  close_out oc
-
-(* ------------------------------------------------------------------ *)
-(* common argument converters *)
-
-let ipaddr_conv =
-  let parse s =
-    match Ipaddr.of_string_opt s with
-    | Some a -> Ok a
-    | None -> Error (`Msg (Printf.sprintf "bad IPv4 address %S" s))
-  in
-  Arg.conv (parse, fun ppf a -> Format.fprintf ppf "%s" (Ipaddr.to_string a))
-
-let prefix_conv =
-  let parse s =
-    match Ipaddr.prefix_of_string_opt s with
-    | Some p -> Ok p
-    | None -> Error (`Msg (Printf.sprintf "bad prefix %S (want a.b.c.d/len)" s))
-  in
-  Arg.conv (parse, fun ppf p -> Format.fprintf ppf "%s" (Ipaddr.prefix_to_string p))
-
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic RNG seed.")
-
-let fault_conv =
-  let parse s =
-    match Fault.of_string s with Ok t -> Ok t | Error m -> Error (`Msg m)
-  in
-  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Fault.to_string t))
-
-let budget_conv =
-  let parse s =
-    match Budget.limits_of_string s with Ok l -> Ok l | Error m -> Error (`Msg m)
-  in
-  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Budget.limits_to_string l))
-
-let breaker_conv =
-  let parse s =
-    match Breaker.config_of_string s with Ok c -> Ok c | Error m -> Error (`Msg m)
-  in
-  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Breaker.config_to_string c))
-
-let policy_conv =
-  let parse s =
-    match Bqueue.policy_of_string_result s with
-    | Ok p -> Ok p
-    | Error m -> Error (`Msg m)
-  in
-  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Bqueue.policy_to_string p))
-
-(* ------------------------------------------------------------------ *)
-(* sanids scan *)
-
-let scan_cmd =
-  let pcap_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"CAPTURE.pcap")
-  in
-  let honeypots =
-    Arg.(value & opt_all ipaddr_conv [] & info [ "honeypot" ] ~docv:"IP"
-           ~doc:"Register a honeypot decoy address (repeatable).")
-  in
-  let unused =
-    Arg.(value & opt_all prefix_conv [] & info [ "unused" ] ~docv:"CIDR"
-           ~doc:"Declare unused address space for scan detection (repeatable).")
-  in
-  let no_classify =
-    Arg.(value & flag & info [ "no-classify" ]
-           ~doc:"Disable classification: analyze every payload (the paper's \
-                 false-positive-run configuration).")
-  in
-  let no_extract =
-    Arg.(value & flag & info [ "no-extract" ]
-           ~doc:"Disable binary extraction: hand whole payloads to the \
-                 disassembler (reference-[5] style).")
-  in
-  let scan_threshold =
-    Arg.(value & opt int Config.default.Config.scan_threshold
-         & info [ "scan-threshold" ] ~docv:"N"
-             ~doc:"Distinct unused addresses before a source is flagged.")
-  in
-  let verdict_cache =
-    Arg.(value & opt int Config.default.Config.verdict_cache_size
-         & info [ "verdict-cache" ] ~docv:"N"
-             ~doc:"Verdict cache capacity (0 disables).")
-  in
-  let metrics_out =
-    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-           ~doc:"Write the final metrics snapshot as Prometheus text \
-                 exposition to $(docv).")
-  in
-  let trace_out =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write stage spans as JSONL trace events to $(docv).")
-  in
-  let trace_sample =
-    Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N"
-           ~doc:"Emit every N-th span (with --trace).")
-  in
-  let fault =
-    Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"SPEC"
-           ~doc:"Corrupt the capture before analysis, e.g. \
-                 $(b,truncate=0.1,bitflip=0.05,dup=0.01,reorder=0.2,garbage=0.02) \
-                 - resilience drills against the typed ingest boundary.")
-  in
-  let fault_seed =
-    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
-           ~doc:"RNG seed for --fault (same spec and seed replay the same \
-                 corruption).")
-  in
-  let stream =
-    Arg.(value & flag & info [ "stream" ]
-           ~doc:"Process the capture through the multicore stream pipeline \
-                 (bounded admission queues, load shedding per \
-                 --drop-policy).")
-  in
-  let domains =
-    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
-           ~doc:"Worker domains for --stream (default: the machine's \
-                 recommended count, capped at 8).")
-  in
-  let queue =
-    Arg.(value & opt int Config.default.Config.stream_queue_capacity
-         & info [ "queue" ] ~docv:"N"
-             ~doc:"Per-worker admission queue capacity for --stream.")
-  in
-  let drop_policy =
-    Arg.(value & opt policy_conv Config.default.Config.stream_drop_policy
-         & info [ "drop-policy" ] ~docv:"POLICY"
-             ~doc:"Full-queue behaviour for --stream: $(b,block) (lossless \
-                   backpressure), $(b,drop_newest) or $(b,drop_oldest); \
-                   shed packets are counted as sanids_shed_total.")
-  in
-  let budget =
-    Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"SPEC"
-           ~doc:"Per-packet analysis work budget: $(b,default) or \
-                 $(b,bytes=N,insns=N,steps=N,deadline=S) - the \
-                 adversarial-load ceiling on extraction, disassembly and \
-                 matching.  Truncated analyses are counted as \
-                 sanids_budget_truncated_total.")
-  in
-  let breaker =
-    Arg.(value & opt (some breaker_conv) None & info [ "breaker" ] ~docv:"SPEC"
-           ~doc:"Per-template circuit breaker: $(b,default) or \
-                 $(b,fails=N,cooldown=N,max=N) (cooldowns counted in \
-                 analyzed packets).  Open transitions are counted as \
-                 sanids_breaker_open_total.")
-  in
-  let degrade =
-    Arg.(value & flag & info [ "degrade" ]
-           ~doc:"When analysis is budget-truncated or templates are held \
-                 open by the breaker, fall back to the cheap baseline \
-                 pattern pass instead of silently reporting less; degraded \
-                 alerts carry a [degraded] marker and \
-                 sanids_degraded_total counts the fallbacks.")
-  in
-  let run path honeypots unused no_classify no_extract scan_threshold
-      verdict_cache budget breaker degrade fault fault_seed stream domains
-      queue drop_policy metrics_out trace_out trace_sample verbose =
-    setup_logs verbose;
-    let cfg =
-      Config.default |> Config.with_honeypots honeypots
-      |> Config.with_unused unused
-      |> Config.with_classification (not no_classify)
-      |> Config.with_extraction (not no_extract)
-      |> Config.with_scan_threshold scan_threshold
-      |> Config.with_verdict_cache verdict_cache
-      |> Config.with_budget budget
-      |> Config.with_breaker breaker
-      |> Config.with_degrade degrade
-      |> Config.with_stream_queue queue
-      |> Config.with_stream_policy drop_policy
-    in
-    match Config.validate cfg with
-    | Error msg ->
-        Printf.eprintf "sanids scan: invalid configuration: %s\n" msg;
-        exit exit_usage
-    | Ok cfg -> (
-        if trace_sample <= 0 then begin
-          Printf.eprintf "sanids scan: --trace-sample must be positive (got %d)\n"
-            trace_sample;
-          exit exit_usage
-        end;
-        (* all decoding goes through the typed ingest boundary: framing
-           faults are fatal bad data (65), per-record faults are counted
-           and skipped, and the ingest counters join the exported
-           snapshot so records_in reconciles with packets + errors +
-           shed *)
-        let ingest_reg = Obs.Registry.create () in
-        let ing = Ingest.metrics ingest_reg in
-        match Ingest.decode_file ~metrics:ing (read_file path) with
-        | Error e ->
-            Printf.eprintf "sanids scan: %s: %s\n" path (Ingest.error_to_string e);
-            exit exit_dataerr
-        | Ok capture ->
-            let capture =
-              match fault with
-              | None -> capture
-              | Some plan -> Fault.file ~seed:(Int64.of_int fault_seed) plan capture
-            in
-            let packets = Ingest.ok_packets ~metrics:ing capture in
-            let snap, help_regs, no_alerts =
-              if stream then begin
-                if trace_out <> None then
-                  Printf.eprintf "sanids scan: --trace is ignored with --stream\n";
-                let count = ref 0 in
-                let snap =
-                  Parallel.process_seq_snapshot ?domains cfg (List.to_seq packets)
-                    (fun alerts ->
-                      List.iter
-                        (fun a ->
-                          incr count;
-                          print_endline (Alert.to_line a))
-                        alerts)
-                in
-                (snap, [ ingest_reg ], !count = 0)
-              end
-              else begin
-                let trace_oc = Option.map open_out trace_out in
-                let tracer =
-                  Option.map (Obs.Span.tracer ~sample:trace_sample) trace_oc
-                in
-                let nids = Pipeline.create ?tracer cfg in
-                let alerts = Pipeline.process_packets nids packets in
-                List.iter (fun a -> print_endline (Alert.to_line a)) alerts;
-                (match tracer with Some t -> Obs.Span.flush t | None -> ());
-                Option.iter close_out trace_oc;
-                (Pipeline.snapshot nids, [ Pipeline.registry nids; ingest_reg ],
-                 alerts = [])
-              end
-            in
-            let snap = Obs.Snapshot.merge snap (Obs.Registry.snapshot ingest_reg) in
-            Format.printf "%a@." Stats.pp (Stats.of_snapshot snap);
-            (match metrics_out with
-            | Some file ->
-                let help n =
-                  List.find_map (fun r -> Obs.Registry.help r n) help_regs
-                in
-                Obs.Export.write_file file (Obs.Export.to_prometheus ~help snap)
-            | None -> ());
-            if no_alerts then print_endline "no alerts")
-  in
-  Cmd.v
-    (Cmd.info "scan" ~doc:"Run the semantics-aware NIDS over a pcap capture.")
-    Term.(
-      const run $ pcap_arg $ honeypots $ unused $ no_classify $ no_extract
-      $ scan_threshold $ verdict_cache $ budget $ breaker $ degrade $ fault
-      $ fault_seed $ stream $ domains $ queue $ drop_policy $ metrics_out
-      $ trace_out $ trace_sample $ verbose_arg)
-
-(* ------------------------------------------------------------------ *)
-(* sanids gen-trace *)
-
-let gen_trace_cmd =
-  let out_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.pcap") in
-  let kind =
-    Arg.(value
-         & opt
-             (enum
-                [
-                  ("benign", `Benign); ("codered", `Codered);
-                  ("adversarial", `Adversarial);
-                ])
-             `Benign
-         & info [ "kind" ] ~docv:"KIND"
-             ~doc:"Trace kind: benign, codered or adversarial \
-                   (algorithmic-complexity bombs for the hardening drills).")
-  in
-  let packets =
-    Arg.(value & opt int 10_000 & info [ "packets" ] ~docv:"N" ~doc:"Benign packet count.")
-  in
-  let instances =
-    Arg.(value & opt int 3 & info [ "instances" ] ~docv:"N"
-           ~doc:"Code Red II instances (codered kind).")
-  in
-  let adv_kind =
-    let parse s =
-      match Adversarial.kind_of_string s with
-      | Some k -> Ok k
-      | None ->
-          Error
-            (`Msg
-               (Printf.sprintf
-                  "bad adversarial kind %S (want \
-                   unicode_bomb|repetition_bomb|jmp_maze|garbage_x86|mixed)"
-                  s))
-    in
-    Arg.(value
-         & opt
-             (conv (parse, fun ppf k ->
-                  Format.pp_print_string ppf (Adversarial.kind_to_string k)))
-             Adversarial.Mixed
-         & info [ "adv-kind" ] ~docv:"KIND"
-             ~doc:"Payload family for the adversarial kind: \
-                   $(b,unicode_bomb), $(b,repetition_bomb), $(b,jmp_maze), \
-                   $(b,garbage_x86) or $(b,mixed).")
-  in
-  let payload_size =
-    Arg.(value & opt int 8192 & info [ "payload-size" ] ~docv:"BYTES"
-           ~doc:"Approximate payload size for the adversarial kind.")
-  in
-  let run out kind packets instances adv_kind payload_size seed =
-    let rng = Rng.create (Int64.of_int seed) in
-    let clients = Ipaddr.prefix_of_string "10.1.0.0/16" in
-    let servers = Ipaddr.prefix_of_string "10.2.0.0/16" in
-    let unused = Ipaddr.prefix_of_string "10.2.200.0/21" in
-    let pkts =
-      match kind with
-      | `Benign -> Benign_gen.packets rng ~n:packets ~t0:0.0 ~clients ~servers
-      | `Codered ->
-          let pkts, truth =
-            Worm_gen.code_red_trace rng ~benign:packets ~instances
-              ~scans_per_instance:6 ~clients ~servers ~unused ~duration:300.0
-          in
-          Printf.printf
-            "ground truth: %d packets, %d CRII instances, %d scans (unused space: %s)\n"
-            truth.Worm_gen.total_packets truth.Worm_gen.crii_instances
-            truth.Worm_gen.scan_packets
-            (Ipaddr.prefix_to_string unused);
-          pkts
-      | `Adversarial ->
-          Adversarial.packets ~kind:adv_kind ~size:payload_size rng ~n:packets
-            ~t0:0.0 ~clients ~servers
-    in
-    Pcap.write_file out (Pcap.of_packets pkts);
-    Printf.printf "wrote %s (%d packets)\n" out (List.length pkts)
-  in
-  Cmd.v
-    (Cmd.info "gen-trace"
-       ~doc:"Synthesize a seeded pcap trace (benign, worm outbreak or \
-             adversarial load).")
-    Term.(const run $ out_arg $ kind $ packets $ instances $ adv_kind
-          $ payload_size $ seed_arg)
-
-(* ------------------------------------------------------------------ *)
-(* sanids gen-exploit *)
-
-let gen_exploit_cmd =
-  let sc_name =
-    Arg.(value & opt string "classic" & info [ "shellcode" ] ~docv:"NAME"
-           ~doc:"Shellcode from the corpus (see $(b,sanids corpus)).")
-  in
-  let polymorphic =
-    Arg.(value & flag & info [ "polymorphic" ]
-           ~doc:"Wrap the shellcode with the ADMmutate-style engine.")
-  in
-  let clet = Arg.(value & flag & info [ "clet" ] ~doc:"Use the Clet-style engine.") in
-  let staged =
-    Arg.(value & flag & info [ "staged" ]
-           ~doc:"Double-encode: the decoder decodes a second decoder.")
-  in
-  let http =
-    Arg.(value & flag & info [ "http" ] ~doc:"Embed in an HTTP overflow request.")
-  in
-  let out =
-    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-           ~doc:"Output file (default: hexdump to stdout).")
-  in
-  let run sc_name polymorphic clet staged http out seed =
-    match Shellcodes.find sc_name with
-    | exception Not_found ->
-        Printf.eprintf "unknown shellcode %S; see `sanids corpus`\n" sc_name;
-        exit 2
-    | entry ->
-        let rng = Rng.create (Int64.of_int seed) in
-        let code =
-          if staged then
-            (Admmutate.generate_staged ~stages:2 rng ~payload:entry.Shellcodes.code)
-              .Admmutate.code
-          else if clet then (Clet.generate rng ~payload:entry.Shellcodes.code).Clet.code
-          else if polymorphic then
-            (Admmutate.generate rng ~payload:entry.Shellcodes.code).Admmutate.code
-          else entry.Shellcodes.code
-        in
-        let data =
-          if http then Exploit_gen.http_exploit rng ~shellcode:code else code
-        in
-        (match out with
-        | Some path ->
-            write_file path data;
-            Printf.printf "wrote %s (%d bytes)\n" path (String.length data)
-        | None -> print_endline (Hexdump.to_string data))
-  in
-  Cmd.v
-    (Cmd.info "gen-exploit" ~doc:"Emit a shellcode or exploit payload from the corpus.")
-    Term.(const run $ sc_name $ polymorphic $ clet $ staged $ http $ out $ seed_arg)
-
-(* ------------------------------------------------------------------ *)
-(* sanids disasm / match *)
-
-let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-
-let disasm_cmd =
-  let run path =
-    let code = read_file path in
-    Array.iter
-      (fun (d : Decode.decoded) ->
-        Printf.printf "%04x: %s\n" d.Decode.off (Pretty.to_string d.Decode.insn))
-      (Decode.all code)
-  in
-  Cmd.v
-    (Cmd.info "disasm" ~doc:"Linear-sweep disassembly of a binary file.")
-    Term.(const run $ file_pos)
-
-let match_cmd =
-  let run path =
-    let code = read_file path in
-    match Matcher.scan ~templates:Template_lib.default_set code with
-    | [] ->
-        print_endline "no template matches";
-        exit 1
-    | results ->
-        List.iter
-          (fun r -> Format.printf "%a@." Matcher.pp_result r)
-          results
-  in
-  Cmd.v
-    (Cmd.info "match" ~doc:"Run the semantic template matcher over a binary file.")
-    Term.(const run $ file_pos)
-
-let emulate_cmd =
-  let max_steps =
-    Arg.(value & opt int 100_000 & info [ "max-steps" ] ~docv:"N"
-           ~doc:"Execution budget.")
-  in
-  let run path max_steps =
-    let code = read_file path in
-    let emu = Emulator.create ~code () in
-    let rec drive budget syscalls =
-      match Emulator.run ~max_steps:budget emu with
-      | Emulator.Syscall n, steps ->
-          Printf.printf
-            "syscall int 0x%x after %d steps: eax=0x%lx ebx=0x%lx ecx=0x%lx edx=0x%lx\n"
-            n (Emulator.steps_taken emu) (Emulator.reg emu Reg.EAX)
-            (Emulator.reg emu Reg.EBX) (Emulator.reg emu Reg.ECX)
-            (Emulator.reg emu Reg.EDX);
-          if syscalls < 16 && budget - steps > 0 then begin
-            (* fake a kernel return and continue *)
-            Emulator.set_reg emu Reg.EAX 3l;
-            drive (budget - steps) (syscalls + 1)
-          end
-          else Printf.printf "stopping after %d syscalls\n" (syscalls + 1)
-      | Emulator.Halted m, _ ->
-          Printf.printf "halted after %d steps: %s (eip=0x%lx)\n"
-            (Emulator.steps_taken emu) m (Emulator.eip emu)
-      | Emulator.Running, _ ->
-          Printf.printf "still running after %d steps (eip=0x%lx)\n"
-            (Emulator.steps_taken emu) (Emulator.eip emu)
-    in
-    drive max_steps 0
-  in
-  Cmd.v
-    (Cmd.info "emulate"
-       ~doc:"Execute a binary file in the sandboxed x86 interpreter and report \
-             its syscalls - dynamic ground truth for what the code does.")
-    Term.(const run $ file_pos $ max_steps)
-
-let sig_scan_cmd =
-  let rules_file =
-    Arg.(value & opt (some file) None & info [ "rules" ] ~docv:"FILE"
-           ~doc:"Snort-style rule file (default: the shipped ruleset).")
-  in
-  let run path rules_file =
-    let text =
-      match rules_file with Some f -> read_file f | None -> Rule.default_ruleset
-    in
-    let rules, errors = Rule.parse_many text in
-    List.iter (fun (line, e) -> Printf.eprintf "rule line %d: %s\n" line e) errors;
-    let engine = Rule.compile rules in
-    Printf.printf "loaded %d rules\n" (List.length rules);
-    let capture =
-      match Pcap.decode (read_file path) with
-      | Ok f -> f
-      | Error m ->
-          Printf.eprintf "sanids sig-scan: %s: %s\n" path m;
-          exit exit_dataerr
-    in
-    let hits = ref 0 in
-    List.iter
-      (fun r ->
-        match r with
-        | Ok p ->
-            List.iter
-              (fun msg ->
-                incr hits;
-                Printf.printf "[%.3f] SIG %s %s -> %s\n" p.Packet.ts msg
-                  (Ipaddr.to_string (Packet.src p))
-                  (Ipaddr.to_string (Packet.dst p)))
-              (Rule.match_packet engine p)
-        | Error _ -> ())
-      (Pcap.to_packets capture);
-    if !hits = 0 then print_endline "no signature matches"
-  in
-  Cmd.v
-    (Cmd.info "sig-scan"
-       ~doc:"Run the Snort-style signature baseline over a pcap capture.")
-    Term.(const run $ file_pos $ rules_file)
-
-(* ------------------------------------------------------------------ *)
-(* sanids lint *)
-
-let lint_cmd =
-  let templates_flag =
-    Arg.(value & flag & info [ "templates" ]
-           ~doc:"Lint the shipped semantic template library: per-template \
-                 well-formedness, guard satisfiability over the abstract \
-                 domain, and cross-template subsumption.")
-  in
-  let rules_file =
-    Arg.(value & opt (some file) None & info [ "rules" ] ~docv:"FILE"
-           ~doc:"Lint a Snort-style rule file (without any selection flag, \
-                 the shipped ruleset is linted).")
-  in
-  let config_flag =
-    Arg.(value & flag & info [ "config" ]
-           ~doc:"Lint the configuration assembled from the configuration \
-                 flags below.")
-  in
-  let trace_file =
-    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Junk diagnostics for a raw code file: trace it from offset \
-                 0 and report the dead-write (junk) density the def-use \
-                 analysis sees.")
-  in
-  let selftest =
-    Arg.(value & flag & info [ "selftest" ]
-           ~doc:"Lint the embedded deliberately-defective corpus, \
-                 demonstrating every finding code.")
-  in
-  let format_arg =
-    Arg.(value & opt (enum [ ("text", Lint.Text); ("json", Lint.Json) ]) Lint.Text
-         & info [ "format" ] ~docv:"FMT"
-             ~doc:"Output format: $(b,text) (findings plus a summary line) \
-                   or $(b,json) (JSONL, one finding object per line).")
-  in
-  let strict =
-    Arg.(value & flag & info [ "strict" ]
-           ~doc:"Fail (exit 65) on warnings as well as errors.")
-  in
-  let scan_threshold =
-    Arg.(value & opt int Config.default.Config.scan_threshold
-         & info [ "scan-threshold" ] ~docv:"N"
-             ~doc:"Scan threshold for --config.")
-  in
-  let verdict_cache =
-    Arg.(value & opt int Config.default.Config.verdict_cache_size
-         & info [ "verdict-cache" ] ~docv:"N"
-             ~doc:"Verdict cache capacity for --config.")
-  in
-  let queue =
-    Arg.(value & opt int Config.default.Config.stream_queue_capacity
-         & info [ "queue" ] ~docv:"N"
-             ~doc:"Admission queue capacity for --config.")
-  in
-  let drop_policy =
-    Arg.(value & opt policy_conv Config.default.Config.stream_drop_policy
-         & info [ "drop-policy" ] ~docv:"POLICY"
-             ~doc:"Stream drop policy for --config.")
-  in
-  let budget =
-    Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"SPEC"
-           ~doc:"Analysis budget for --config.")
-  in
-  let breaker =
-    Arg.(value & opt (some breaker_conv) None & info [ "breaker" ] ~docv:"SPEC"
-           ~doc:"Circuit breaker for --config.")
-  in
-  let degrade =
-    Arg.(value & flag & info [ "degrade" ] ~doc:"Degraded fallback for --config.")
-  in
-  let run templates_flag rules_file config_flag trace_file selftest format
-      strict scan_threshold verdict_cache queue drop_policy budget breaker
-      degrade =
-    let none_selected =
-      (not (templates_flag || config_flag || selftest))
-      && rules_file = None && trace_file = None
-    in
-    let findings = ref [] in
-    let add fs = findings := !findings @ fs in
-    if selftest then add (Lint_selftest.findings ());
-    if templates_flag || none_selected then
-      add (Lint.templates Template_lib.default_set);
-    (match rules_file with
-    | Some f -> add (Lint.rules_text (read_file f))
-    | None -> if none_selected then add (Lint.rules_text Rule.default_ruleset));
-    if config_flag || none_selected then begin
-      let cfg =
-        Config.default
-        |> Config.with_scan_threshold scan_threshold
-        |> Config.with_verdict_cache verdict_cache
-        |> Config.with_stream_queue queue
-        |> Config.with_stream_policy drop_policy
-        |> Config.with_budget budget
-        |> Config.with_breaker breaker
-        |> Config.with_degrade degrade
-      in
-      add (Config.lint cfg)
-    end;
-    (match trace_file with
-    | Some f -> add (Trace_lint.lint ~subject:("trace:" ^ f) (read_file f))
-    | None -> ());
-    let findings = !findings in
-    print_string (Lint.render format findings);
-    (match format with
-    | Lint.Text -> Printf.printf "lint: %s\n" (Finding.summary findings)
-    | Lint.Json -> ());
-    exit (Lint.exit_code ~strict findings)
-  in
-  Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Statically analyze detector artifacts - semantic templates, \
-             baseline rules, configuration - without running any traffic. \
-             Exits 65 when findings fail the run.")
-    Term.(
-      const run $ templates_flag $ rules_file $ config_flag $ trace_file
-      $ selftest $ format_arg $ strict $ scan_threshold $ verdict_cache
-      $ queue $ drop_policy $ budget $ breaker $ degrade)
-
-(* ------------------------------------------------------------------ *)
-(* sanids templates / corpus *)
-
-let templates_cmd =
-  let run () =
-    List.iter
-      (fun (t : Template.t) ->
-        Printf.printf "%-18s %s\n" t.Template.name t.Template.description)
-      Template_lib.default_set
-  in
-  Cmd.v
-    (Cmd.info "templates" ~doc:"List the shipped semantic templates.")
-    Term.(const run $ const ())
-
-let corpus_cmd =
-  let run () =
-    List.iter
-      (fun (e : Shellcodes.entry) ->
-        Printf.printf "%-12s %4d B  %s%s\n" e.Shellcodes.name
-          (String.length e.Shellcodes.code)
-          e.Shellcodes.description
-          (if e.Shellcodes.binds_port then "  [binds port]" else ""))
-      Shellcodes.all
-  in
-  Cmd.v
-    (Cmd.info "corpus" ~doc:"List the shell-spawning shellcode corpus.")
-    Term.(const run $ const ())
 
 let () =
   let info =
@@ -689,22 +25,25 @@ let () =
   let group =
     Cmd.group info
       [
-        scan_cmd; sig_scan_cmd; gen_trace_cmd; gen_exploit_cmd; disasm_cmd;
-        match_cmd; emulate_cmd; lint_cmd;
-        templates_cmd; corpus_cmd;
+        Cmd_scan.scan_cmd; Cmd_scan.sig_scan_cmd;
+        Cmd_serve.serve_cmd; Cmd_serve.ctl_cmd;
+        Cmd_gen.gen_trace_cmd; Cmd_gen.gen_exploit_cmd; Cmd_gen.corpus_cmd;
+        Cmd_tools.disasm_cmd; Cmd_tools.match_cmd; Cmd_tools.emulate_cmd;
+        Cmd_tools.templates_cmd;
+        Cmd_lint.lint_cmd;
       ]
   in
   let code =
-    try Cmd.eval ~catch:false ~term_err:exit_usage group with
+    try Cmd.eval ~catch:false ~term_err:Cli_common.exit_usage group with
     | Pcap.Malformed m ->
         (* belt and braces: every path should already go through the
            typed ingest boundary *)
         Printf.eprintf "sanids: malformed capture: %s\n" m;
-        exit_dataerr
+        Cli_common.exit_dataerr
     | e ->
         Printf.eprintf "sanids: %s\n" (Printexc.to_string e);
-        exit_software
+        Cli_common.exit_software
   in
   (* cmdliner reports command-line parse errors as its own cli_error
      (124); fold them into the sysexits usage code *)
-  exit (if code = Cmd.Exit.cli_error then exit_usage else code)
+  exit (if code = Cmd.Exit.cli_error then Cli_common.exit_usage else code)

@@ -34,6 +34,7 @@ module Pcap = Sanids_pcap.Pcap
 (* resilient ingest: typed decode errors and fault injection *)
 module Ingest = Sanids_ingest.Ingest
 module Fault = Sanids_ingest.Fault
+module Source = Sanids_ingest.Source
 
 (* x86 and IR *)
 module Reg = Sanids_x86.Reg
@@ -102,6 +103,11 @@ module Stats = Sanids_nids.Stats
 module Parallel = Sanids_nids.Parallel
 module Watchdog = Sanids_nids.Watchdog
 module Hybrid = Sanids_nids.Hybrid
+
+(* the serving daemon *)
+module Lifecycle = Sanids_serve.Lifecycle
+module Httpd = Sanids_serve.Httpd
+module Serve = Sanids_serve.Serve
 
 (* workloads *)
 module Benign_gen = Sanids_workload.Benign_gen

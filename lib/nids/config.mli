@@ -87,6 +87,30 @@ val with_budget : Budget.limits option -> t -> t
 val with_breaker : Breaker.config option -> t -> t
 val with_degrade : bool -> t -> t
 
+val of_spec : string -> (t -> t, string) result
+(** [of_spec "key=value"] parses one configuration assignment into an
+    updater — the single grammar behind the CLI's
+    [--budget]/[--breaker]/[--drop-policy] flags and the daemon's
+    hot-reload files.  Splitting happens on the {e first} ['='], so the
+    value of a [budget]/[breaker] key is the subsystem's own comma spec
+    unchanged ([budget=bytes=65536,insns=100,steps=100000,deadline=0]).
+    Keys: [honeypot] and [unused] (repeatable, appending), [classify],
+    [extract], [reassemble], [degrade] (booleans), [scan_threshold],
+    [min_payload], [verdict_cache], [flow_alert_cache], [queue]
+    (integers), [drop_policy], [budget], [breaker] (sub-specs).  Errors
+    carry the same typed ["key: ..."] messages as the sub-parsers, so a
+    bad flag and a rejected reload read identically. *)
+
+val of_lines : string list -> (t -> t, string) result
+(** {!of_spec} over a list of lines ([#] comments and blank lines
+    skipped), composed left to right; errors are prefixed with
+    ["line N: "]. *)
+
+val of_file : string -> (t -> t, string) result
+(** {!of_lines} over a file's contents, errors prefixed with the path —
+    what [sanids serve --config-file] loads at start and re-reads on
+    every reload request (gated by {!lint} before swapping in). *)
+
 val lint : t -> Sanids_staticlint.Finding.t list
 (** Configuration findings, subject ["config"].
 

@@ -88,7 +88,8 @@ type slot = {
   finished : bool Atomic.t;
 }
 
-let process_seq_snapshot ?domains ?(batch = 8192) cfg packets on_alerts =
+let process_seq_snapshot ?domains ?(batch = 8192)
+    ?(clock = Unix.gettimeofday) cfg packets on_alerts =
   let shards = match domains with Some d -> max 1 d | None -> default_domains () in
   (* long-lived workers behind bounded admission queues: each worker owns
      a persistent pipeline (classifier state survives the whole stream,
@@ -170,7 +171,7 @@ let process_seq_snapshot ?domains ?(batch = 8192) cfg packets on_alerts =
                   (fun p ->
                     (* per-packet isolation: one poisoned packet costs
                        itself, not the shard *)
-                    beat (Unix.gettimeofday ());
+                    beat (clock ());
                     match Pipeline.process_packet nids p with
                     | alerts -> alerts
                     | exception _ ->
@@ -211,10 +212,7 @@ let process_seq_snapshot ?domains ?(batch = 8192) cfg packets on_alerts =
                 for k = 0 to shards - 1 do
                   let b = Atomic.get hb.(k) in
                   let busy_since = if b = infinity then None else Some b in
-                  match
-                    Watchdog.observe wds.(k) ~now:(Unix.gettimeofday ())
-                      ~busy_since
-                  with
+                  match Watchdog.observe wds.(k) ~now:(clock ()) ~busy_since with
                   | Watchdog.Steady -> ()
                   | Watchdog.Restart ->
                       Obs.Registry.incr restarts_c;
@@ -337,5 +335,6 @@ let process_seq_snapshot ?domains ?(batch = 8192) cfg packets on_alerts =
        (Obs.Registry.snapshot feeder_reg))
     (Obs.Registry.snapshot wd_reg)
 
-let process_seq ?domains ?batch cfg packets on_alerts =
-  Stats.of_snapshot (process_seq_snapshot ?domains ?batch cfg packets on_alerts)
+let process_seq ?domains ?batch ?clock cfg packets on_alerts =
+  Stats.of_snapshot
+    (process_seq_snapshot ?domains ?batch ?clock cfg packets on_alerts)

@@ -46,8 +46,8 @@ val process :
     {!Stats.of_snapshot}. *)
 
 val process_seq_snapshot :
-  ?domains:int -> ?batch:int -> Config.t -> Packet.t Seq.t ->
-  (Alert.t list -> unit) -> Sanids_obs.Snapshot.t
+  ?domains:int -> ?batch:int -> ?clock:(unit -> float) -> Config.t ->
+  Packet.t Seq.t -> (Alert.t list -> unit) -> Sanids_obs.Snapshot.t
 (** Stream mode with load shedding and crash isolation.  Each worker
     domain owns a persistent pipeline (classifier state survives the
     whole stream) behind a bounded admission queue
@@ -66,6 +66,11 @@ val process_seq_snapshot :
     [packets + shed + worker_failures] accounts for every admitted
     packet.
 
+    [clock] (default [Unix.gettimeofday]) is the time source behind the
+    worker heartbeats and the watchdog's stall polling — the serve
+    supervisor and the watchdog tests inject a deterministic clock here
+    so stall decisions are reproducible.
+
     When [Config.analysis_budget] carries a wall-clock deadline, a
     watchdog domain guards against workers that wedge {e despite} the
     budget (the budget is cooperative): a worker busy on one packet for
@@ -80,6 +85,6 @@ val process_seq_snapshot :
     and surfaces as a worker failure. *)
 
 val process_seq :
-  ?domains:int -> ?batch:int -> Config.t -> Packet.t Seq.t ->
-  (Alert.t list -> unit) -> Stats.t
+  ?domains:int -> ?batch:int -> ?clock:(unit -> float) -> Config.t ->
+  Packet.t Seq.t -> (Alert.t list -> unit) -> Stats.t
 (** {!process_seq_snapshot} projected through {!Stats.of_snapshot}. *)

@@ -21,6 +21,18 @@ val merge : t -> t -> t
     @raise Invalid_argument if the two snapshots bind the same name to
     different metric kinds. *)
 
+val diff : newer:t -> older:t -> t
+(** Interval delta between two cumulative snapshots of the same source
+    — the rate primitive the serving path's periodic dumps are built
+    on.  Counters and histogram buckets subtract clamped at zero (a
+    worker respawn or generation swap can make a cumulative series
+    regress; a rate must never be negative), gauges keep the newer
+    level, and a series only the newer snapshot carries passes through
+    unchanged.  Hence every counter in the result is [>= 0] — the
+    qcheck-verified no-negative-rates law.
+    @raise Invalid_argument if the two snapshots bind the same name to
+    different metric kinds. *)
+
 val of_list : (string * value) list -> t
 (** Duplicate names are merged (same law as {!merge}). *)
 

@@ -39,35 +39,76 @@ let encode ?(nanos = false) ?(linktype = linktype_raw) records =
     records;
   Byte_io.Writer.contents w
 
+(* Incremental framing: the global and per-record headers parsed on
+   their own, so a streaming reader (the follow-mode FIFO source) can
+   frame records as bytes arrive instead of needing the whole capture
+   in one string. *)
+
+type meta = { le : bool; nanos : bool; file_linktype : int }
+type record_header = { r_ts : float; incl_len : int; r_orig_len : int }
+
+let global_header_len = 24
+let record_header_len = 16
+
+let decode_global_header s =
+  let open Byte_io in
+  if String.length s < global_header_len then Error "short global header"
+  else
+    let r = Reader.of_string s in
+    let raw_magic = Reader.u32_le_int r in
+    let endianness =
+      if raw_magic = magic_usec then Ok (true, false)
+      else if raw_magic = magic_nsec then Ok (true, true)
+      else begin
+        (* big-endian writer: the magic reads byte-swapped *)
+        let swapped =
+          ((raw_magic land 0xFF) lsl 24)
+          lor ((raw_magic land 0xFF00) lsl 8)
+          lor ((raw_magic lsr 8) land 0xFF00)
+          lor ((raw_magic lsr 24) land 0xFF)
+        in
+        if swapped = magic_usec then Ok (false, false)
+        else if swapped = magic_nsec then Ok (false, true)
+        else Error "bad magic"
+      end
+    in
+    match endianness with
+    | Error _ as e -> e
+    | Ok (le, nanos) ->
+        let u16 rd = if le then Reader.u16_le rd else Reader.u16_be rd in
+        let u32 rd = if le then Reader.u32_le_int rd else Reader.u32_be_int rd in
+        let _vmaj = u16 r in
+        let _vmin = u16 r in
+        let _zone = u32 r in
+        let _sigfigs = u32 r in
+        let _snaplen = u32 r in
+        let file_linktype = u32 r in
+        Ok { le; nanos; file_linktype }
+
+let decode_record_header meta s =
+  let open Byte_io in
+  if String.length s < record_header_len then Error "truncated record header"
+  else begin
+    let r = Reader.of_string s in
+    let u32 rd = if meta.le then Reader.u32_le_int rd else Reader.u32_be_int rd in
+    let secs = u32 r in
+    let frac = u32 r in
+    let incl_len = u32 r in
+    let r_orig_len = u32 r in
+    let scale = if meta.nanos then 1e9 else 1e6 in
+    Ok { r_ts = float_of_int secs +. (float_of_int frac /. scale); incl_len; r_orig_len }
+  end
+
 let decode_exn s =
   let open Byte_io in
-  if String.length s < 24 then raise (Malformed "short global header");
-  let r = Reader.of_string s in
-  let raw_magic = Reader.u32_le_int r in
-  let le, nanos =
-    if raw_magic = magic_usec then (true, false)
-    else if raw_magic = magic_nsec then (true, true)
-    else begin
-      (* big-endian writer: the magic reads byte-swapped *)
-      let swapped =
-        ((raw_magic land 0xFF) lsl 24)
-        lor ((raw_magic land 0xFF00) lsl 8)
-        lor ((raw_magic lsr 8) land 0xFF00)
-        lor ((raw_magic lsr 24) land 0xFF)
-      in
-      if swapped = magic_usec then (false, false)
-      else if swapped = magic_nsec then (false, true)
-      else raise (Malformed "bad magic")
-    end
+  let { le; nanos; file_linktype = linktype } =
+    match decode_global_header s with
+    | Ok m -> m
+    | Error m -> raise (Malformed m)
   in
-  let u16 rd = if le then Reader.u16_le rd else Reader.u16_be rd in
+  let r = Reader.of_string s in
+  Reader.skip r global_header_len;
   let u32 rd = if le then Reader.u32_le_int rd else Reader.u32_be_int rd in
-  let _vmaj = u16 r in
-  let _vmin = u16 r in
-  let _zone = u32 r in
-  let _sigfigs = u32 r in
-  let _snaplen = u32 r in
-  let linktype = u32 r in
   let records = ref [] in
   (try
      while Reader.remaining r > 0 do

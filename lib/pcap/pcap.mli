@@ -16,6 +16,32 @@ exception Malformed of string
 val linktype_raw : int
 val linktype_ethernet : int
 
+(** {2 Incremental framing}
+
+    The follow-mode sources ({!Sanids_ingest.Source}) frame records as
+    bytes arrive on a FIFO, so the two header layers are decodable on
+    their own. *)
+
+type meta = { le : bool; nanos : bool; file_linktype : int }
+(** The global header's framing facts: byte order, timestamp scale,
+    link type. *)
+
+type record_header = { r_ts : float; incl_len : int; r_orig_len : int }
+
+val global_header_len : int
+(** 24. *)
+
+val record_header_len : int
+(** 16. *)
+
+val decode_global_header : string -> (meta, string) result
+(** Parse a capture's first {!global_header_len} bytes (longer input is
+    fine; only the header is read). *)
+
+val decode_record_header : meta -> string -> (record_header, string) result
+(** Parse one {!record_header_len}-byte per-record header; the record
+    body is the next [incl_len] bytes on the wire. *)
+
 val encode : ?nanos:bool -> ?linktype:int -> record list -> string
 (** Serialize a capture (little-endian). *)
 

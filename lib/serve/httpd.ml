@@ -1,0 +1,240 @@
+(* A deliberately tiny blocking HTTP/1.0 responder.
+
+   One accept loop on one listening socket (Unix-domain or TCP), one
+   connection at a time, one request per connection, close after the
+   response.  That is all a Prometheus scrape or a control command
+   needs, and it keeps the attack surface of a sensor's admin port as
+   small as it can be: no keep-alive, no chunking, no headers parsed
+   beyond the request line, bounded request size.
+
+   The loop runs in a sys-thread of the daemon's domain, so handlers
+   share the runtime lock with the serve loop — handler code can read
+   the daemon's registries without cross-domain races. *)
+
+type listen = Unix_socket of string | Tcp of int
+
+type request = { verb : string; path : string }
+type response = { status : int; body : string; content_type : string }
+
+let ok ?(content_type = "text/plain; version=0.0.4; charset=utf-8") body =
+  { status = 200; body; content_type }
+
+let error status body = { status; body; content_type = "text/plain" }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let max_request = 4096
+
+type t = {
+  sock : Unix.file_descr;
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+  address : string;
+}
+
+let address t = t.address
+
+let read_request fd =
+  (* read until the header terminator or the size bound; the request
+     line is all we act on *)
+  let buf = Bytes.create max_request in
+  let rec fill off =
+    if off >= max_request then off
+    else
+      let contains_terminator () =
+        let s = Bytes.sub_string buf 0 off in
+        let has sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        has "\r\n\r\n" || has "\n\n"
+      in
+      if off > 0 && contains_terminator () then off
+      else
+        match Unix.read fd buf off (max_request - off) with
+        | 0 -> off
+        | n -> fill (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill off
+  in
+  let n = fill 0 in
+  let text = Bytes.sub_string buf 0 n in
+  match String.index_opt text '\n' with
+  | None -> None
+  | Some i -> (
+      let line = String.trim (String.sub text 0 i) in
+      match String.split_on_char ' ' line with
+      | verb :: path :: _ -> Some { verb; path }
+      | _ -> None)
+
+let write_response fd { status; body; content_type } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (reason_phrase status) content_type (String.length body)
+  in
+  let payload = head ^ body in
+  let rec write_all off =
+    if off < String.length payload then
+      match
+        Unix.write_substring fd payload off (String.length payload - off)
+      with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+  in
+  (try write_all 0 with Unix.Unix_error _ -> ())
+
+let handle_connection handler fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match read_request fd with
+      | None -> write_response fd (error 400 "bad request\n")
+      | Some req -> (
+          match handler req with
+          | resp -> write_response fd resp
+          | exception e ->
+              write_response fd
+                (error 500 (Printf.sprintf "handler: %s\n" (Printexc.to_string e)))))
+
+(* Poll with select so [stop] can take effect: a thread blocked in a
+   bare [accept] is NOT woken when another thread closes the listening
+   fd, so the loop must come up for air to observe [stopping]. *)
+let accept_loop t handler =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.sock ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.sock with
+          | fd, _ -> handle_connection handler fd
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error _ -> Atomic.set t.stopping true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          (* the listening socket was closed under us: stop *)
+          Atomic.set t.stopping true);
+      loop ()
+    end
+  in
+  loop ()
+
+let start listen handler =
+  match
+    match listen with
+    | Unix_socket path ->
+        (try if Sys.file_exists path then Sys.remove path
+         with Sys_error _ -> ());
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Ok (sock, path)
+    | Tcp port ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Ok (sock, Printf.sprintf "127.0.0.1:%d" port)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "listen: %s" (Unix.error_message e))
+  | Error _ as e -> e
+  | Ok (sock, address) ->
+      Unix.listen sock 16;
+      let t = { sock; thread = Thread.self (); stopping = Atomic.make false; address } in
+      let thread = Thread.create (fun () -> accept_loop t handler) () in
+      Ok { t with thread }
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* the loop notices within one select interval; close only after the
+     join so the fd number cannot be reused under a racing accept *)
+  Thread.join t.thread;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* The matching one-shot client, used by `sanids ctl` (and usable from
+   tests): connect, send one HTTP/1.0 request, return (status, body). *)
+
+let rec connect_with_retry addr ~deadline =
+  let sock =
+    match addr with
+    | Unix.ADDR_UNIX _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | Unix.ADDR_INET _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+  in
+  match Unix.connect sock addr with
+  | () -> Ok sock
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.05;
+        connect_with_retry addr ~deadline
+      end
+      else Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+
+let request ?(timeout = 10.0) listen ~verb ~path () =
+  let addr =
+    match listen with
+    | Unix_socket p -> Unix.ADDR_UNIX p
+    | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  in
+  let deadline = Unix.gettimeofday () +. timeout in
+  match connect_with_retry addr ~deadline with
+  | Error _ as e -> e
+  | Ok sock ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          let req = Printf.sprintf "%s %s HTTP/1.0\r\n\r\n" verb path in
+          let rec write_all off =
+            if off < String.length req then
+              write_all (off + Unix.write_substring sock req off (String.length req - off))
+          in
+          match write_all 0 with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "write: %s" (Unix.error_message e))
+          | () -> (
+              let buf = Buffer.create 1024 in
+              let chunk = Bytes.create 4096 in
+              let rec drain () =
+                match Unix.read sock chunk 0 (Bytes.length chunk) with
+                | 0 -> ()
+                | n ->
+                    Buffer.add_subbytes buf chunk 0 n;
+                    drain ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+              in
+              (try drain () with Unix.Unix_error _ -> ());
+              let text = Buffer.contents buf in
+              match String.index_opt text ' ' with
+              | None -> Error "malformed response"
+              | Some i -> (
+                  let rest = String.sub text (i + 1) (String.length text - i - 1) in
+                  let code =
+                    match String.index_opt rest ' ' with
+                    | Some j -> int_of_string_opt (String.sub rest 0 j)
+                    | None -> None
+                  in
+                  let body =
+                    (* body follows the first blank line *)
+                    let n = String.length text in
+                    let rec find i =
+                      if i + 4 <= n && String.sub text i 4 = "\r\n\r\n" then
+                        Some (i + 4)
+                      else if i + 2 <= n && String.sub text i 2 = "\n\n" then
+                        Some (i + 2)
+                      else if i >= n then None
+                      else find (i + 1)
+                    in
+                    match find 0 with
+                    | Some p -> String.sub text p (n - p)
+                    | None -> ""
+                  in
+                  match code with
+                  | Some c -> Ok (c, body)
+                  | None -> Error "malformed status line")))

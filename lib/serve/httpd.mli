@@ -1,0 +1,45 @@
+(** A minimal blocking HTTP/1.0 responder for the daemon's admin plane.
+
+    One listening socket, one sys-thread, one connection at a time, one
+    request per connection — exactly what a Prometheus scrape or a
+    {!Serve} control command needs and nothing more.  Because the
+    accept loop is a sys-thread of the daemon's own domain, handlers
+    run under the shared runtime lock and may read the daemon's
+    registries without cross-domain synchronisation. *)
+
+type listen = Unix_socket of string | Tcp of int
+(** Where to listen: a Unix-domain socket path (removed and rebound on
+    start) or a loopback TCP port. *)
+
+type request = { verb : string; path : string }
+
+type response = { status : int; body : string; content_type : string }
+
+val ok : ?content_type:string -> string -> response
+(** 200 with the Prometheus text-format content type by default. *)
+
+val error : int -> string -> response
+
+type t
+
+val start : listen -> (request -> response) -> (t, string) result
+(** Bind, listen, and spawn the accept thread.  Handler exceptions
+    become 500 responses; they never kill the loop. *)
+
+val stop : t -> unit
+(** Close the listener (waking a blocked [accept]) and join the
+    thread.  Idempotent in effect. *)
+
+val address : t -> string
+(** Human-readable bound address, for logs. *)
+
+val request :
+  ?timeout:float ->
+  listen ->
+  verb:string ->
+  path:string ->
+  unit ->
+  (int * string, string) result
+(** One-shot client: connect (retrying until [timeout] seconds to
+    absorb daemon start-up races), send a single HTTP/1.0 request, and
+    return [(status, body)].  This is what [sanids ctl] uses. *)

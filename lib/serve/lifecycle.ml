@@ -1,0 +1,72 @@
+(* The serving control plane as a pure transition function.
+
+   Every lifecycle decision the daemon makes — may this reload proceed,
+   what does a SIGTERM during a reload mean, when is it legal to stop —
+   lives here, with no I/O, no clock and no mutable state, so the whole
+   protocol is enumerable in a unit test.  The daemon ({!Serve}) only
+   ever changes phase by calling [step]; an [Error] result is a
+   protocol violation the daemon reports instead of acting on.
+
+   The generation is the reload epoch: it starts at 1 when serving
+   begins and increments only on an applied (lint-clean) reload.  A
+   rejected reload returns to [Running] with the generation — and the
+   serving data plane — untouched; that is the atomicity the reload
+   gate promises. *)
+
+type state =
+  | Starting
+  | Running of int
+  | Reloading of int  (* gate in progress; the old generation serves on *)
+  | Draining of int
+  | Stopped of int
+
+type event =
+  | Ready
+  | Reload_request
+  | Reload_applied
+  | Reload_rejected
+  | Drain_request
+  | Drained
+
+let initial = Starting
+
+let generation = function
+  | Starting -> 0
+  | Running g | Reloading g | Draining g | Stopped g -> g
+
+let state_to_string = function
+  | Starting -> "starting"
+  | Running g -> Printf.sprintf "running(gen=%d)" g
+  | Reloading g -> Printf.sprintf "reloading(gen=%d)" g
+  | Draining g -> Printf.sprintf "draining(gen=%d)" g
+  | Stopped g -> Printf.sprintf "stopped(gen=%d)" g
+
+let event_to_string = function
+  | Ready -> "ready"
+  | Reload_request -> "reload_request"
+  | Reload_applied -> "reload_applied"
+  | Reload_rejected -> "reload_rejected"
+  | Drain_request -> "drain_request"
+  | Drained -> "drained"
+
+let step state event =
+  match (state, event) with
+  | Starting, Ready -> Ok (Running 1)
+  | Running g, Reload_request -> Ok (Reloading g)
+  | Reloading g, Reload_applied -> Ok (Running (g + 1))
+  | Reloading g, Reload_rejected -> Ok (Running g)
+  (* drain always wins: a shutdown request mid-gate abandons the reload *)
+  | (Running g | Reloading g), Drain_request -> Ok (Draining g)
+  (* a second drain request is harmless, not a violation — SIGTERM may
+     arrive again while queues flush *)
+  | Draining g, Drain_request -> Ok (Draining g)
+  | Draining g, Drained -> Ok (Stopped g)
+  | ( (Starting | Running _ | Reloading _ | Draining _ | Stopped _),
+      (Ready | Reload_request | Reload_applied | Reload_rejected
+      | Drain_request | Drained ) ) ->
+      Error
+        (Printf.sprintf "invalid lifecycle transition: %s in state %s"
+           (event_to_string event) (state_to_string state))
+
+let is_stopped = function Stopped _ -> true | _ -> false
+let can_serve = function Running _ | Reloading _ -> true | _ -> false

@@ -1,0 +1,48 @@
+(** The serving control plane: a pure state machine.
+
+    [Starting → Running → (Reloading → Running)* → Draining → Stopped],
+    with the generation counting applied reloads.  {!step} is total and
+    effect-free — every transition the daemon may take is enumerable
+    (and enumerated, in the test suite), and an [Error] is a protocol
+    violation {!Serve} reports rather than acts on.
+
+    Protocol facts encoded here:
+    - a reload gate runs in [Reloading] while the {e old} generation
+      keeps serving; [Reload_rejected] returns to [Running] with the
+      generation unchanged (atomic rejection), [Reload_applied]
+      increments it;
+    - [Drain_request] wins from both [Running] and [Reloading] — a
+      shutdown during a reload abandons the reload;
+    - a repeated [Drain_request] while [Draining] is idempotent
+      (SIGTERM may arrive twice);
+    - only [Draining] may reach [Stopped], via [Drained]. *)
+
+type state =
+  | Starting
+  | Running of int  (** serving generation [g >= 1] *)
+  | Reloading of int  (** reload gate running; generation [g] serves on *)
+  | Draining of int
+  | Stopped of int
+
+type event =
+  | Ready
+  | Reload_request
+  | Reload_applied
+  | Reload_rejected
+  | Drain_request
+  | Drained
+
+val initial : state
+(** [Starting]. *)
+
+val step : state -> event -> (state, string) result
+
+val generation : state -> int
+(** [0] while [Starting], the serving/last generation otherwise. *)
+
+val is_stopped : state -> bool
+val can_serve : state -> bool
+(** [Running] or [Reloading] — states in which packets flow. *)
+
+val state_to_string : state -> string
+val event_to_string : event -> string

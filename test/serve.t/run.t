@@ -1,0 +1,109 @@
+The serve daemon end to end: lint-gated hot reload over a control
+socket, live Prometheus metrics, and a graceful drain whose
+reconciliation line accounts for every record.
+
+Seed a spool directory and a clean live configuration:
+
+  $ sanids gen-trace seed.pcap --kind codered --packets 300 --instances 2 --seed 7
+  ground truth: 314 packets, 2 CRII instances, 12 scans (unused space: 10.2.200.0/21)
+  wrote seed.pcap (314 packets)
+  $ mkdir spool
+  $ cp seed.pcap spool/a.pcap
+  $ printf 'scan_threshold=4\nunused=10.2.200.0/21\n' > live.conf
+
+A dirty configuration cannot even start the daemon — the startup path
+runs the same lint gate as hot reload:
+
+  $ printf 'scan_threshold=0\n' > dead.conf
+  $ sanids serve spool --config-file dead.conf
+  sanids serve: configuration rejected: SL201 error config: scan_threshold must be positive (got 0)
+  [65]
+
+Start the daemon on a Unix control socket and probe it:
+
+  $ sanids serve spool --socket ctl.sock --config-file live.conf --domains 2 > serve.log 2>&1 &
+  $ sanids ctl health --socket ctl.sock
+  ok state=running(gen=1) generation=1
+
+Wait until the first spool file is fully dispatched, then scrape the
+generation gauge and reload counters:
+
+  $ i=0; until [ "$(sanids ctl metrics --socket ctl.sock | awk '/^sanids_ingest_records_total /{print $2}')" = "314" ] || [ $i -ge 200 ]; do i=$((i+1)); sleep 0.1; done
+  $ sanids ctl metrics --socket ctl.sock | grep -E '^sanids_(config_generation|reload_total)'
+  sanids_config_generation 1
+  sanids_reload_total{outcome="applied"} 0
+  sanids_reload_total{outcome="rejected"} 0
+
+A dirty reload is rejected atomically: typed exit 65, the rejected
+counter ticks, and generation 1 keeps serving untouched:
+
+  $ cp live.conf live.conf.good
+  $ printf 'scan_threshold=0\n' > live.conf
+  $ sanids ctl reload --socket ctl.sock
+  rejected: SL201 error config: scan_threshold must be positive (got 0)
+  [65]
+  $ sanids ctl health --socket ctl.sock
+  ok state=running(gen=1) generation=1
+  $ sanids ctl metrics --socket ctl.sock | grep -E '^sanids_(config_generation|reload_total)'
+  sanids_config_generation 1
+  sanids_reload_total{outcome="applied"} 0
+  sanids_reload_total{outcome="rejected"} 1
+
+A clean reload swaps generations without losing a packet:
+
+  $ cp live.conf.good live.conf
+  $ sanids ctl reload --socket ctl.sock
+  applied generation=2
+  $ sanids ctl health --socket ctl.sock
+  ok state=running(gen=2) generation=2
+  $ sanids ctl metrics --socket ctl.sock | grep -E '^sanids_(config_generation|reload_total)'
+  sanids_config_generation 2
+  sanids_reload_total{outcome="applied"} 1
+  sanids_reload_total{outcome="rejected"} 1
+
+The new generation picks up newly spooled captures:
+
+  $ cp seed.pcap spool/b.pcap
+  $ i=0; until [ "$(sanids ctl metrics --socket ctl.sock | awk '/^sanids_ingest_records_total /{print $2}')" = "628" ] || [ $i -ge 200 ]; do i=$((i+1)); sleep 0.1; done
+
+Drain gracefully and wait for the daemon to exit:
+
+  $ sanids ctl drain --socket ctl.sock
+  drained generation=2
+  $ wait
+
+The lifecycle transcript: both generations served, the dirty reload
+rejected in place, and the reconciliation identity holds exactly
+(records = verdicts + errors + shed + failed):
+
+  $ grep '^serve:' serve.log
+  serve: source dir:spool
+  serve: generation 1 serving
+  serve: control socket ctl.sock
+  serve: reload rejected: SL201 error config: scan_threshold must be positive (got 0)
+  serve: generation 2 serving
+  serve: draining
+  serve: reconciliation records=628 verdicts=628 errors=0 shed=0 failed=0 reconciled
+  serve: stopped generation=2
+  $ grep -c 'ALERT code-red-ii' serve.log
+  4
+  $ awk '/^serve: reconciliation/{split($3,r,"=");split($4,v,"=");split($5,e,"=");split($6,s,"=");split($7,f,"=");bad=(r[2]!=v[2]+e[2]+s[2]+f[2])} END{exit bad}' serve.log
+
+SIGTERM over a FIFO source is the same graceful drain:
+
+  $ mkfifo stream.pcap
+  $ sanids serve stream.pcap --socket ctl2.sock > serve2.log 2>&1 &
+  $ pid=$!
+  $ cat seed.pcap > stream.pcap
+  $ sanids ctl health --socket ctl2.sock
+  ok state=running(gen=1) generation=1
+  $ i=0; until [ "$(sanids ctl metrics --socket ctl2.sock | awk '/^sanids_ingest_records_total /{print $2}')" = "314" ] || [ $i -ge 200 ]; do i=$((i+1)); sleep 0.1; done
+  $ kill -TERM $pid
+  $ wait $pid
+  $ grep '^serve:' serve2.log
+  serve: source fifo:stream.pcap
+  serve: generation 1 serving
+  serve: control socket ctl2.sock
+  serve: draining
+  serve: reconciliation records=314 verdicts=314 errors=0 shed=0 failed=0 reconciled
+  serve: stopped generation=1

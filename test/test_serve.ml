@@ -1,0 +1,316 @@
+(* The serving-path contract: the lifecycle state machine's full
+   transition table (including reload-rejected atomicity and
+   drain-during-reload), the reload gate, the configuration spec
+   grammar shared with the CLI, the no-negative-rates law of
+   Snapshot.diff, and an Httpd round trip. *)
+
+module Obs = Sanids_obs
+module Lifecycle = Sanids_serve.Lifecycle
+module Httpd = Sanids_serve.Httpd
+module Serve = Sanids_serve.Serve
+module Config = Sanids_nids.Config
+
+open Lifecycle
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle: the entire transition table, exhaustively.
+
+   [expected] re-states the protocol independently of the
+   implementation; the test folds every (state, event) pair through
+   [step] and compares.  Adding a state or event without extending the
+   protocol here fails the build (non-exhaustive match is an error). *)
+
+let states = [ Starting; Running 1; Running 7; Reloading 1; Reloading 7; Draining 2; Stopped 2 ]
+let events =
+  [ Ready; Reload_request; Reload_applied; Reload_rejected; Drain_request; Drained ]
+
+let expected state event =
+  match (state, event) with
+  | Starting, Ready -> Some (Running 1)
+  | Running g, Reload_request -> Some (Reloading g)
+  | Reloading g, Reload_applied -> Some (Running (g + 1))
+  (* atomic rejection: generation unchanged *)
+  | Reloading g, Reload_rejected -> Some (Running g)
+  (* drain wins from Running AND mid-reload *)
+  | Running g, Drain_request | Reloading g, Drain_request -> Some (Draining g)
+  (* repeated SIGTERM is idempotent *)
+  | Draining g, Drain_request -> Some (Draining g)
+  | Draining g, Drained -> Some (Stopped g)
+  | ( (Starting | Running _ | Reloading _ | Draining _ | Stopped _),
+      (Ready | Reload_request | Reload_applied | Reload_rejected
+      | Drain_request | Drained ) ) ->
+      None
+
+let test_transition_table () =
+  List.iter
+    (fun state ->
+      List.iter
+        (fun event ->
+          let label =
+            Printf.sprintf "%s + %s" (state_to_string state)
+              (event_to_string event)
+          in
+          match (step state event, expected state event) with
+          | Ok got, Some want ->
+              Alcotest.(check string) label (state_to_string want)
+                (state_to_string got)
+          | Error _, None -> ()
+          | Ok got, None ->
+              Alcotest.failf "%s: expected rejection, got %s" label
+                (state_to_string got)
+          | Error m, Some want ->
+              Alcotest.failf "%s: expected %s, got error %s" label
+                (state_to_string want) m)
+        events)
+    states
+
+let test_full_lifecycle_walk () =
+  (* start → reject → apply → drain-during-reload → stopped, tracking
+     the generation the whole way *)
+  let s = initial in
+  Alcotest.(check int) "gen 0 at start" 0 (generation s);
+  let s = Result.get_ok (step s Ready) in
+  Alcotest.(check bool) "serving" true (can_serve s);
+  let s = Result.get_ok (step s Reload_request) in
+  let s = Result.get_ok (step s Reload_rejected) in
+  Alcotest.(check int) "rejection keeps gen" 1 (generation s);
+  let s = Result.get_ok (step s Reload_request) in
+  Alcotest.(check bool) "reloading still serves" true (can_serve s);
+  let s = Result.get_ok (step s Reload_applied) in
+  Alcotest.(check int) "applied bumps gen" 2 (generation s);
+  let s = Result.get_ok (step s Reload_request) in
+  let s = Result.get_ok (step s Drain_request) in
+  Alcotest.(check bool) "draining does not serve" false (can_serve s);
+  let s = Result.get_ok (step s Drain_request) in
+  let s = Result.get_ok (step s Drained) in
+  Alcotest.(check bool) "stopped" true (is_stopped s);
+  Alcotest.(check int) "gen survives to stop" 2 (generation s)
+
+(* ------------------------------------------------------------------ *)
+(* Config spec grammar — the same parser the CLI's --set and the
+   daemon's reload path use. *)
+
+let apply spec = Result.map (fun f -> f Config.default) (Config.of_spec spec)
+
+let test_spec_basics () =
+  (match apply "scan_threshold=9" with
+  | Ok cfg -> Alcotest.(check int) "scan_threshold" 9 cfg.Config.scan_threshold
+  | Error m -> Alcotest.fail m);
+  (match apply "classify=off" with
+  | Ok cfg ->
+      Alcotest.(check bool) "classify off" false cfg.Config.classification_enabled
+  | Error m -> Alcotest.fail m);
+  (match apply "drop_policy=drop_oldest" with
+  | Ok cfg ->
+      Alcotest.(check bool) "drop policy" true
+        (cfg.Config.stream_drop_policy = Sanids_util.Bqueue.Drop_oldest)
+  | Error m -> Alcotest.fail m);
+  (* nested comma-spec passes through the first-'=' split unescaped *)
+  (match apply "budget=bytes=65536,insns=100,steps=1000,deadline=0.5" with
+  | Ok cfg ->
+      Alcotest.(check bool) "budget set" true (cfg.Config.analysis_budget <> None)
+  | Error m -> Alcotest.fail m)
+
+let test_spec_errors () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "unknown key" true (is_error (apply "bogus=1"));
+  Alcotest.(check bool) "missing =" true (is_error (apply "scan_threshold"));
+  Alcotest.(check bool) "bad int" true (is_error (apply "scan_threshold=ten"));
+  Alcotest.(check bool) "bad bool" true (is_error (apply "classify=maybe"));
+  Alcotest.(check bool) "bad nested spec" true (is_error (apply "budget=bytes=x"))
+
+let test_spec_lines () =
+  match Config.of_lines [ "# comment"; ""; "scan_threshold=5"; "  classify=no  " ] with
+  | Ok f ->
+      let cfg = f Config.default in
+      Alcotest.(check int) "threshold" 5 cfg.Config.scan_threshold;
+      Alcotest.(check bool) "classify" false cfg.Config.classification_enabled
+  | Error m -> Alcotest.fail m
+
+let test_spec_lines_error_position () =
+  match Config.of_lines [ "scan_threshold=5"; "junk" ] with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line prefix in %S" m)
+        true
+        (String.length m >= 7 && String.sub m 0 7 = "line 2:")
+
+(* ------------------------------------------------------------------ *)
+(* The reload gate, without a daemon. *)
+
+let temp_conf contents =
+  let path = Filename.temp_file "sanids_serve_test" ".conf" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let test_gate_accepts_clean () =
+  let path = temp_conf "scan_threshold=4\nverdict_cache=1024\n" in
+  (match
+     Serve.reload_candidate ~base:Config.default ~config_file:(Some path)
+       ~rules_file:None
+   with
+  | Ok cfg -> Alcotest.(check int) "applied" 4 cfg.Config.scan_threshold
+  | Error m -> Alcotest.fail m);
+  Sys.remove path
+
+let test_gate_rejects_dirty () =
+  let path = temp_conf "scan_threshold=0\n" in
+  (match
+     Serve.reload_candidate ~base:Config.default ~config_file:(Some path)
+       ~rules_file:None
+   with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error m ->
+      (* the reason carries the lint code so operators can look it up *)
+      let has_code =
+        let rec find i =
+          i + 5 <= String.length m
+          && (String.sub m i 5 = "SL201" || find (i + 1))
+        in
+        find 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "SL201 in %S" m) true has_code);
+  Sys.remove path
+
+let test_gate_rejects_unparsable () =
+  let path = temp_conf "what even is this\n" in
+  (match
+     Serve.reload_candidate ~base:Config.default ~config_file:(Some path)
+       ~rules_file:None
+   with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error _ -> ());
+  Sys.remove path
+
+let test_gate_no_file_is_base () =
+  match
+    Serve.reload_candidate ~base:Config.default ~config_file:None
+      ~rules_file:None
+  with
+  | Ok cfg ->
+      Alcotest.(check int) "base passes" Config.default.Config.scan_threshold
+        cfg.Config.scan_threshold
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot.diff: never a negative rate.  Counters and histogram
+   buckets in [diff ~newer ~older] must be >= 0 even when the "newer"
+   snapshot regresses (worker respawn, generation swap). *)
+
+let hist_snap obs =
+  let h = Obs.Histogram.create () in
+  List.iter (fun n -> Obs.Histogram.observe h (float_of_int n)) obs;
+  Obs.Histogram.snap h
+
+let snapshot_gen =
+  let open QCheck2.Gen in
+  let entry =
+    oneof
+      [
+        map2
+          (fun i n -> (Printf.sprintf "c%d_total" (i mod 3), Obs.Snapshot.Counter (n mod 500)))
+          small_nat small_nat;
+        map2
+          (fun i n ->
+            (Printf.sprintf "g%d" (i mod 3), Obs.Snapshot.Gauge (float_of_int (n mod 500))))
+          small_nat small_nat;
+        map2
+          (fun i obs -> (Printf.sprintf "h%d_seconds" (i mod 2), Obs.Snapshot.Hist (hist_snap obs)))
+          small_nat
+          (list_size (int_range 0 6) (int_range 0 30));
+      ]
+  in
+  map Obs.Snapshot.of_list (list_size (int_range 0 10) entry)
+
+let non_negative snap =
+  List.for_all
+    (fun (_, v) ->
+      match v with
+      | Obs.Snapshot.Counter c -> c >= 0
+      | Obs.Snapshot.Gauge _ -> true
+      | Obs.Snapshot.Hist h ->
+          Obs.Histogram.count h >= 0
+          && Array.for_all (fun c -> c >= 0) h.Obs.Histogram.counts)
+    (Obs.Snapshot.to_list snap)
+
+let prop_diff_never_negative =
+  QCheck2.Test.make ~name:"Snapshot.diff never yields negative rates" ~count:500
+    QCheck2.Gen.(pair snapshot_gen snapshot_gen)
+    (fun (newer, older) ->
+      non_negative (Obs.Snapshot.diff ~newer ~older))
+
+let prop_diff_of_merge_recovers =
+  (* the intended use: older is a prefix of newer's history, so the
+     diff recovers exactly the increment *)
+  QCheck2.Test.make ~name:"Snapshot.diff inverts merge on counters" ~count:500
+    QCheck2.Gen.(pair snapshot_gen snapshot_gen)
+    (fun (older, increment) ->
+      let newer = Obs.Snapshot.merge older increment in
+      let d = Obs.Snapshot.diff ~newer ~older in
+      List.for_all
+        (fun (name, v) ->
+          match v with
+          | Obs.Snapshot.Counter c ->
+              Obs.Snapshot.counter_value d name = c
+          | _ -> true)
+        (Obs.Snapshot.to_list increment))
+
+let diff_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_diff_never_negative; prop_diff_of_merge_recovers ]
+
+(* ------------------------------------------------------------------ *)
+(* Httpd round trip over a Unix socket. *)
+
+let test_httpd_roundtrip () =
+  let path = Filename.temp_file "sanids_httpd_test" ".sock" in
+  Sys.remove path;
+  let handler req =
+    match req.Httpd.path with
+    | "/ping" -> Httpd.ok ~content_type:"text/plain" "pong\n"
+    | _ -> Httpd.error 404 "nope\n"
+  in
+  match Httpd.start (Httpd.Unix_socket path) handler with
+  | Error m -> Alcotest.fail m
+  | Ok server ->
+      let listen = Httpd.Unix_socket path in
+      (match Httpd.request ~timeout:5.0 listen ~verb:"GET" ~path:"/ping" () with
+      | Ok (status, body) ->
+          Alcotest.(check int) "status" 200 status;
+          Alcotest.(check string) "body" "pong\n" body
+      | Error m -> Alcotest.fail m);
+      (match Httpd.request ~timeout:5.0 listen ~verb:"GET" ~path:"/missing" () with
+      | Ok (status, _) -> Alcotest.(check int) "404" 404 status
+      | Error m -> Alcotest.fail m);
+      Httpd.stop server;
+      (try Sys.remove path with Sys_error _ -> ())
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "transition table" `Quick test_transition_table;
+          Alcotest.test_case "full walk" `Quick test_full_lifecycle_walk;
+        ] );
+      ( "config spec",
+        [
+          Alcotest.test_case "basics" `Quick test_spec_basics;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "lines" `Quick test_spec_lines;
+          Alcotest.test_case "line position" `Quick test_spec_lines_error_position;
+        ] );
+      ( "reload gate",
+        [
+          Alcotest.test_case "accepts clean" `Quick test_gate_accepts_clean;
+          Alcotest.test_case "rejects dirty" `Quick test_gate_rejects_dirty;
+          Alcotest.test_case "rejects unparsable" `Quick test_gate_rejects_unparsable;
+          Alcotest.test_case "no file serves base" `Quick test_gate_no_file_is_base;
+        ] );
+      ("snapshot diff", diff_properties);
+      ( "httpd",
+        [ Alcotest.test_case "roundtrip" `Quick test_httpd_roundtrip ] );
+    ]

@@ -15,7 +15,7 @@ open Sanids_exploits
 module Obs = Sanids_obs
 
 let schema = "sanids-bench/1"
-let pr = 7
+let pr = 8
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON emission: deterministic key order, fixed float format
@@ -232,6 +232,95 @@ let serve_steady_state ~packets =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Workload 5: confirmation overhead.  A decoder corpus — ADMmutate in
+   both families plus staged, and Clet — replayed through the pipeline
+   with dynamic confirmation off, then on.  Every variant must confirm
+   (the emulator re-executes the decoder and watches it run its own
+   writes); the row prices the opt-in stage against the same scan
+   without it.  The verdict cache admits confirmed analyses, so the
+   steady-state cost is one emulation per distinct payload. *)
+
+let confirm_variants = 16
+
+let confirm_corpus rng =
+  let payload = (Shellcodes.find "classic").Shellcodes.code in
+  Array.init confirm_variants (fun i ->
+      let code =
+        match i mod 4 with
+        | 0 ->
+            (Sanids_polymorph.Admmutate.generate
+               ~family:Sanids_polymorph.Admmutate.Xor_loop rng ~payload)
+              .Sanids_polymorph.Admmutate.code
+        | 1 ->
+            (Sanids_polymorph.Admmutate.generate
+               ~family:Sanids_polymorph.Admmutate.Alt_chain rng ~payload)
+              .Sanids_polymorph.Admmutate.code
+        | 2 ->
+            (Sanids_polymorph.Admmutate.generate_staged rng ~payload)
+              .Sanids_polymorph.Admmutate.code
+        | _ -> (Sanids_polymorph.Clet.generate rng ~payload).Sanids_polymorph.Clet.code
+      in
+      Slice.of_string code)
+
+let confirm_overhead ~packets =
+  let rng = Rng.create 0xC0F1C0F1L in
+  let slices = confirm_corpus rng in
+  let scan cfg =
+    let nids = Pipeline.create cfg in
+    let alerts = ref 0 in
+    let (), dt =
+      time (fun () ->
+          for i = 0 to packets - 1 do
+            let r =
+              Pipeline.analyze_report_slice nids slices.(i mod Array.length slices)
+            in
+            alerts := !alerts + List.length r.Pipeline.verdicts
+          done)
+    in
+    (Stats.of_snapshot (Pipeline.snapshot nids), !alerts, dt)
+  in
+  let base = Config.default |> Config.with_classification false in
+  let _, off_alerts, off_dt = scan base in
+  let on_stats, on_alerts, on_dt =
+    scan
+      (base
+      |> Config.with_confirm (Some Sanids_confirm.Confirm.default_config))
+  in
+  (* The acceptance bar, enforced where the number is produced: every
+     ADMmutate/Clet decoder variant in the corpus must survive dynamic
+     confirmation.  A refutation here is a detection regression, not a
+     performance number. *)
+  if on_stats.Stats.confirmed < confirm_variants then
+    failwith
+      (Printf.sprintf
+         "confirm_overhead: only %d of %d decoder variants confirmed"
+         on_stats.Stats.confirmed confirm_variants);
+  if on_stats.Stats.refuted > 0 then
+    failwith
+      (Printf.sprintf "confirm_overhead: %d decoder variants refuted"
+         on_stats.Stats.refuted);
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  jfield buf ~last:false "packets" (string_of_int packets);
+  jfield buf ~last:false "variants" (string_of_int confirm_variants);
+  jfield buf ~last:false "alerts_off" (string_of_int off_alerts);
+  jfield buf ~last:false "alerts_on" (string_of_int on_alerts);
+  jfield buf ~last:false "confirmed" (string_of_int on_stats.Stats.confirmed);
+  jfield buf ~last:false "refuted" (string_of_int on_stats.Stats.refuted);
+  jfield buf ~last:false "inconclusive"
+    (string_of_int on_stats.Stats.confirm_inconclusive);
+  jfield buf ~last:false "seconds_off" (jfloat off_dt);
+  jfield buf ~last:false "packets_per_sec_off"
+    (jfloat (float_of_int packets /. Float.max off_dt 1e-9));
+  jfield buf ~last:false "seconds" (jfloat on_dt);
+  jfield buf ~last:false "packets_per_sec"
+    (jfloat (float_of_int packets /. Float.max on_dt 1e-9));
+  jfield buf ~last:true "overhead_ratio"
+    (jfloat (on_dt /. Float.max off_dt 1e-9));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 
 let run ~mode ~out () =
   let replay_packets, stream_packets, decode_packets =
@@ -252,6 +341,9 @@ let run ~mode ~out () =
   Printf.printf "bench-json: serve steady state (%d packets)...\n%!"
     stream_packets;
   let serve = serve_steady_state ~packets:stream_packets in
+  Printf.printf "bench-json: confirm overhead (%d packets)...\n%!"
+    replay_packets;
+  let confirm = confirm_overhead ~packets:replay_packets in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema\": %S,\n" schema);
@@ -262,7 +354,8 @@ let run ~mode ~out () =
   Buffer.add_string buf (Printf.sprintf "    \"stream_shedding\": %s,\n" stream);
   Buffer.add_string buf (Printf.sprintf "    \"decode\": %s,\n" decode);
   Buffer.add_string buf
-    (Printf.sprintf "    \"serve_steady_state\": %s\n" serve);
+    (Printf.sprintf "    \"serve_steady_state\": %s,\n" serve);
+  Buffer.add_string buf (Printf.sprintf "    \"confirm_overhead\": %s\n" confirm);
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);

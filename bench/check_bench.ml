@@ -62,7 +62,13 @@ let workload_pps doc ~file workload =
   number_after doc p ~ctx:(workload ^ ".packets_per_sec")
 
 let workloads =
-  [ "outbreak_replay"; "stream_shedding"; "decode"; "serve_steady_state" ]
+  [
+    "outbreak_replay";
+    "stream_shedding";
+    "decode";
+    "serve_steady_state";
+    "confirm_overhead";
+  ]
 
 let validate_schema doc ~file =
   ignore (require doc 0 "\"schema\": \"sanids-bench/1\"" ~ctx:file);
@@ -80,7 +86,12 @@ let validate_schema doc ~file =
     p
     [ "classify"; "extract"; "match"; "analyze" ]
   |> ignore;
-  ignore (require doc 0 "\"minor_words_per_packet\"" ~ctx:file)
+  ignore (require doc 0 "\"minor_words_per_packet\"" ~ctx:file);
+  (* the confirmation row must carry its outcome counts: a baseline
+     where the decoder corpus stopped confirming is not a baseline *)
+  let p = require doc 0 "\"confirm_overhead\"" ~ctx:file in
+  let p = require doc p "\"confirmed\"" ~ctx:(file ^ "/confirm_overhead") in
+  ignore (require doc p "\"refuted\"" ~ctx:(file ^ "/confirm_overhead"))
 
 let () =
   (match Sys.argv with

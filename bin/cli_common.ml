@@ -81,6 +81,9 @@ let policy_conv =
   conv_of_parser ~parse:Bqueue.policy_of_string_result
     ~print:Bqueue.policy_to_string
 
+let confirm_conv =
+  conv_of_parser ~parse:Confirm.config_of_string ~print:Confirm.config_to_string
+
 (* [--set key=value] parses through the daemon's reload grammar
    ({!Config.of_spec}), yielding a configuration updater. *)
 let spec_conv =
@@ -169,6 +172,16 @@ let config_term =
                    analyzed packets).  Open transitions are counted as \
                    sanids_breaker_open_total.")
   in
+  let confirm =
+    Arg.(value & opt (some confirm_conv) None
+         & info [ "confirm" ] ~docv:"SPEC"
+             ~doc:"Dynamic confirmation: $(b,default) or \
+                   $(b,steps=N,syscalls=N,written=N,arena=N).  Every \
+                   matcher hit is executed in the sandboxed emulator; \
+                   refuted matches are demoted (no alert), confirmed \
+                   ones marked, outcomes counted as \
+                   sanids_confirm_total.")
+  in
   let degrade =
     Arg.(value & flag
          & info [ "degrade" ]
@@ -187,10 +200,10 @@ let config_term =
                    flags; keys: honeypot, unused, scan_threshold, \
                    classify, extract, min_payload, reassemble, \
                    verdict_cache, flow_alert_cache, queue, drop_policy, \
-                   budget, breaker, degrade).")
+                   budget, breaker, degrade, confirm).")
   in
   let build honeypots unused no_classify no_extract scan_threshold
-      verdict_cache queue drop_policy budget breaker degrade sets cfg =
+      verdict_cache queue drop_policy budget breaker confirm degrade sets cfg =
     let cfg =
       cfg
       |> Config.with_honeypots honeypots
@@ -203,6 +216,7 @@ let config_term =
       |> Config.with_stream_policy drop_policy
       |> Config.with_budget budget
       |> Config.with_breaker breaker
+      |> Config.with_confirm confirm
       |> Config.with_degrade degrade
     in
     List.fold_left (fun cfg (_, update) -> update cfg) cfg sets
@@ -210,4 +224,4 @@ let config_term =
   Term.(
     const build $ honeypots $ unused $ no_classify $ no_extract
     $ scan_threshold $ verdict_cache $ queue $ drop_policy $ budget $ breaker
-    $ degrade $ sets)
+    $ confirm $ degrade $ sets)

@@ -34,7 +34,8 @@ let gen_trace_cmd =
           Error
             (Printf.sprintf
                "bad adversarial kind %S (want \
-                unicode_bomb|repetition_bomb|jmp_maze|garbage_x86|mixed)"
+                unicode_bomb|repetition_bomb|jmp_maze|garbage_x86|\
+                decoy_decoder|mixed)"
                s)
     in
     Arg.(value
@@ -44,7 +45,9 @@ let gen_trace_cmd =
          & info [ "adv-kind" ] ~docv:"KIND"
              ~doc:"Payload family for the adversarial kind: \
                    $(b,unicode_bomb), $(b,repetition_bomb), $(b,jmp_maze), \
-                   $(b,garbage_x86) or $(b,mixed).")
+                   $(b,garbage_x86), $(b,decoy_decoder) (a matcher false \
+                   positive only dynamic confirmation can refute) or \
+                   $(b,mixed).")
   in
   let payload_size =
     Arg.(value & opt int 8192 & info [ "payload-size" ] ~docv:"BYTES"

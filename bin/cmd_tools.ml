@@ -69,6 +69,57 @@ let emulate_cmd =
              its syscalls - dynamic ground truth for what the code does.")
     Term.(const run $ file_pos $ max_steps)
 
+let emu_test_cmd =
+  let paths =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH"
+           ~doc:"Vector files, or directories expanded to their *.json \
+                 entries.")
+  in
+  let filter =
+    Arg.(value & opt (some string) None
+         & info [ "filter" ] ~docv:"GLOB"
+             ~doc:"Only run cases whose name matches this *-glob.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Spread cases over N domains.")
+  in
+  let dump_failures =
+    Arg.(value & flag
+         & info [ "dump-failures" ]
+             ~doc:"Print every divergence of every failing case, not \
+                   just the per-case count.")
+  in
+  let run paths filter jobs dump_failures =
+    if jobs < 1 then begin
+      Printf.eprintf "emu-test: --jobs wants a positive count, got %d\n" jobs;
+      exit exit_usage
+    end;
+    match Emu_test.run ?filter ~jobs paths with
+    | Error msg ->
+        Printf.eprintf "emu-test: %s\n" msg;
+        exit exit_noinput
+    | Ok report ->
+        List.iter
+          (fun (f : Emu_test.failure) ->
+            Printf.printf "FAIL %s: %s (%d divergences)\n" f.Emu_test.f_file
+              f.Emu_test.f_case
+              (List.length f.Emu_test.f_details);
+            if dump_failures then
+              List.iter (Printf.printf "  %s\n") f.Emu_test.f_details)
+          report.Emu_test.failures;
+        Printf.printf "emu-test: %d/%d cases passed (%d files)\n"
+          (Emu_test.passed report) report.Emu_test.cases report.Emu_test.files;
+        if report.Emu_test.failures <> [] then exit exit_dataerr
+  in
+  Cmd.v
+    (Cmd.info "emu-test"
+       ~doc:"Validate the x86 interpreter against SingleStepTests-style \
+             JSON vectors - the correctness harness under the dynamic \
+             confirmation stage.  Exits 65 when any case diverges.")
+    Term.(const run $ paths $ filter $ jobs $ dump_failures)
+
 let templates_cmd =
   let run () =
     List.iter

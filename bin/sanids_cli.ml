@@ -29,7 +29,7 @@ let () =
         Cmd_serve.serve_cmd; Cmd_serve.ctl_cmd;
         Cmd_gen.gen_trace_cmd; Cmd_gen.gen_exploit_cmd; Cmd_gen.corpus_cmd;
         Cmd_tools.disasm_cmd; Cmd_tools.match_cmd; Cmd_tools.emulate_cmd;
-        Cmd_tools.templates_cmd;
+        Cmd_tools.emu_test_cmd; Cmd_tools.templates_cmd;
         Cmd_lint.lint_cmd;
       ]
   in

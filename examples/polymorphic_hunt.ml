@@ -57,10 +57,13 @@ let () =
   in
   (match Emulator.run ~max_steps:200_000 ~stop_at:payload_addr emu with
   | Emulator.Running, steps ->
-      let decoded = Emulator.read_mem emu payload_addr g1.Admmutate.payload_len in
+      let decoded =
+        Emulator.read_mem_opt emu payload_addr g1.Admmutate.payload_len
+      in
       Printf.printf
         "\nemulation: decoder ran %d steps and reconstructed the payload: %b\n"
-        steps (decoded = payload);
+        steps
+        (decoded = Some payload);
       (match Emulator.run ~max_steps:10_000 emu with
       | Emulator.Syscall 0x80, _ ->
           Printf.printf "emulation: decoded payload reached int 0x80 with eax=%ld (execve)\n"

@@ -1,0 +1,186 @@
+module Emulator = Sanids_x86.Emulator
+module Reg = Sanids_x86.Reg
+
+type config = {
+  max_steps : int;
+  max_syscalls : int;
+  min_written : int;
+  arena_size : int;
+}
+
+let default_config =
+  { max_steps = 20_000; max_syscalls = 16; min_written = 8; arena_size = 1 lsl 18 }
+
+let validate_config c =
+  if c.max_steps < 1 then Error "confirm: steps must be at least 1"
+  else if c.max_steps > 10_000_000 then
+    Error "confirm: steps above 10000000 defeats the bounded-execution point"
+  else if c.max_syscalls < 1 then Error "confirm: syscalls must be at least 1"
+  else if c.min_written < 1 then Error "confirm: written must be at least 1"
+  else if c.arena_size < 8192 then
+    Error "confirm: arena below 8192 leaves no room for code plus stack"
+  else if c.arena_size > 1 lsl 24 then
+    Error "confirm: arena above 16MiB is past any plausible payload"
+  else Ok ()
+
+let config_to_string c =
+  Printf.sprintf "steps=%d,syscalls=%d,written=%d,arena=%d" c.max_steps
+    c.max_syscalls c.min_written c.arena_size
+
+let config_of_string s =
+  let s = String.trim s in
+  if s = "" then Error "confirm: empty spec (use \"default\" or KEY=N,...)"
+  else if s = "default" then Ok default_config
+  else
+    let parse_field acc field =
+      match acc with
+      | Error _ as e -> e
+      | Ok cfg -> (
+          match String.index_opt field '=' with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "confirm: %S is not KEY=N (keys: steps, syscalls, written, \
+                    arena)"
+                   field)
+          | Some i -> (
+              let key = String.trim (String.sub field 0 i) in
+              let v =
+                String.trim
+                  (String.sub field (i + 1) (String.length field - i - 1))
+              in
+              match int_of_string_opt v with
+              | None -> Error (Printf.sprintf "confirm: %s=%S is not a number" key v)
+              | Some n -> (
+                  match key with
+                  | "steps" -> Ok { cfg with max_steps = n }
+                  | "syscalls" -> Ok { cfg with max_syscalls = n }
+                  | "written" -> Ok { cfg with min_written = n }
+                  | "arena" -> Ok { cfg with arena_size = n }
+                  | _ ->
+                      Error
+                        (Printf.sprintf
+                           "confirm: unknown key %S (steps, syscalls, written, \
+                            arena)"
+                           key))))
+    in
+    match
+      List.fold_left parse_field (Ok default_config)
+        (String.split_on_char ',' s)
+    with
+    | Error _ as e -> e
+    | Ok cfg -> (
+        match validate_config cfg with Ok () -> Ok cfg | Error e -> Error e)
+
+type reason = Budget | Fault of string
+
+type outcome =
+  | Confirmed_decrypt of { written : int; steps : int }
+  | Confirmed_syscall of { nr : int; name : string; steps : int }
+  | Refuted of string
+  | Inconclusive of reason
+
+let confirmed = function
+  | Confirmed_decrypt _ | Confirmed_syscall _ -> true
+  | Refuted _ | Inconclusive _ -> false
+
+let label = function
+  | Confirmed_decrypt _ -> "confirmed_decrypt"
+  | Confirmed_syscall _ -> "confirmed_syscall"
+  | Refuted _ -> "refuted"
+  | Inconclusive Budget -> "inconclusive_budget"
+  | Inconclusive (Fault _) -> "inconclusive_fault"
+
+let pp ppf = function
+  | Confirmed_decrypt { written; steps } ->
+      Format.fprintf ppf "confirmed: executed self-written bytes (%d written, %d steps)"
+        written steps
+  | Confirmed_syscall { nr; name; steps } ->
+      Format.fprintf ppf "confirmed: reached %s (int 0x80 eax=%d, %d steps)" name
+        nr steps
+  | Refuted msg -> Format.fprintf ppf "refuted: %s" msg
+  | Inconclusive Budget -> Format.fprintf ppf "inconclusive: step budget exhausted"
+  | Inconclusive (Fault msg) -> Format.fprintf ppf "inconclusive: %s" msg
+
+(* Linux int 0x80 numbers that close the case: a payload that execves or
+   opens a socket has proven hostile intent.  socketcall subcalls 1..17
+   cover socket/bind/connect/listen/accept/…; anything else through
+   eax=102 is treated as a plain (faked) syscall. *)
+let sys_execve = 11
+let sys_socketcall = 102
+
+let run ?(config = default_config) ~code ~entry () =
+  let len = String.length code in
+  if len = 0 then Inconclusive (Fault "empty code image")
+  else if entry < 0 || entry >= len then
+    Inconclusive (Fault (Printf.sprintf "entry 0x%x outside %d-byte image" entry len))
+  else if len > config.arena_size - 4096 then
+    Inconclusive
+      (Fault
+         (Printf.sprintf "image of %d bytes does not fit the %d-byte arena" len
+            config.arena_size))
+  else begin
+    let emu = Emulator.create ~arena_size:config.arena_size ~code () in
+    Emulator.set_eip emu (Int32.add Emulator.code_base (Int32.of_int entry));
+    (* Track every byte the guest stores; seeding happened in [create],
+       so from here on a set bit means the payload modified itself (or
+       built code on its stack). *)
+    let written = Bytes.make ((config.arena_size + 7) / 8) '\000' in
+    let distinct = ref 0 in
+    Emulator.set_write_hook emu
+      (Some
+         (fun addr ->
+           let off = Int32.to_int (Int32.sub addr Emulator.code_base) in
+           if off >= 0 && off < config.arena_size then begin
+             let byte = off lsr 3 and bit = off land 7 in
+             let prev = Char.code (Bytes.get written byte) in
+             if prev land (1 lsl bit) = 0 then begin
+               Bytes.set written byte (Char.chr (prev lor (1 lsl bit)));
+               incr distinct
+             end
+           end));
+    let executing_written () =
+      let off =
+        Int32.to_int (Int32.sub (Emulator.eip emu) Emulator.code_base)
+      in
+      off >= 0
+      && off < config.arena_size
+      && Char.code (Bytes.get written (off lsr 3)) land (1 lsl (off land 7)) <> 0
+    in
+    let rec loop steps syscalls =
+      if !distinct >= config.min_written && executing_written () then
+        Confirmed_decrypt { written = !distinct; steps }
+      else if steps >= config.max_steps then Inconclusive Budget
+      else
+        match Emulator.step emu with
+        | Emulator.Running -> loop (steps + 1) syscalls
+        | Emulator.Halted msg -> Refuted msg
+        | Emulator.Syscall 0x80 -> (
+            let nr =
+              Int32.to_int (Int32.logand (Emulator.reg emu Reg.EAX) 0xFFl)
+            in
+            if nr = sys_execve then
+              Confirmed_syscall { nr; name = "execve"; steps = steps + 1 }
+            else
+              let socket_like =
+                nr = sys_socketcall
+                &&
+                let sub = Emulator.reg emu Reg.EBX in
+                Int32.compare sub 1l >= 0 && Int32.compare sub 17l <= 0
+              in
+              if socket_like then
+                Confirmed_syscall { nr; name = "socketcall"; steps = steps + 1 }
+              else if syscalls + 1 >= config.max_syscalls then
+                Refuted
+                  (Printf.sprintf
+                     "%d syscalls without execve or socketcall" (syscalls + 1))
+              else begin
+                (* fake a kernel: plausible small success return *)
+                Emulator.set_reg emu Reg.EAX 3l;
+                loop (steps + 1) (syscalls + 1)
+              end)
+        | Emulator.Syscall n ->
+            Refuted (Printf.sprintf "interrupt 0x%x is not a linux syscall" n)
+    in
+    loop 0 0
+  end

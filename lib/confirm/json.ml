@@ -1,0 +1,207 @@
+(* Minimal recursive-descent JSON reader — just enough for the emu-test
+   vector corpus.  No external dependency: the toolchain ships no JSON
+   library and the vectors only need objects, arrays, strings, integers,
+   booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let fail st msg = raise (Error (Printf.sprintf "line %d: %s" st.line msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then
+     st.line <- st.line + 1);
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected '%c', found '%c'" c c')
+  | None -> fail st (Printf.sprintf "expected '%c', found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  fail st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail st "bad \\u escape"
+                in
+                st.pos <- st.pos + 4;
+                if code > 0xFF then fail st "\\u escape above 0xFF unsupported"
+                else Buffer.add_char buf (Char.chr code)
+            | c -> fail st (Printf.sprintf "bad escape '\\%c'" c));
+            loop ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_int st =
+  let start = st.pos in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  (* accept 0x… so vectors can write addresses and flag words in hex *)
+  (if
+     st.pos + 1 < String.length st.src
+     && st.src.[st.pos] = '0'
+     && (st.src.[st.pos + 1] = 'x' || st.src.[st.pos + 1] = 'X')
+   then begin
+     advance st;
+     advance st;
+     let rec hex () =
+       match peek st with
+       | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') ->
+           advance st;
+           hex ()
+       | _ -> ()
+     in
+     hex ()
+   end
+   else
+     let rec digits () =
+       match peek st with
+       | Some '0' .. '9' ->
+           advance st;
+           digits ()
+       | _ -> ()
+     in
+     digits ());
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail st (Printf.sprintf "bad number %S" s)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Int (parse_int st)
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else
+    let rec fields acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          fields ((key, v) :: acc)
+      | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, v) :: acc))
+      | _ -> fail st "expected ',' or '}' in object"
+    in
+    fields []
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else
+    let rec items acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          items (v :: acc)
+      | Some ']' ->
+          advance st;
+          List (List.rev ((v :: acc)))
+      | _ -> fail st "expected ',' or ']' in array"
+    in
+    items []
+
+let of_string s =
+  let st = { src = s; pos = 0; line = 1 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Error msg -> Error msg
+
+(* accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None
+let to_obj_opt = function Obj f -> Some f | _ -> None

@@ -1,0 +1,25 @@
+(** A minimal JSON reader for the emu-test vector corpus.
+
+    The toolchain ships no JSON library, and the vectors need only the
+    basics: objects, arrays, strings, integers (decimal or [0x] hex,
+    a convenience extension for addresses), booleans and null.  Floats
+    are rejected. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parse one complete value; the error carries a line number. *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on missing field or non-object. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option

@@ -56,6 +56,10 @@ module Template_lib = Sanids_semantic.Template_lib
 module Matcher = Sanids_semantic.Matcher
 module Breaker = Sanids_semantic.Breaker
 
+(* dynamic confirmation: the emulator as a second verdict stage *)
+module Confirm = Sanids_confirm.Confirm
+module Emu_test = Sanids_confirm.Emu_test
+
 (* classification and extraction *)
 module Honeypot = Sanids_classify.Honeypot
 module Scan_detector = Sanids_classify.Scan_detector

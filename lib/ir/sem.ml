@@ -269,6 +269,18 @@ let lift (i : Insn.t) : t list =
           | None -> [ other [ d ] ])
       | Insn.Reg8 s -> (
           match low_byte_parent s with
+          | Some sp when sp = d ->
+              (* movzx r32, its own low byte: zeroing the destination
+                 first would destroy the source — it is just a mask *)
+              [
+                S_regop
+                  {
+                    op = Ra Insn.And;
+                    width = Insn.S32bit;
+                    dst = d;
+                    src = Vconst 0xFFl;
+                  };
+              ]
           | Some sp ->
               [
                 S_set { width = Insn.S32bit; dst = d; src = Vconst 0l };

@@ -10,9 +10,11 @@ type t = {
   frame_origin : Sanids_extract.Extractor.origin;
   detail : string;
   degraded : bool;
+  confirmed : bool;
 }
 
-let make ?(degraded = false) ~packet ~reason ~frame ~result () =
+let make ?(degraded = false) ?(confirmed = false) ~packet ~reason ~frame ~result
+    () =
   let src_port, dst_port =
     match Packet.ports packet with Some (s, d) -> (s, d) | None -> (0, 0)
   in
@@ -28,6 +30,7 @@ let make ?(degraded = false) ~packet ~reason ~frame ~result () =
     frame_origin = frame.Sanids_extract.Extractor.origin;
     detail = Format.asprintf "%a" Matcher.pp_result result;
     degraded;
+    confirmed;
   }
 
 let pp ppf a =
@@ -38,6 +41,9 @@ let pp ppf a =
     (match a.frame_origin with
     | Sanids_extract.Extractor.Unicode_escape -> "unicode"
     | Sanids_extract.Extractor.Raw_binary -> "raw")
-    (if a.degraded then " [degraded]" else "")
+    (match (a.confirmed, a.degraded) with
+    | true, _ -> " [confirmed]"
+    | false, true -> " [degraded]"
+    | false, false -> "")
 
 let to_line a = Format.asprintf "%a" pp a

@@ -14,10 +14,15 @@ type t = {
   degraded : bool;
       (** raised by the degraded (baseline pattern) pass, not the full
           semantic matcher *)
+  confirmed : bool;
+      (** the dynamic-confirmation stage executed the match and proved
+          it (decryption observed or a hostile syscall reached); renders
+          as [[confirmed]] *)
 }
 
 val make :
   ?degraded:bool ->
+  ?confirmed:bool ->
   packet:Packet.t ->
   reason:Sanids_classify.Classifier.reason ->
   frame:Sanids_extract.Extractor.frame ->

@@ -14,6 +14,7 @@ type t = {
   analysis_budget : Budget.limits option;
   breaker : Breaker.config option;
   degrade : bool;
+  confirm : Sanids_confirm.Confirm.config option;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     analysis_budget = None;
     breaker = None;
     degrade = false;
+    confirm = None;
   }
 
 let with_honeypots honeypots t = { t with honeypots }
@@ -50,6 +52,7 @@ let with_stream_policy stream_drop_policy t = { t with stream_drop_policy }
 let with_budget analysis_budget t = { t with analysis_budget }
 let with_breaker breaker t = { t with breaker }
 let with_degrade degrade t = { t with degrade }
+let with_confirm confirm t = { t with confirm }
 
 (* ------------------------------------------------------------------ *)
 (* The key=value spec layer: one grammar for every tunable the CLI and
@@ -76,7 +79,7 @@ let spec_keys =
   [
     "honeypot"; "unused"; "scan_threshold"; "classify"; "extract";
     "min_payload"; "reassemble"; "verdict_cache"; "flow_alert_cache";
-    "queue"; "drop_policy"; "budget"; "breaker"; "degrade";
+    "queue"; "drop_policy"; "budget"; "breaker"; "degrade"; "confirm";
   ]
 
 let of_spec s =
@@ -122,6 +125,10 @@ let of_spec s =
             (fun c t -> { t with breaker = Some c })
             (Breaker.config_of_string v)
       | "degrade" -> bool_field (fun b t -> { t with degrade = b })
+      | "confirm" ->
+          Result.map
+            (fun c t -> { t with confirm = Some c })
+            (Sanids_confirm.Confirm.config_of_string v)
       | _ ->
           Error
             (Printf.sprintf "config: unknown key %S (want %s)" k
@@ -216,6 +223,18 @@ let lint t =
       "an analysis budget or breaker is set without degrade: truncated \
        packets are silently under-analyzed instead of falling back to the \
        baseline pass";
+  (match Option.map Sanids_confirm.Confirm.validate_config t.confirm with
+  | Some (Error m) -> emit "SL207" Finding.Error m
+  | Some (Ok _) | None -> ());
+  (match t.confirm with
+  | Some c when c.Sanids_confirm.Confirm.max_steps > 1_000_000 ->
+      emit "SL208" Finding.Warn
+        (Printf.sprintf
+           "confirm step budget %d is far above any real decoder's run \
+            length; a hostile packet can hold the analysis thread for the \
+            whole budget"
+           c.Sanids_confirm.Confirm.max_steps)
+  | Some _ | None -> ());
   List.rev !fs
 
 let validate t =

@@ -59,6 +59,14 @@ type t = {
           reporting less; degraded packets are counted as
           [sanids_degraded_total{stage}] and their alerts carry
           {!Alert.t.degraded}. *)
+  confirm : Sanids_confirm.Confirm.config option;
+      (** dynamic confirmation: run every matcher hit in the sandboxed
+          emulator under these budgets and demote verdicts the run
+          refutes ([None], the default, keeps the pipeline pristine).
+          Outcomes are counted as [sanids_confirm_total{outcome}] and
+          timed in the [confirm] stage histogram; refuted matches are
+          dropped from alerting, and only confirmed analyses enter the
+          verdict cache. *)
 }
 
 val default : t
@@ -87,6 +95,9 @@ val with_budget : Budget.limits option -> t -> t
 val with_breaker : Breaker.config option -> t -> t
 val with_degrade : bool -> t -> t
 
+val with_confirm : Sanids_confirm.Confirm.config option -> t -> t
+(** Enable (or disable with [None]) the dynamic-confirmation stage. *)
+
 val of_spec : string -> (t -> t, string) result
 (** [of_spec "key=value"] parses one configuration assignment into an
     updater — the single grammar behind the CLI's
@@ -97,7 +108,9 @@ val of_spec : string -> (t -> t, string) result
     Keys: [honeypot] and [unused] (repeatable, appending), [classify],
     [extract], [reassemble], [degrade] (booleans), [scan_threshold],
     [min_payload], [verdict_cache], [flow_alert_cache], [queue]
-    (integers), [drop_policy], [budget], [breaker] (sub-specs).  Errors
+    (integers), [drop_policy], [budget], [breaker], [confirm]
+    (sub-specs; [confirm=default] enables confirmation with the
+    defaults).  Errors
     carry the same typed ["key: ..."] messages as the sub-parsers, so a
     bad flag and a rejected reload read identically. *)
 
@@ -128,7 +141,11 @@ val lint : t -> Sanids_staticlint.Finding.t list
     - [SL205] {e warn} — a verdict cache too small to be useful
       (between 1 and 63 entries).
     - [SL206] {e warn} — a budget or breaker without [degrade]:
-      truncated packets are silently under-analyzed. *)
+      truncated packets are silently under-analyzed.
+    - [SL207] {e error} — invalid confirmation settings
+      ({!Sanids_confirm.Confirm.validate_config}).
+    - [SL208] {e warn} — a confirm step budget above 1M: a hostile
+      packet can hold the analysis thread for the whole budget. *)
 
 val validate : t -> (t, string) result
 (** Reject configurations that would silently misbehave rather than

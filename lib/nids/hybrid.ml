@@ -66,6 +66,7 @@ let process_packet t packet =
             };
           cached = false;
           degraded = false;
+          confirmation = None;
         }
       in
       [

@@ -1,6 +1,7 @@
 module Classifier = Sanids_classify.Classifier
 module Extractor = Sanids_extract.Extractor
 module Obs = Sanids_obs
+module Confirm = Sanids_confirm.Confirm
 
 let log_src = Logs.Src.create "sanids.pipeline" ~doc:"semantic NIDS pipeline"
 
@@ -11,6 +12,10 @@ type verdict = {
   match_ : Matcher.result;
   cached : bool;  (* served from the verdict cache *)
   degraded : bool;  (* produced by the baseline fallback pass *)
+  confirmation : Confirm.outcome option;
+      (* what the dynamic-confirmation run concluded; [None] when
+         confirmation is off or the verdict is degraded (fabricated
+         entry offsets are not worth executing) *)
 }
 
 type analysis = {
@@ -60,6 +65,7 @@ type stages = {
   st_classify : Obs.Span.stage;
   st_extract : Obs.Span.stage;
   st_match : Obs.Span.stage;
+  st_confirm : Obs.Span.stage;
   st_analyze : Obs.Span.stage;
 }
 
@@ -150,6 +156,7 @@ let create ?tracer (cfg : Config.t) =
         st_classify = Obs.Span.stage reg "classify";
         st_extract = Obs.Span.stage reg "extract";
         st_match = Obs.Span.stage reg "match";
+        st_confirm = Obs.Span.stage reg "confirm";
         st_analyze = Obs.Span.stage reg "analyze";
       };
     vcache_entries =
@@ -202,6 +209,38 @@ let count_degraded t stage =
        ~help:"analyses that fell back to the degraded baseline pass"
        ~labels:[ ("stage", stage) ]
        "sanids_degraded_total")
+
+(* Registered lazily per outcome label, like the truncation/degradation
+   counters: a confirmation-off pipeline exports no confirm series. *)
+let count_confirm t outcome =
+  Obs.Registry.incr
+    (Obs.Registry.counter t.reg ~help:"dynamic-confirmation outcomes"
+       ~labels:[ ("outcome", Confirm.label outcome) ]
+       "sanids_confirm_total")
+
+(* The second verdict stage: execute each (non-degraded) match in the
+   sandboxed emulator, seeded from its structured evidence — the frame's
+   bytes at code_base, entry at the matched offset.  Degraded verdicts
+   carry fabricated entries and are left unconfirmed. *)
+let confirm_verdicts t verdicts =
+  match t.cfg.Config.confirm with
+  | None -> verdicts
+  | Some config ->
+      span t t.st.st_confirm (fun () ->
+          List.map
+            (fun (v : verdict) ->
+              if v.degraded then v
+              else begin
+                let ev = Matcher.evidence v.match_ in
+                let outcome =
+                  Confirm.run ~config
+                    ~code:(Slice.to_string v.frame.Extractor.data)
+                    ~entry:ev.Matcher.ev_entry ()
+                in
+                count_confirm t outcome;
+                { v with confirmation = Some outcome }
+              end)
+            verdicts)
 
 (* The per-template step cap only exists to feed the breaker; without a
    breaker the shared budget (if any) is the sole bound, exactly as
@@ -256,6 +295,7 @@ let degraded_verdicts fb (buffer : Slice.t) candidates =
                     };
                   cached = false;
                   degraded = true;
+                  confirmation = None;
                 }
             else None)
       candidates
@@ -294,7 +334,8 @@ let analyze_frames t payload =
           in
           tripped := report.Matcher.tripped @ !tripped;
           List.map
-            (fun match_ -> { frame; match_; cached = false; degraded = false })
+            (fun match_ ->
+              { frame; match_; cached = false; degraded = false; confirmation = None })
             report.Matcher.results)
         (frames_of t ?budget payload)
     in
@@ -328,10 +369,14 @@ let dedup_by_template verdicts =
       end)
     verdicts
 
-(* One full (uncached) analysis of a buffer, degradation included. *)
+(* One full (uncached) analysis of a buffer, degradation and
+   confirmation included. *)
 let analyze_core t buffer =
   let report = analyze_frames t buffer in
   let report = { report with verdicts = dedup_by_template report.verdicts } in
+  let report =
+    { report with verdicts = confirm_verdicts t report.verdicts }
+  in
   let degraded_stage =
     if not t.cfg.Config.degrade then None
     else
@@ -391,11 +436,25 @@ let analyze_uncached t (buffer : Slice.t) =
       | None ->
           Obs.Registry.incr t.m.vcache_misses;
           let report = analyze_core t buffer in
+          (* with confirmation on, only analyses whose every verdict the
+             emulator confirmed are replayable: refuted and inconclusive
+             outcomes deserve a fresh run (and a refuted match must not
+             be resurrected by a later cache hit) *)
+          let confirm_cacheable =
+            t.cfg.Config.confirm = None
+            || List.for_all
+                 (fun v ->
+                   match v.confirmation with
+                   | Some o -> Confirm.confirmed o
+                   | None -> false)
+                 report.verdicts
+          in
           if
             report.outcome = Budget.Complete
             && (not report.degraded)
             && report.breaker_open = []
             && report.tripped = []
+            && confirm_cacheable
           then begin
             let before = Lru.evictions cache in
             Lru.add cache key report.verdicts;
@@ -455,13 +514,24 @@ let process_packet t packet =
                         (Lru.evictions t.flow_alerted - before);
                       true)
             in
+            (* a match the emulator refuted was a false positive: demote
+               it before it can claim a flow-dedup slot or alert *)
+            let refuted v =
+              match v.confirmation with
+              | Some (Confirm.Refuted _) -> true
+              | Some _ | None -> false
+            in
             let alerts =
               List.filter_map
                 (fun v ->
-                  if fresh v then
+                  if (not (refuted v)) && fresh v then
                     Some
-                      (Alert.make ~degraded:v.degraded ~packet ~reason
-                         ~frame:v.frame ~result:v.match_ ())
+                      (Alert.make ~degraded:v.degraded
+                         ~confirmed:
+                           (match v.confirmation with
+                           | Some o -> Confirm.confirmed o
+                           | None -> false)
+                         ~packet ~reason ~frame:v.frame ~result:v.match_ ())
                   else None)
                 verdicts
             in

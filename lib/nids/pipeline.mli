@@ -20,6 +20,14 @@ type verdict = {
   degraded : bool;
       (** produced by the degraded baseline pattern pass, not the full
           semantic matcher (bindings and offsets are empty) *)
+  confirmation : Sanids_confirm.Confirm.outcome option;
+      (** the dynamic-confirmation stage's second verdict: the match was
+          executed in the sandboxed emulator and either proved
+          ([Confirmed_decrypt]/[Confirmed_syscall]), disproved
+          ([Refuted] — dropped from alerting), or left open
+          ([Inconclusive]).  [None] when {!Config.t.confirm} is unset or
+          the verdict is degraded.  Cached verdicts replay the
+          confirmation stored with them. *)
 }
 (** One template match on one analyzed buffer — the typed result of the
     analysis stages. *)

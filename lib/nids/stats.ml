@@ -22,6 +22,9 @@ type t = {
   degraded : int;
   breaker_open : int;
   worker_restarts : int;
+  confirmed : int;
+  refuted : int;
+  confirm_inconclusive : int;
 }
 
 let zero =
@@ -47,6 +50,9 @@ let zero =
     degraded = 0;
     breaker_open = 0;
     worker_restarts = 0;
+    confirmed = 0;
+    refuted = 0;
+    confirm_inconclusive = 0;
   }
 
 (* The registry metric each field is a view of. *)
@@ -76,6 +82,22 @@ let of_snapshot s =
     degraded = Obs.Snapshot.counter_sum s "sanids_degraded_total";
     breaker_open = Obs.Snapshot.counter_sum s "sanids_breaker_open_total";
     worker_restarts = c "sanids_worker_restarts_total";
+    (* the confirm family's outcome labels, folded to the three fates *)
+    confirmed =
+      (let l outcome =
+         c (Obs.Registry.series_name "sanids_confirm_total"
+              [ ("outcome", outcome) ])
+       in
+       l "confirmed_decrypt" + l "confirmed_syscall");
+    refuted =
+      c (Obs.Registry.series_name "sanids_confirm_total"
+           [ ("outcome", "refuted") ]);
+    confirm_inconclusive =
+      (let l outcome =
+         c (Obs.Registry.series_name "sanids_confirm_total"
+              [ ("outcome", outcome) ])
+       in
+       l "inconclusive_budget" + l "inconclusive_fault");
   }
 
 let decode_memo_ratio t =
@@ -84,9 +106,10 @@ let decode_memo_ratio t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d ingest_errors=%d shed=%d worker_failures=%d truncated=%d degraded=%d breaker_open=%d worker_restarts=%d"
+    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d ingest_errors=%d shed=%d worker_failures=%d truncated=%d degraded=%d breaker_open=%d worker_restarts=%d confirm=%d/%d/%d"
     t.packets t.bytes t.classified_suspicious t.prefilter_hits t.frames
     t.frame_bytes t.alerts t.analysis_seconds t.verdict_cache_hits
     t.verdict_cache_misses t.verdict_cache_evictions (decode_memo_ratio t)
     t.scan_budget_exhausted t.ingest_errors t.shed t.worker_failures
     t.budget_truncated t.degraded t.breaker_open t.worker_restarts
+    t.confirmed t.refuted t.confirm_inconclusive

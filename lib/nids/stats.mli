@@ -50,6 +50,16 @@ type t = {
   worker_restarts : int;
       (** stalled workers abandoned and respawned by the parallel
           watchdog *)
+  confirmed : int;
+      (** matches the dynamic-confirmation stage proved by execution
+          (the [sanids_confirm_total{outcome}] family's
+          [confirmed_decrypt] + [confirmed_syscall]) *)
+  refuted : int;
+      (** matches the emulator disproved — demoted false positives
+          ([sanids_confirm_total{outcome="refuted"}]) *)
+  confirm_inconclusive : int;
+      (** confirmation runs that ran out of budget or could not be
+          seeded *)
 }
 
 val zero : t

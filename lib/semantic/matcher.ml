@@ -599,3 +599,27 @@ let pp_result ppf r =
        (List.map (fun (v, reg) -> Printf.sprintf "%s=%s" v (Reg.name reg)) r.reg_bindings))
     (String.concat ";"
        (List.map (fun (v, c) -> Printf.sprintf "%s=0x%lx" v c) r.const_bindings))
+
+type evidence = {
+  ev_template : string;
+  ev_entry : int;
+  ev_span : (int * int) option;
+  ev_consts : (Template.cvar * int32) list;
+}
+
+let evidence r =
+  let span =
+    match r.offsets with
+    | [] -> None
+    | o :: rest ->
+        Some
+          (List.fold_left
+             (fun (lo, hi) off -> (min lo off, max hi off))
+             (o, o) rest)
+  in
+  {
+    ev_template = r.template;
+    ev_entry = r.entry;
+    ev_span = span;
+    ev_consts = r.const_bindings;
+  }

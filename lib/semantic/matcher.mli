@@ -99,3 +99,20 @@ val satisfies : Template.t -> string -> bool
 (** The paper's [P |= T] relation, for one region of code. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+type evidence = {
+  ev_template : string;  (** template name that matched *)
+  ev_entry : int;  (** byte offset of the trace entry — where execution
+                       of the matched behaviour starts *)
+  ev_span : (int * int) option;
+      (** lowest and highest matched-instruction offsets; [None] for
+          fabricated results that carry no offsets (degraded fallback) *)
+  ev_consts : (Template.cvar * int32) list;
+      (** constant-variable bindings, e.g. the bound decoder key *)
+}
+(** Structured match evidence — the seam the dynamic-confirmation stage
+    consumes.  Everything a second verdict stage needs to seed an
+    emulator (entry point, matched region, bound constants) without
+    re-deriving it from the offset list. *)
+
+val evidence : result -> evidence

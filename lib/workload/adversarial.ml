@@ -1,12 +1,20 @@
-type kind = Unicode_bomb | Repetition_bomb | Jmp_maze | Garbage_x86 | Mixed
+type kind =
+  | Unicode_bomb
+  | Repetition_bomb
+  | Jmp_maze
+  | Garbage_x86
+  | Decoy_decoder
+  | Mixed
 
-let kinds = [ Unicode_bomb; Repetition_bomb; Jmp_maze; Garbage_x86 ]
+let kinds =
+  [ Unicode_bomb; Repetition_bomb; Jmp_maze; Garbage_x86; Decoy_decoder ]
 
 let kind_to_string = function
   | Unicode_bomb -> "unicode_bomb"
   | Repetition_bomb -> "repetition_bomb"
   | Jmp_maze -> "jmp_maze"
   | Garbage_x86 -> "garbage_x86"
+  | Decoy_decoder -> "decoy_decoder"
   | Mixed -> "mixed"
 
 let kind_of_string = function
@@ -14,6 +22,7 @@ let kind_of_string = function
   | "repetition_bomb" -> Some Repetition_bomb
   | "jmp_maze" -> Some Jmp_maze
   | "garbage_x86" -> Some Garbage_x86
+  | "decoy_decoder" -> Some Decoy_decoder
   | "mixed" -> Some Mixed
   | _ -> None
 
@@ -86,6 +95,46 @@ let jmp_maze rng size =
    differently. *)
 let garbage_x86 rng size = Rng.bytes rng size
 
+module Insn = Sanids_x86.Insn
+module Asm = Sanids_x86.Asm
+module X86_reg = Sanids_x86.Reg
+
+(* A decoder-shaped false positive: a NOP sled into a textbook xor-loop
+   (xor byte [esi], key / inc esi / loop) that the semantic matcher must
+   flag — but whose pointer is a wild address far outside any mapped
+   image, so concretely executing it faults on the very first store.
+   Purely static analysis cannot tell it from ADMmutate; the
+   dynamic-confirmation stage refutes it in a handful of steps. *)
+let decoy_decoder rng size =
+  let wild = Int32.logor 0x0BAD0000l (Int32.of_int (Rng.int rng 0x10000)) in
+  let key = 1 + Rng.int rng 255 in
+  let count = 32 + Rng.int rng 64 in
+  let body =
+    Asm.assemble
+      [
+        Asm.I (Insn.Mov (Insn.S32bit, Insn.Reg X86_reg.ESI, Insn.Imm wild));
+        Asm.I
+          (Insn.Mov (Insn.S32bit, Insn.Reg X86_reg.ECX, Insn.Imm (Int32.of_int count)));
+        Asm.Label "decode";
+        Asm.I
+          (Insn.Arith
+             ( Insn.Xor,
+               Insn.S8bit,
+               Insn.Mem (Insn.mem_base X86_reg.ESI),
+               Insn.Imm (Int32.of_int key) ));
+        Asm.I (Insn.Inc (Insn.S32bit, Insn.Reg X86_reg.ESI));
+        Asm.Loop_to "decode";
+        Asm.I Insn.Int3;
+      ]
+  in
+  let sled = String.make (24 + Rng.int rng 40) '\x90' in
+  let b = Buffer.create size in
+  Buffer.add_string b sled;
+  Buffer.add_string b body;
+  if Buffer.length b < size then
+    Buffer.add_string b (Rng.bytes rng (size - Buffer.length b));
+  Buffer.contents b
+
 let payload ?(kind = Mixed) ?(size = 8192) rng =
   let kind = match kind with Mixed -> Rng.pick_list rng kinds | k -> k in
   match kind with
@@ -93,6 +142,7 @@ let payload ?(kind = Mixed) ?(size = 8192) rng =
   | Repetition_bomb -> repetition_bomb rng size
   | Jmp_maze -> jmp_maze rng size
   | Garbage_x86 -> garbage_x86 rng size
+  | Decoy_decoder -> decoy_decoder rng size
   | Mixed -> assert false
 
 let pick_addr rng p =

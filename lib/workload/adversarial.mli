@@ -15,6 +15,12 @@ type kind =
   | Repetition_bomb  (** long filler runs in many flavours *)
   | Jmp_maze  (** dense jmp-to-jmp chains for the trace walker *)
   | Garbage_x86  (** high-entropy non-printable bytes, junk at every entry *)
+  | Decoy_decoder
+      (** a NOP sled into a textbook xor-decoder whose pointer is a wild
+          unmapped address: statically indistinguishable from ADMmutate
+          (the semantic matcher flags it), concretely a fault on the
+          first store — the false positive the dynamic-confirmation
+          stage exists to refute *)
   | Mixed  (** one of the above, drawn per payload *)
 
 val kinds : kind list

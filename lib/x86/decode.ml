@@ -206,8 +206,9 @@ let decode_one r : Insn.t =
       let size = if op = 0xC0 then Insn.S8bit else Insn.S32bit in
       let digit, rm = parse_modrm r ~size in
       let sop = shift_of_digit digit in
+      (* count 0 is a legal encoding: a no-op that preserves flags *)
       let count = R.u8 r land 0x1F in
-      if count = 0 then raise Unsupported else Insn.Shift (sop, size, rm, count)
+      Insn.Shift (sop, size, rm, count)
   | 0xC3 -> Insn.Ret
   | 0xC6 -> (
       let digit, rm = parse_modrm r ~size:Insn.S8bit in

@@ -9,6 +9,7 @@ type t = {
   mutable pf : bool;
   mutable df : bool;
   mutable steps : int;
+  mutable write_hook : (int32 -> unit) option;
 }
 
 type outcome = Running | Syscall of int | Halted of string
@@ -32,6 +33,7 @@ let create ?(arena_size = 1 lsl 18) ~code () =
       pf = false;
       df = false;
       steps = 0;
+      write_hook = None;
     }
   in
   t.regs.(Reg.code Reg.ESP) <- Int32.add code_base (Int32.of_int (arena_size - 16));
@@ -45,6 +47,7 @@ let flag_zf t = t.zf
 let flag_sf t = t.sf
 let flag_cf t = t.cf
 let steps_taken t = t.steps
+let set_write_hook t hook = t.write_hook <- hook
 
 exception Fault of string
 
@@ -57,7 +60,8 @@ let translate t addr =
 let read8 t addr = Char.code (Bytes.get t.arena (translate t addr))
 
 let write8 t addr v =
-  Bytes.set t.arena (translate t addr) (Char.chr (v land 0xFF))
+  Bytes.set t.arena (translate t addr) (Char.chr (v land 0xFF));
+  match t.write_hook with None -> () | Some hook -> hook addr
 
 let read32 t addr =
   let b i = Int32.of_int (read8 t (Int32.add addr (Int32.of_int i))) in
@@ -78,6 +82,24 @@ let read_mem t addr n =
 
 let write_mem t addr s =
   String.iteri (fun i c -> write8 t (Int32.add addr (Int32.of_int i)) (Char.code c)) s
+
+(* Non-raising variants (the never-raising-constructor convention): a
+   range check up front instead of a per-byte fault, because the
+   raising accessors' partial-write-then-raise behaviour is exactly
+   what callers kept having to defend against. *)
+let in_arena t addr n =
+  let off = Int32.to_int (Int32.sub addr code_base) in
+  n >= 0 && off >= 0 && off <= Bytes.length t.arena - n
+
+let read_mem_opt t addr n =
+  if in_arena t addr n then Some (read_mem t addr n) else None
+
+let write_mem_opt t addr s =
+  if in_arena t addr (String.length s) then begin
+    write_mem t addr s;
+    Some ()
+  end
+  else None
 
 (* ------------------------------------------------------------------ *)
 (* operand helpers *)
@@ -153,15 +175,6 @@ let set_szp t sz result =
   t.sf <- sign_bit sz r;
   t.pf <- parity8 (Int32.to_int r)
 
-(* unsigned comparison helpers over width *)
-let ulessthan sz a b =
-  let mask v =
-    match sz with
-    | Insn.S8bit -> Int64.of_int32 (Int32.logand v 0xFFl)
-    | Insn.S32bit -> Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
-  in
-  Int64.unsigned_compare (mask a) (mask b) < 0
-
 let do_add t sz a b carry_in =
   let c = if carry_in then 1l else 0l in
   let result = truncate sz (Int32.add (Int32.add a b) c) in
@@ -181,7 +194,15 @@ let do_add t sz a b carry_in =
 let do_sub t sz a b borrow_in =
   let c = if borrow_in then 1l else 0l in
   let result = truncate sz (Int32.sub (Int32.sub a b) c) in
-  t.cf <- ulessthan sz a (truncate sz (Int32.add b c)) || (borrow_in && Int32.equal b 0xFFFFFFFFl);
+  (* borrow out of the width, computed wide: the masked-compare form
+     mishandles an all-ones subtrahend in a borrow chain at 8 bits *)
+  let mask v =
+    match sz with
+    | Insn.S8bit -> Int64.of_int32 (Int32.logand v 0xFFl)
+    | Insn.S32bit -> Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
+  in
+  let wide = Int64.sub (mask a) (Int64.add (mask b) (Int64.of_int32 c)) in
+  t.cf <- Int64.compare wide 0L < 0;
   t.ov <- sign_bit sz a <> sign_bit sz b && sign_bit sz result <> sign_bit sz a;
   set_szp t sz result;
   result
@@ -213,7 +234,8 @@ let cond t (cc : Insn.cc) =
   | Insn.G -> (not t.zf) && t.sf = t.ov
 
 let flags_word t =
-  (if t.cf then 1 else 0)
+  2 (* reserved bit 1 always reads as set *)
+  lor (if t.cf then 1 else 0)
   lor (if t.pf then 4 else 0)
   lor (if t.zf then 64 else 0)
   lor (if t.sf then 128 else 0)
@@ -294,7 +316,9 @@ let do_shift t (op : Insn.shift) sz value count =
               if sign_bit sz v then Int32.logor v 0xFFFFFF00l else v
         in
         let r = truncate sz (Int32.shift_right signed n) in
-        t.cf <- Int32.logand (Int32.shift_right_logical v (n - 1)) 1l = 1l;
+        (* last bit shifted out of the sign-extended value: an arithmetic
+           shift keeps supplying sign bits past the operand width *)
+        t.cf <- Int32.logand (Int32.shift_right signed (n - 1)) 1l = 1l;
         set_szp t sz r;
         r
     | Insn.Rol ->
@@ -563,7 +587,7 @@ let step t : outcome =
             t.eip <- next;
             Running
         | Insn.Lahf ->
-            reg8_set t Reg.AH (flags_word t land 0xFF lor 2);
+            reg8_set t Reg.AH (flags_word t land 0xFF);
             t.eip <- next;
             Running
         | Insn.Fwait ->
@@ -596,17 +620,24 @@ let step t : outcome =
             Running
         | Insn.Mul (sz, rm) | Insn.Imul (sz, rm) -> (
             let signed = match d.Decode.insn with Insn.Imul _ -> true | _ -> false in
+            (* CF = OF = the high half is significant (non-zero for MUL,
+               not a sign extension of the low half for IMUL) *)
             match sz with
             | Insn.S8bit ->
                 let a = reg8_get t Reg.AL in
                 let b = Int32.to_int (read_operand t Insn.S8bit rm) land 0xFF in
                 let sx v = if signed && v >= 0x80 then v - 0x100 else v in
-                let product = sx a * sx b land 0xFFFF in
+                let full = sx a * sx b in
                 (* AX = product *)
                 set_reg t Reg.EAX
                   (Int32.logor
                      (Int32.logand (reg t Reg.EAX) 0xFFFF0000l)
-                     (Int32.of_int (product land 0xFFFF)));
+                     (Int32.of_int (full land 0xFFFF)));
+                let significant =
+                  if signed then full < -0x80 || full > 0x7F else full > 0xFF
+                in
+                t.cf <- significant;
+                t.ov <- significant;
                 t.eip <- next;
                 Running
             | Insn.S32bit ->
@@ -619,6 +650,13 @@ let step t : outcome =
                 in
                 set_reg t Reg.EAX (Int64.to_int32 product);
                 set_reg t Reg.EDX (Int64.to_int32 (Int64.shift_right_logical product 32));
+                let significant =
+                  if signed then
+                    not (Int64.equal product (Int64.of_int32 (Int64.to_int32 product)))
+                  else not (Int64.equal (Int64.shift_right_logical product 32) 0L)
+                in
+                t.cf <- significant;
+                t.ov <- significant;
                 t.eip <- next;
                 Running)
         | Insn.Div (sz, rm) | Insn.Idiv (sz, rm) -> (
@@ -664,11 +702,26 @@ let step t : outcome =
                   t.eip <- next;
                   Running)
         | Insn.Imul2 (dst, rm) ->
-            set_reg t dst (Int32.mul (reg t dst) (read_operand t Insn.S32bit rm));
+            let wide =
+              Int64.mul (Int64.of_int32 (reg t dst))
+                (Int64.of_int32 (read_operand t Insn.S32bit rm))
+            in
+            let r = Int64.to_int32 wide in
+            set_reg t dst r;
+            let significant = not (Int64.equal wide (Int64.of_int32 r)) in
+            t.cf <- significant;
+            t.ov <- significant;
             t.eip <- next;
             Running
         | Insn.Imul3 (dst, rm, v) ->
-            set_reg t dst (Int32.mul (read_operand t Insn.S32bit rm) v);
+            let wide =
+              Int64.mul (Int64.of_int32 (read_operand t Insn.S32bit rm)) (Int64.of_int32 v)
+            in
+            let r = Int64.to_int32 wide in
+            set_reg t dst r;
+            let significant = not (Int64.equal wide (Int64.of_int32 r)) in
+            t.cf <- significant;
+            t.ov <- significant;
             t.eip <- next;
             Running
         | Insn.Bad b -> Halted (Printf.sprintf "undecodable byte 0x%02x" b)

@@ -33,14 +33,42 @@ val set_reg : t -> Reg.t -> int32 -> unit
 val eip : t -> int32
 val set_eip : t -> int32 -> unit
 
+val read_mem_opt : t -> int32 -> int -> string option
+(** [read_mem_opt t addr n] is the [n] bytes at [addr], or [None] when
+    any of them falls outside the arena. *)
+
+val write_mem_opt : t -> int32 -> string -> unit option
+(** Store a string into the arena; [None] (and no partial write) when
+    any byte would fall outside it. *)
+
 val read_mem : t -> int32 -> int -> string
-(** @raise Invalid_argument when outside the arena. *)
+[@@deprecated "raises on unmapped addresses; use read_mem_opt"]
 
 val write_mem : t -> int32 -> string -> unit
+[@@deprecated
+  "raises mid-write on unmapped addresses; use write_mem_opt"]
+
+val set_write_hook : t -> (int32 -> unit) option -> unit
+(** Install (or clear) an observer called with the address of every
+    byte the machine stores — guest stores, pushes and string writes
+    all funnel through it.  Host-side seeding via {!write_mem_opt} is
+    observed too; install the hook after seeding to watch only the
+    guest.  The dynamic-confirmation stage uses this to detect
+    self-modifying decoders (writes later executed). *)
 
 val flag_zf : t -> bool
 val flag_sf : t -> bool
 val flag_cf : t -> bool
+
+val flags_word : t -> int
+(** The EFLAGS low word as the machine materializes it for [pushfd]:
+    CF(1) · reserved(2, always set) · PF(4) · ZF(64) · SF(128) ·
+    DF(0x400) · OF(0x800).  Unmodelled flags read as clear. *)
+
+val set_flags_word : t -> int -> unit
+(** Load the modelled flags from an EFLAGS word ([popfd]'s loader);
+    unmodelled bits are ignored.  Lets test vectors seed flag state
+    directly. *)
 
 val step : t -> outcome
 (** Execute one instruction. *)

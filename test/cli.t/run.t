@@ -75,7 +75,7 @@ seeded trace; timings are not, so the checks are structural:
   $ grep '^sanids_classify_scanner_total ' scan.prom
   sanids_classify_scanner_total 9
   $ grep -c '^# TYPE sanids_stage_[a-z]*_seconds histogram$' scan.prom
-  4
+  5
 
 Every line is a comment or a "name value" sample (labeled series
 included) — nothing else:

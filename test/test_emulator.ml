@@ -20,6 +20,11 @@ let run_program ?max_steps insns =
   let outcome, _ = Emulator.run ?max_steps emu in
   (emu, outcome)
 
+let read_mem emu addr n =
+  match Emulator.read_mem_opt emu addr n with
+  | Some s -> s
+  | None -> Alcotest.failf "read of %d bytes at 0x%lx left the arena" n addr
+
 let check_reg emu r expected =
   Alcotest.(check int32) (Reg.name r) expected (Emulator.reg emu r)
 
@@ -157,8 +162,8 @@ let test_string_ops () =
         Insn.Int3;
       ]
   in
-  let copied = Emulator.read_mem emu (Int32.add Emulator.code_base 0x2000l) 4 in
-  let original = Emulator.read_mem emu Emulator.code_base 4 in
+  let copied = read_mem emu (Int32.add Emulator.code_base 0x2000l) 4 in
+  let original = read_mem emu Emulator.code_base 4 in
   Alcotest.(check string) "movsb copies" original copied
 
 let test_self_modifying_code () =
@@ -194,7 +199,7 @@ let test_rep_stos_fill () =
   in
   Alcotest.(check string) "filled"
     (String.make 16 'z')
-    (Emulator.read_mem emu (Int32.add Emulator.code_base 0x3000l) 16);
+    (read_mem emu (Int32.add Emulator.code_base 0x3000l) 16);
   check_reg emu Reg.ECX 0l
 
 let test_rep_movs_copy () =
@@ -210,8 +215,8 @@ let test_rep_movs_copy () =
       ]
   in
   Alcotest.(check string) "copied"
-    (Emulator.read_mem emu Emulator.code_base 8)
-    (Emulator.read_mem emu (Int32.add Emulator.code_base 0x3000l) 8)
+    (read_mem emu Emulator.code_base 8)
+    (read_mem emu (Int32.add Emulator.code_base 0x3000l) 8)
 
 let test_mul_div () =
   let emu, _ =
@@ -315,7 +320,7 @@ let validate_decoder code ~payload_off ~payload_len =
   | Emulator.Syscall _ -> Alcotest.fail "unexpected syscall during decoding"
   | Emulator.Halted m -> Alcotest.failf "decoder halted: %s" m);
   (* the payload must be reconstructed in memory, byte for byte *)
-  let decoded = Emulator.read_mem emu payload_addr payload_len in
+  let decoded = read_mem emu payload_addr payload_len in
   Alcotest.(check string) "payload reconstructed" payload decoded;
   (* phase 2: the decoded shellcode itself runs to execve *)
   let outcome, _ = Emulator.run ~max_steps:10_000 emu in
@@ -420,6 +425,13 @@ let gen_safe_insn =
       (let* op = oneofl [ Insn.Shl; Insn.Shr; Insn.Sar; Insn.Rol; Insn.Ror ]
        and* r = reg_g and* n = int_range 1 31 in
        return (Insn.Shift (op, Insn.S32bit, reg r, n)));
+      (let* op = oneofl [ Insn.Shl; Insn.Shr; Insn.Sar; Insn.Rol; Insn.Ror ]
+       and* r = reg8_g and* n = int_range 1 31 in
+       return (Insn.Shift (op, Insn.S8bit, Insn.Reg8 r, n)));
+      (let* d = reg_g and* s = reg8_g in
+       return (Insn.Movzx (d, Insn.Reg8 s)));
+      (let* d = reg_g and* s = reg8_g in
+       return (Insn.Movsx (d, Insn.Reg8 s)));
       (let* a = reg_g and* b = reg_g in
        return (Insn.Xchg (a, b)));
       (let* v = imm_g in

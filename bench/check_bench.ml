@@ -68,6 +68,7 @@ let workloads =
     "decode";
     "serve_steady_state";
     "confirm_overhead";
+    "cluster_latency";
   ]
 
 let validate_schema doc ~file =
@@ -91,7 +92,13 @@ let validate_schema doc ~file =
      where the decoder corpus stopped confirming is not a baseline *)
   let p = require doc 0 "\"confirm_overhead\"" ~ctx:file in
   let p = require doc p "\"confirmed\"" ~ctx:(file ^ "/confirm_overhead") in
-  ignore (require doc p "\"refuted\"" ~ctx:(file ^ "/confirm_overhead"))
+  ignore (require doc p "\"refuted\"" ~ctx:(file ^ "/confirm_overhead"));
+  (* the cluster row must carry both detection times: a baseline where
+     federation stopped detecting (or was never compared against the
+     monolith) is not a baseline *)
+  let p = require doc 0 "\"cluster_latency\"" ~ctx:file in
+  let p = require doc p "\"detect_s\"" ~ctx:(file ^ "/cluster_latency") in
+  ignore (require doc p "\"detect_monolith_s\"" ~ctx:(file ^ "/cluster_latency"))
 
 let () =
   (match Sys.argv with

@@ -27,6 +27,7 @@ let () =
       [
         Cmd_scan.scan_cmd; Cmd_scan.sig_scan_cmd;
         Cmd_serve.serve_cmd; Cmd_serve.ctl_cmd;
+        Cmd_cluster.sensor_cmd; Cmd_cluster.aggregate_cmd;
         Cmd_gen.gen_trace_cmd; Cmd_gen.gen_exploit_cmd; Cmd_gen.corpus_cmd;
         Cmd_tools.disasm_cmd; Cmd_tools.match_cmd; Cmd_tools.emulate_cmd;
         Cmd_tools.emu_test_cmd; Cmd_tools.templates_cmd;

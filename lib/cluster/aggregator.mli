@@ -1,0 +1,46 @@
+(** The cluster head: dedup, merge, failure detection, one scrape.
+
+    [sanids aggregate] listens on the same {!Sanids_serve.Httpd}
+    control plane the daemon uses and folds every sensor's delta
+    stream through {!Dedup} into one exact cluster view.  Dedup means
+    the at-least-once channel can drop (and re-send), duplicate or
+    reorder deliveries without the view drifting — acks are
+    idempotent, so a sensor may safely re-ship anything it is unsure
+    about, including a whole spool after a crash.
+
+    Surface:
+    - [POST /-/delta] — a {!Delta} document; 200 [ack epoch=E seq=S
+      fresh|duplicate], 400 on a malformed payload (counted);
+    - [POST /-/heartbeat] — [sensor=<id>] liveness, no data;
+    - [GET /metrics] — the aggregator's own registry merged with the
+      cluster view, Prometheus text;
+    - [GET /-/sensors] — one line per sensor: state, epoch/seq
+      high-water marks, applied/duplicate counts;
+    - [GET /healthz], [POST /-/drain] — as the daemon.
+
+    Failure detection runs on the aggregator's clock only: every
+    delta or heartbeat is a {!Detector.Heard}; a periodic tick folds
+    the silence since then through {!Detector.step} and exports
+    [sanids_cluster_sensors{state=...}] plus per-sensor
+    [sanids_cluster_staleness_seconds{sensor=...}] gauges.
+
+    On drain the aggregator prints one summary line per sensor and a
+    cluster-wide reconciliation over the merged view — the same
+    [records = verdicts + errors + shed + failed] identity the daemon
+    checks, now summed across the fleet. *)
+
+type options = {
+  listen : Sanids_serve.Httpd.listen;
+  detector : Detector.config;
+  tick_every : float;  (** detector tick and drain poll, seconds *)
+  clock : unit -> float;
+  install_signals : bool;  (** SIGTERM drains *)
+}
+
+val default_options : options
+(** Placeholder [listen] (caller must set), {!Detector.default_config},
+    0.2 s tick, [Unix.gettimeofday], signals installed. *)
+
+val run : options -> (unit, string) result
+(** Serve until drained, then print the summary.  [Error] only for a
+    socket that cannot be bound. *)

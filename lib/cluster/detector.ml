@@ -1,0 +1,45 @@
+(* Pure failure-detector transitions.  The invariants the table below
+   encodes, stated once:
+
+     - Heard always improves: Dead -> Rejoined, Rejoined -> Alive,
+       anything else -> Alive.
+     - Silence only degrades, monotonically with the threshold it
+       crosses, and never resurrects: a Dead sensor stays Dead under
+       any Silence, even a small one (last_heard only moves on Heard,
+       so small silences at a Dead sensor cannot happen in the driver
+       anyway — but the function is total and safe regardless).
+     - Rejoined is transient bookkeeping: it degrades under silence
+       exactly like Alive. *)
+
+type state = Alive | Suspect | Dead | Rejoined
+
+type config = { suspect_after : float; dead_after : float }
+
+let default_config = { suspect_after = 3.0; dead_after = 10.0 }
+
+let validate c =
+  if not (Float.is_finite c.suspect_after) || c.suspect_after <= 0.0 then
+    Error "detector: suspect_after must be positive"
+  else if not (Float.is_finite c.dead_after) || c.dead_after < c.suspect_after
+  then Error "detector: dead_after must be >= suspect_after"
+  else Ok c
+
+type event = Heard | Silence of float
+
+let step config state event =
+  match (state, event) with
+  | Dead, Heard -> Rejoined
+  | (Alive | Suspect | Rejoined), Heard -> Alive
+  | Dead, Silence _ -> Dead
+  | (Alive | Suspect | Rejoined), Silence d ->
+      if d >= config.dead_after then Dead
+      else if d >= config.suspect_after then Suspect
+      else state
+
+let state_to_string = function
+  | Alive -> "alive"
+  | Suspect -> "suspect"
+  | Dead -> "dead"
+  | Rejoined -> "rejoined"
+
+let all_states = [ Alive; Suspect; Dead; Rejoined ]

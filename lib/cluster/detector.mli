@@ -1,0 +1,44 @@
+(** The per-sensor failure detector as a pure transition function.
+
+    Liveness judgement lives entirely on the {e aggregator's} clock:
+    sensors only talk (deltas and heartbeats both count as [Heard]);
+    the aggregator periodically folds [Silence d] — seconds since the
+    sensor was last heard — through this table.  No I/O, no clock, no
+    mutable state, so the whole protocol is enumerable in a unit test,
+    exactly like the serve {!Sanids_serve.Lifecycle}.
+
+    States: [Alive] (fresh traffic), [Suspect] (quiet past
+    [suspect_after] — the cluster view is flagged stale but kept),
+    [Dead] (quiet past [dead_after] — staleness gauges pin, operators
+    page), [Rejoined] (a Dead sensor spoke again — one transient state
+    so dashboards can count resurrections; the next [Heard] promotes
+    it to [Alive]).  Silence thresholds never resurrect: only [Heard]
+    moves a sensor out of [Dead]. *)
+
+type state = Alive | Suspect | Dead | Rejoined
+
+type config = {
+  suspect_after : float;  (** seconds of silence before [Suspect] *)
+  dead_after : float;  (** seconds of silence before [Dead] *)
+}
+
+val default_config : config
+(** [suspect_after = 3.0], [dead_after = 10.0]. *)
+
+val validate : config -> (config, string) result
+(** Thresholds positive and [suspect_after <= dead_after]. *)
+
+type event =
+  | Heard  (** a delta or heartbeat arrived *)
+  | Silence of float  (** seconds since last heard, on the aggregator's clock *)
+
+val step : config -> state -> event -> state
+(** Total — every (state, event) pair transitions; the full table is
+    enumerated in [test_cluster]. *)
+
+val state_to_string : state -> string
+(** ["alive"], ["suspect"], ["dead"], ["rejoined"] — also the label
+    values of [sanids_cluster_sensors{state="..."}]. *)
+
+val all_states : state list
+(** In label order; exporters pre-register the whole family. *)

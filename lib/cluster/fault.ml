@@ -1,0 +1,90 @@
+type kind = Drop | Duplicate | Delay | Reorder | Truncate
+
+let kind_to_string = function
+  | Drop -> "drop"
+  | Duplicate -> "dup"
+  | Delay -> "delay"
+  | Reorder -> "reorder"
+  | Truncate -> "truncate"
+
+let kind_of_string = function
+  | "drop" -> Some Drop
+  | "dup" -> Some Duplicate
+  | "delay" -> Some Delay
+  | "reorder" -> Some Reorder
+  | "truncate" -> Some Truncate
+  | _ -> None
+
+type t = (kind * float) list
+
+let of_string s =
+  let parse_token acc token =
+    match acc with
+    | Error _ as e -> e
+    | Ok plan -> (
+        match String.index_opt token '=' with
+        | None -> Error (Printf.sprintf "fault: expected kind=prob, got %S" token)
+        | Some i -> (
+            let k = String.sub token 0 i in
+            let v = String.sub token (i + 1) (String.length token - i - 1) in
+            match (kind_of_string k, float_of_string_opt v) with
+            | None, _ -> Error (Printf.sprintf "fault: unknown kind %S" k)
+            | _, None -> Error (Printf.sprintf "fault: bad probability %S" v)
+            | Some k, Some p ->
+                if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+                  Error
+                    (Printf.sprintf "fault: probability %s out of [0,1]" v)
+                else Ok ((k, p) :: plan)))
+  in
+  if String.trim s = "" then Ok []
+  else
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.fold_left parse_token (Ok [])
+    |> Result.map List.rev
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error m -> invalid_arg m
+
+let to_string t =
+  String.concat ","
+    (List.map (fun (k, p) -> Printf.sprintf "%s=%g" (kind_to_string k) p) t)
+
+type action = Deliver | Lose | Send_twice | Sleep of float | Corrupt
+
+let next_action rng plan =
+  let rec roll = function
+    | [] -> Deliver
+    | (k, p) :: rest ->
+        if Rng.chance rng p then
+          match k with
+          | Drop -> Lose
+          | Duplicate -> Send_twice
+          | Delay | Reorder -> Sleep (Rng.float rng 0.05)
+          | Truncate -> Corrupt
+        else roll rest
+  in
+  roll plan
+
+(* The pure channel model.  A queue of (item, retried) pairs: fresh
+   items roll the plan, anything the channel bounced is re-queued
+   flagged [retried] and delivers unconditionally on its second pass —
+   the termination argument for plans with probability 1.0 faults. *)
+let deliveries rng plan items =
+  let rec go out = function
+    | [] -> List.rev out
+    | (item, true) :: rest -> go (item :: out) rest
+    | (item, false) :: rest -> (
+        match next_action rng plan with
+        | Deliver -> go (item :: out) rest
+        | Send_twice -> go (item :: item :: out) rest
+        | Lose | Corrupt ->
+            (* the attempt never applies; redelivery lands at the back *)
+            go out (rest @ [ (item, true) ])
+        | Sleep _ -> (
+            (* a delayed attempt lands after its successor *)
+            match rest with
+            | [] -> go (item :: out) rest
+            | next :: rest' -> go out (next :: (item, true) :: rest')))
+  in
+  go [] (List.map (fun i -> (i, false)) items)

@@ -113,6 +113,16 @@ module Lifecycle = Sanids_serve.Lifecycle
 module Httpd = Sanids_serve.Httpd
 module Serve = Sanids_serve.Serve
 
+(* the federated cluster: delta shipping, dedup, failure detection *)
+module Backoff = Sanids_util.Backoff
+module Cluster_delta = Sanids_cluster.Delta
+module Cluster_dedup = Sanids_cluster.Dedup
+module Cluster_detector = Sanids_cluster.Detector
+module Cluster_fault = Sanids_cluster.Fault
+module Spool = Sanids_cluster.Spool
+module Sensor = Sanids_cluster.Sensor
+module Aggregator = Sanids_cluster.Aggregator
+
 (* workloads *)
 module Benign_gen = Sanids_workload.Benign_gen
 module Worm_gen = Sanids_workload.Worm_gen

@@ -31,6 +31,13 @@ let time_to_fraction p f =
   let c = (n /. i0) -. 1.0 in
   log (c /. ((n /. target) -. 1.0)) /. beta p
 
+let time_to_count p k =
+  check p;
+  if k >= p.population then
+    invalid_arg "Epidemic.time_to_count: k must be below the population";
+  if k <= p.initial then 0.0
+  else time_to_fraction p (float_of_int k /. float_of_int p.population)
+
 type sim = { mutable infected : int; mutable t : float; mutable total_scans : float }
 
 (* One tick: each of [i] infected hosts sends [scan_rate*dt] probes; each

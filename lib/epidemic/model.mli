@@ -27,6 +27,13 @@ val time_to_fraction : params -> float -> float
 (** [time_to_fraction p f] inverts {!logistic}: seconds until a fraction
     [f] of the population is infected (0 < f < 1). *)
 
+val time_to_count : params -> int -> float
+(** [time_to_count p k] is seconds until [k] hosts are infected under
+    the deterministic model: [0.] when [k <= initial], and [k] must be
+    below [population] (the logistic curve only reaches [n]
+    asymptotically).  The cluster latency bench uses this to place a
+    detection deadline on the outbreak's knee. *)
+
 type sim = {
   mutable infected : int;
   mutable t : float;

@@ -87,9 +87,10 @@ let counter t ?(help = "") ?(labels = []) name =
   | Mcounter c -> c
   | Mgauge _ | Mhist _ -> kind_error name "counter"
 
-let gauge t ?(help = "") name =
+let gauge t ?(help = "") ?(labels = []) name =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
+  let name = series_name name labels in
   match register t name help (fun () -> Mgauge { g = 0.0 }) "gauge" with
   | Mgauge g -> g
   | Mcounter _ | Mhist _ -> kind_error name "gauge"

@@ -34,7 +34,12 @@ val series_name : string -> (string * string) list -> string
     set — use it to read a labeled series back out of a snapshot with
     {!Snapshot.counter_value}. *)
 
-val gauge : t -> ?help:string -> string -> gauge
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+(** Register (or fetch) a gauge; [labels] makes it one series of a
+    labeled family exactly as for {!counter} (the cluster aggregator's
+    [sanids_cluster_sensors{state="..."}] and per-sensor staleness
+    gauges are labeled families). *)
+
 val histogram : t -> ?help:string -> string -> Histogram.t
 
 val incr : counter -> unit

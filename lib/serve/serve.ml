@@ -38,6 +38,9 @@ type options = {
   poll_interval : float;  (** idle-source sleep between control polls *)
   clock : unit -> float;
   install_signals : bool;  (** SIGHUP → reload, SIGTERM → drain *)
+  on_delta : (Obs.Snapshot.t -> unit) option;
+      (** observer of every periodic snapshot delta — the cluster
+          sensor's shipping hook; runs on the feeder thread *)
 }
 
 let default_options =
@@ -53,6 +56,7 @@ let default_options =
     poll_interval = 0.02;
     clock = Unix.gettimeofday;
     install_signals = true;
+    on_delta = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -229,28 +233,35 @@ let observable t =
 
 let say fmt = Printf.ksprintf (fun s -> print_string s; print_newline (); flush stdout) fmt
 
+(* Periodic publication: cut one interval delta against the last cut
+   and feed every configured sink — the JSONL dump file and/or the
+   in-process [on_delta] observer (the cluster sensor).  One cut feeds
+   both, so the file and the shipped stream agree delta for delta. *)
 let dump_snapshot t ~final =
-  match t.options.snapshot_out with
-  | None -> ()
-  | Some path ->
-      let now = t.options.clock () in
-      let due =
-        final
-        || (t.options.snapshot_every > 0.
-            && now -. t.last_dump_at >= t.options.snapshot_every)
-      in
-      if due then begin
-        let current = observable t in
-        let delta = Obs.Snapshot.diff ~newer:current ~older:t.last_dump in
-        t.last_dump <- current;
-        t.last_dump_at <- now;
-        let oc =
-          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
-        in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc (Obs.Export.to_jsonl delta))
-      end
+  if t.options.snapshot_out <> None || t.options.on_delta <> None then begin
+    let now = t.options.clock () in
+    let due =
+      final
+      || (t.options.snapshot_every > 0.
+          && now -. t.last_dump_at >= t.options.snapshot_every)
+    in
+    if due then begin
+      let current = observable t in
+      let delta = Obs.Snapshot.diff ~newer:current ~older:t.last_dump in
+      t.last_dump <- current;
+      t.last_dump_at <- now;
+      (match t.options.on_delta with Some f -> f delta | None -> ());
+      match t.options.snapshot_out with
+      | None -> ()
+      | Some path ->
+          let oc =
+            open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+          in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Obs.Export.to_jsonl delta))
+    end
+  end
 
 (* One feeder pull: poll signals and pending controls, then the source.
    Returns [Some packet] to keep the epoch running, [None] to end it —
@@ -306,7 +317,12 @@ let feeder t source ~epoch_exit =
         match handle_reload () with `Continue -> next () | `Stop -> None)
     | `None -> (
         match Source.next source with
-        | Source.Packet p -> Some p
+        | Source.Packet p ->
+            (* a busy source never goes Idle, so the periodic cut must
+               also be checked on the packet path (cheap: early-out on
+               the cadence) *)
+            dump_snapshot t ~final:false;
+            Some p
         | Source.Eof ->
             epoch_exit := Some Exhausted;
             None

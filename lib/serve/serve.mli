@@ -36,12 +36,19 @@ type options = {
   poll_interval : float;  (** idle-source sleep between control polls *)
   clock : unit -> float;
   install_signals : bool;
+  on_delta : (Sanids_obs.Snapshot.t -> unit) option;
+      (** observer of every periodic {!Sanids_obs.Snapshot.diff} delta
+          (cadenced by [snapshot_every], plus one final delta at
+          drain).  This is the hook the cluster sensor ships through:
+          the same interval deltas the JSONL dump writes, delivered
+          in-process.  Runs on the feeder thread — keep it cheap and
+          non-blocking (hand off to a queue). *)
 }
 
 val default_options : options
 (** [source = ""] (caller must set), [Config.default] base, no files,
     no listener, dumps off, 20 ms poll, [Unix.gettimeofday], signals
-    installed. *)
+    installed, no delta observer. *)
 
 val reload_candidate :
   base:Config.t ->

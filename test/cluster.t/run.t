@@ -1,0 +1,132 @@
+The federated cluster end to end: sensors shipping snapshot deltas
+at-least-once over a faulted channel, the aggregator's dedup keeping
+the cluster view exact, crash recovery through the spool, failure
+detection, and a cluster-wide reconciliation that balances to the
+packet.
+
+Shard the outbreak across sensors:
+
+  $ sanids gen-trace shard-a.pcap --kind codered --packets 120 --seed 7
+  ground truth: 141 packets, 3 CRII instances, 18 scans (unused space: 10.2.200.0/21)
+  wrote shard-a.pcap (141 packets)
+  $ sanids gen-trace shard-b.pcap --kind codered --packets 120 --seed 8
+  ground truth: 141 packets, 3 CRII instances, 18 scans (unused space: 10.2.200.0/21)
+  wrote shard-b.pcap (141 packets)
+
+A sensor that cannot reach its aggregator fails fast with the typed
+unavailable exit instead of serving into the void; ctl against a dead
+endpoint does the same:
+
+  $ sanids sensor shard-a.pcap --id x --aggregator-socket nowhere.sock --spool spool-x --connect-timeout 0.5
+  sanids sensor: aggregator unreachable: connect: No such file or directory
+  [69]
+  $ sanids ctl health --socket nowhere.sock --timeout 0.5
+  sanids ctl: connect: No such file or directory
+  [69]
+
+Start the aggregator (thresholds high enough that nothing goes suspect
+during the drill):
+
+  $ sanids aggregate --socket agg.sock --suspect-after 3600 --dead-after 7200 --tick-every 0.05 > agg.log 2>&1 &
+
+Sensor a ships over a clean channel; sensor b's deliveries are
+duplicated and reordered by a seeded channel fault.  The view must
+stay exact anyway — that is the at-least-once + dedup contract:
+
+  $ sanids sensor shard-a.pcap --id a --aggregator-socket agg.sock --spool spool-a --ship-every 60 --domains 2 > a.log 2>&1
+  $ grep '^sensor a:' a.log
+  sensor a: epoch=1 spool=spool-a
+  sensor a: drained epoch=1 shipped=1
+  $ sanids sensor shard-b.pcap --id b --aggregator-socket agg.sock --spool spool-b --ship-every 60 --domains 2 --channel-fault dup=0.5,reorder=0.3 --fault-seed 3 > b.log 2>&1
+  $ grep '^sensor b:' b.log
+  sensor b: epoch=1 spool=spool-b
+  sensor b: drained epoch=1 shipped=1
+
+Now the crash drill.  Sensor c's channel drops every delivery, so its
+one drain delta stays journaled in the spool; SIGKILL it mid-flush:
+
+  $ sanids sensor shard-a.pcap --id c --aggregator-socket agg.sock --spool spool-c --ship-every 60 --domains 2 --channel-fault drop=1.0 --fault-seed 3 > c1.log 2>&1 &
+  $ pid=$!
+  $ i=0; until [ -f spool-c/delta-00000001-00000001.delta ] || [ $i -ge 200 ]; do i=$((i+1)); sleep 0.1; done
+  $ kill -KILL $pid
+  $ wait $pid
+  [137]
+  $ ls spool-c
+  EPOCH
+  delta-00000001-00000001.delta
+
+The respawn over the same spool bumps the epoch, replays the orphaned
+delta losslessly, and ships its own shard on top:
+
+  $ sanids sensor shard-b.pcap --id c --aggregator-socket agg.sock --spool spool-c --ship-every 60 --domains 2 > c2.log 2>&1
+  $ grep '^sensor c:' c2.log
+  sensor c: epoch=2 spool=spool-c
+  sensor c: replayed=1
+  sensor c: drained epoch=2 shipped=2
+  $ ls spool-c
+  EPOCH
+
+The merged scrape shows the faulted channel's footprint — one
+duplicate absorbed, four fresh deltas applied — and the exact view:
+
+  $ sanids ctl metrics --socket agg.sock | grep '^sanids_cluster_deltas_total'
+  sanids_cluster_deltas_total{outcome="duplicate"} 1
+  sanids_cluster_deltas_total{outcome="fresh"} 4
+  sanids_cluster_deltas_total{outcome="malformed"} 0
+  $ sanids ctl metrics --socket agg.sock | grep -E '^sanids_(ingest_records_total|packets_total) '
+  sanids_ingest_records_total 564
+  sanids_packets_total 564
+
+Drain the aggregator: per-sensor accounting (sensor c spans two
+epochs) and a cluster-wide reconciliation that balances exactly —
+564 records across four engine runs (sensor c's crashed incarnation
+counts: its delta was journaled, not lost), no loss, no double count:
+
+  $ sanids ctl drain --socket agg.sock
+  draining
+  $ wait
+  $ grep '^aggregate: sensor=' agg.log
+  aggregate: sensor=a state=alive
+  aggregate: sensor=b state=alive
+  aggregate: sensor=c state=alive
+  aggregate: sensor=a state=alive epochs=1 applied=1 duplicates=0 last=1/1
+  aggregate: sensor=b state=alive epochs=1 applied=1 duplicates=1 last=1/1
+  aggregate: sensor=c state=alive epochs=2 applied=2 duplicates=0 last=2/1
+  $ grep '^aggregate: cluster' agg.log
+  aggregate: cluster records=564 verdicts=564 errors=0 shed=0 failed=0 reconciled
+  $ awk '/^aggregate: cluster/{split($3,r,"=");split($4,v,"=");split($5,e,"=");split($6,s,"=");split($7,f,"=");bad=(r[2]!=v[2]+e[2]+s[2]+f[2])} END{exit bad}' agg.log
+
+Failure detection, on a second aggregator with tight deadlines.  A
+quiet sensor over a spool-directory source stays alive through
+heartbeats alone; killing it walks Alive -> Suspect -> Dead on the
+aggregator's clock, and the respawn walks Dead -> Rejoined -> Alive:
+
+  $ mkdir live-spool
+  $ sanids aggregate --socket fd.sock --suspect-after 0.3 --dead-after 0.6 --tick-every 0.1 > fd.log 2>&1 &
+  $ sanids sensor live-spool --id d --aggregator-socket fd.sock --spool spool-d --heartbeat-every 0.1 --domains 2 > d1.log 2>&1 &
+  $ pid=$!
+  $ i=0; until sanids ctl metrics --socket fd.sock | grep -q 'sanids_cluster_sensors{state="alive"} 1' || [ $i -ge 200 ]; do i=$((i+1)); sleep 0.1; done
+  $ sanids ctl metrics --socket fd.sock | grep 'state="alive"'
+  sanids_cluster_sensors{state="alive"} 1
+  $ kill -KILL $pid
+  $ wait $pid
+  [137]
+  $ i=0; until sanids ctl metrics --socket fd.sock | grep -q 'sanids_cluster_sensors{state="dead"} 1' || [ $i -ge 200 ]; do i=$((i+1)); sleep 0.1; done
+  $ sanids ctl metrics --socket fd.sock | grep 'state="dead"'
+  sanids_cluster_sensors{state="dead"} 1
+  $ sanids sensor live-spool --id d --aggregator-socket fd.sock --spool spool-d --heartbeat-every 0.1 --domains 2 > d2.log 2>&1 &
+  $ pid=$!
+  $ i=0; until sanids ctl metrics --socket fd.sock | grep -q 'sanids_cluster_sensors{state="alive"} 1' || [ $i -ge 200 ]; do i=$((i+1)); sleep 0.1; done
+  $ sanids ctl metrics --socket fd.sock | grep 'state="alive"'
+  sanids_cluster_sensors{state="alive"} 1
+  $ grep -c 'sensor=d state=rejoined' fd.log
+  1
+
+The respawned sensor drains gracefully on SIGTERM, and the detector
+aggregator shuts down clean:
+
+  $ kill -TERM $pid
+  $ wait $pid
+  $ sanids ctl drain --socket fd.sock
+  draining
+  $ wait

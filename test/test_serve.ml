@@ -288,6 +288,42 @@ let test_httpd_roundtrip () =
       Httpd.stop server;
       (try Sys.remove path with Sys_error _ -> ())
 
+(* The slowloris contract: a client that connects and never sends a
+   byte must be cut off by the per-connection deadline instead of
+   wedging the single-connection accept loop — the well-behaved client
+   queued behind it still gets served. *)
+let test_httpd_slowloris () =
+  let path = Filename.temp_file "sanids_httpd_slow" ".sock" in
+  Sys.remove path;
+  let handler _req = Httpd.ok ~content_type:"text/plain" "pong\n" in
+  match Httpd.start ~deadline:0.3 (Httpd.Unix_socket path) handler with
+  | Error m -> Alcotest.fail m
+  | Ok server ->
+      let slow = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect slow (Unix.ADDR_UNIX path);
+      (* the stalled connection is accepted first and sends nothing *)
+      Unix.sleepf 0.05;
+      (match
+         Httpd.request ~timeout:5.0 (Httpd.Unix_socket path) ~verb:"GET"
+           ~path:"/ping" ()
+       with
+      | Ok (status, body) ->
+          Alcotest.(check int) "served past the slowloris" 200 status;
+          Alcotest.(check string) "body" "pong\n" body
+      | Error m -> Alcotest.fail m);
+      (* the stalled connection itself got a 408 (or a bare close) *)
+      let buf = Bytes.create 1024 in
+      Unix.setsockopt_float slow Unix.SO_RCVTIMEO 5.0;
+      let n = try Unix.read slow buf 0 1024 with Unix.Unix_error _ -> 0 in
+      let text = Bytes.sub_string buf 0 n in
+      Alcotest.(check bool)
+        (Printf.sprintf "timed out with 408, got %S" text)
+        true
+        (n = 0 || (String.length text >= 12 && String.sub text 9 3 = "408"));
+      Unix.close slow;
+      Httpd.stop server;
+      (try Sys.remove path with Sys_error _ -> ())
+
 let () =
   Alcotest.run "serve"
     [
@@ -312,5 +348,8 @@ let () =
         ] );
       ("snapshot diff", diff_properties);
       ( "httpd",
-        [ Alcotest.test_case "roundtrip" `Quick test_httpd_roundtrip ] );
+        [
+          Alcotest.test_case "roundtrip" `Quick test_httpd_roundtrip;
+          Alcotest.test_case "slowloris deadline" `Quick test_httpd_slowloris;
+        ] );
     ]

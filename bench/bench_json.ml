@@ -16,7 +16,7 @@ module Obs = Sanids_obs
 module Epidemic = Sanids_epidemic.Model
 
 let schema = "sanids-bench/1"
-let pr = 9
+let pr = 10
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON emission: deterministic key order, fixed float format
@@ -454,6 +454,117 @@ let cluster_latency ~packets =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Workload 7: static refutation.  A mixed hit corpus — decoy decoders
+   the semantic matcher flags but the emulator refutes (the designed
+   false positive), interleaved with the true decoder corpus from the
+   confirmation row — replayed through confirmation alone and then
+   through confirmation with the abstract-interpretation pre-stage
+   (`--static-refute`).  Refutations are never cached, so every decoy
+   packet prices a full refutation path: emulation without the
+   pre-stage, a static proof with it.  The acceptance bars, enforced
+   where the number is produced: verdicts must be identical between the
+   two configurations (same alerts, same confirmed count, nothing a
+   true decoder loses), and at least half the decoy hits must skip the
+   emulator. *)
+
+let static_refute_decoys = 16
+
+let static_refute ~packets =
+  let rng = Rng.create 0xAB5112F7L in
+  let decoys =
+    Array.init static_refute_decoys (fun _ ->
+        Slice.of_string
+          (Sanids_workload.Adversarial.payload
+             ~kind:Sanids_workload.Adversarial.Decoy_decoder ~size:2048 rng))
+  in
+  let decoders = confirm_corpus rng in
+  (* interleave so both families are exercised at every cache state *)
+  let slices =
+    Array.init
+      (Array.length decoys + Array.length decoders)
+      (fun i ->
+        if i mod 2 = 0 && i / 2 < Array.length decoys then decoys.(i / 2)
+        else decoders.((i - 1) / 2 mod Array.length decoders))
+  in
+  (* count the verdicts the packet path would alert on: a refuted match
+     — dynamically or statically — is demoted before alerting *)
+  let alertable (v : Pipeline.verdict) =
+    match v.Pipeline.confirmation with
+    | Some
+        ( Sanids_confirm.Confirm.Refuted _
+        | Sanids_confirm.Confirm.Statically_refuted _ ) ->
+        false
+    | Some _ | None -> true
+  in
+  let scan cfg =
+    let nids = Pipeline.create cfg in
+    let alerts = ref 0 in
+    let (), dt =
+      time (fun () ->
+          for i = 0 to packets - 1 do
+            let r =
+              Pipeline.analyze_report_slice nids slices.(i mod Array.length slices)
+            in
+            alerts :=
+              !alerts + List.length (List.filter alertable r.Pipeline.verdicts)
+          done)
+    in
+    (Stats.of_snapshot (Pipeline.snapshot nids), !alerts, dt)
+  in
+  let confirm_cfg =
+    Config.default
+    |> Config.with_classification false
+    |> Config.with_confirm (Some Sanids_confirm.Confirm.default_config)
+  in
+  let off_stats, off_alerts, off_dt = scan confirm_cfg in
+  let on_stats, on_alerts, on_dt =
+    scan (confirm_cfg |> Config.with_static_refute true)
+  in
+  (* Verdict equivalence: the pre-stage may only change *how* a decoy
+     is refuted, never *what* is alerted or confirmed. *)
+  if on_alerts <> off_alerts then
+    failwith
+      (Printf.sprintf
+         "static_refute: %d alerts with the pre-stage vs %d without"
+         on_alerts off_alerts);
+  if on_stats.Stats.confirmed <> off_stats.Stats.confirmed then
+    failwith
+      (Printf.sprintf
+         "static_refute: %d confirmed with the pre-stage vs %d without"
+         on_stats.Stats.confirmed off_stats.Stats.confirmed);
+  let decoy_hits = on_stats.Stats.static_refuted + on_stats.Stats.refuted in
+  let avoided =
+    if decoy_hits = 0 then 0.0
+    else float_of_int on_stats.Stats.static_refuted /. float_of_int decoy_hits
+  in
+  if decoy_hits = 0 then failwith "static_refute: no decoy ever hit the matcher";
+  if avoided < 0.5 then
+    failwith
+      (Printf.sprintf
+         "static_refute: only %d of %d decoy hits (%.0f%%) skipped the emulator"
+         on_stats.Stats.static_refuted decoy_hits (100.0 *. avoided));
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  jfield buf ~last:false "packets" (string_of_int packets);
+  jfield buf ~last:false "decoys" (string_of_int static_refute_decoys);
+  jfield buf ~last:false "decoders" (string_of_int (Array.length decoders));
+  jfield buf ~last:false "alerts_confirm" (string_of_int off_alerts);
+  jfield buf ~last:false "alerts_static" (string_of_int on_alerts);
+  jfield buf ~last:false "confirmed" (string_of_int on_stats.Stats.confirmed);
+  jfield buf ~last:false "refuted" (string_of_int on_stats.Stats.refuted);
+  jfield buf ~last:false "static_refuted"
+    (string_of_int on_stats.Stats.static_refuted);
+  jfield buf ~last:false "avoided_fraction" (jfloat avoided);
+  jfield buf ~last:false "seconds_confirm" (jfloat off_dt);
+  jfield buf ~last:false "packets_per_sec_confirm"
+    (jfloat (float_of_int packets /. Float.max off_dt 1e-9));
+  jfield buf ~last:false "seconds" (jfloat on_dt);
+  jfield buf ~last:true "packets_per_sec"
+    (jfloat (float_of_int packets /. Float.max on_dt 1e-9));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 
 let run ~mode ~out () =
   let replay_packets, stream_packets, decode_packets =
@@ -480,6 +591,9 @@ let run ~mode ~out () =
   Printf.printf "bench-json: cluster latency (%d benign packets)...\n%!"
     replay_packets;
   let cluster = cluster_latency ~packets:replay_packets in
+  Printf.printf "bench-json: static refutation (%d packets)...\n%!"
+    replay_packets;
+  let refute = static_refute ~packets:replay_packets in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema\": %S,\n" schema);
@@ -492,7 +606,8 @@ let run ~mode ~out () =
   Buffer.add_string buf
     (Printf.sprintf "    \"serve_steady_state\": %s,\n" serve);
   Buffer.add_string buf (Printf.sprintf "    \"confirm_overhead\": %s,\n" confirm);
-  Buffer.add_string buf (Printf.sprintf "    \"cluster_latency\": %s\n" cluster);
+  Buffer.add_string buf (Printf.sprintf "    \"cluster_latency\": %s,\n" cluster);
+  Buffer.add_string buf (Printf.sprintf "    \"static_refute\": %s\n" refute);
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);

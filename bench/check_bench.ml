@@ -69,6 +69,7 @@ let workloads =
     "serve_steady_state";
     "confirm_overhead";
     "cluster_latency";
+    "static_refute";
   ]
 
 let validate_schema doc ~file =
@@ -98,7 +99,13 @@ let validate_schema doc ~file =
      monolith) is not a baseline *)
   let p = require doc 0 "\"cluster_latency\"" ~ctx:file in
   let p = require doc p "\"detect_s\"" ~ctx:(file ^ "/cluster_latency") in
-  ignore (require doc p "\"detect_monolith_s\"" ~ctx:(file ^ "/cluster_latency"))
+  ignore (require doc p "\"detect_monolith_s\"" ~ctx:(file ^ "/cluster_latency"));
+  (* the static-refutation row must carry its outcome counts and the
+     avoided fraction: a baseline where decoys stopped skipping the
+     emulator (or started refuting true decoders) is not a baseline *)
+  let p = require doc 0 "\"static_refute\"" ~ctx:file in
+  let p = require doc p "\"static_refuted\"" ~ctx:(file ^ "/static_refute") in
+  ignore (require doc p "\"avoided_fraction\"" ~ctx:(file ^ "/static_refute"))
 
 let () =
   (match Sys.argv with

@@ -182,6 +182,18 @@ let config_term =
                    ones marked, outcomes counted as \
                    sanids_confirm_total.")
   in
+  let static_refute =
+    Arg.(value & flag
+         & info [ "static-refute" ]
+             ~doc:"Abstract refutation pre-stage for $(b,--confirm): \
+                   before each emulator run, execute the hit abstractly \
+                   over an interval domain under the same budgets and \
+                   demote hits that provably cannot confirm without ever \
+                   entering the emulator (counted as \
+                   sanids_confirm_total{outcome=static_refuted}).  Sound: \
+                   verdicts are unchanged, only emulator calls are \
+                   avoided.")
+  in
   let degrade =
     Arg.(value & flag
          & info [ "degrade" ]
@@ -200,10 +212,11 @@ let config_term =
                    flags; keys: honeypot, unused, scan_threshold, \
                    classify, extract, min_payload, reassemble, \
                    verdict_cache, flow_alert_cache, queue, drop_policy, \
-                   budget, breaker, degrade, confirm).")
+                   budget, breaker, degrade, confirm, static_refute).")
   in
   let build honeypots unused no_classify no_extract scan_threshold
-      verdict_cache queue drop_policy budget breaker confirm degrade sets cfg =
+      verdict_cache queue drop_policy budget breaker confirm static_refute
+      degrade sets cfg =
     let cfg =
       cfg
       |> Config.with_honeypots honeypots
@@ -217,6 +230,7 @@ let config_term =
       |> Config.with_budget budget
       |> Config.with_breaker breaker
       |> Config.with_confirm confirm
+      |> Config.with_static_refute static_refute
       |> Config.with_degrade degrade
     in
     List.fold_left (fun cfg (_, update) -> update cfg) cfg sets
@@ -224,4 +238,4 @@ let config_term =
   Term.(
     const build $ honeypots $ unused $ no_classify $ no_extract
     $ scan_threshold $ verdict_cache $ queue $ drop_policy $ budget $ breaker
-    $ confirm $ degrade $ sets)
+    $ confirm $ static_refute $ degrade $ sets)

@@ -40,17 +40,32 @@ let lint_cmd : unit Cmd.t =
                  demonstrating every finding code.")
   in
   let format_arg =
-    Arg.(value & opt (enum [ ("text", Lint.Text); ("json", Lint.Json) ]) Lint.Text
+    Arg.(value
+         & opt
+             (enum
+                [ ("text", Lint.Text); ("json", Lint.Json); ("sarif", Lint.Sarif) ])
+             Lint.Text
          & info [ "format" ] ~docv:"FMT"
-             ~doc:"Output format: $(b,text) (findings plus a summary line) \
-                   or $(b,json) (JSONL, one finding object per line).")
+             ~doc:"Output format: $(b,text) (findings plus a summary line), \
+                   $(b,json) (JSONL, one finding object per line) or \
+                   $(b,sarif) (one minimal SARIF 2.1.0 document).")
+  in
+  let codes_flag =
+    Arg.(value & flag & info [ "codes" ]
+           ~doc:"Print the stable finding-code catalog (one $(b,CODE pass) \
+                 line per code) and exit - what the build's documentation \
+                 check greps DESIGN.md for.")
   in
   let strict =
     Arg.(value & flag & info [ "strict" ]
            ~doc:"Fail (exit 65) on warnings as well as errors.")
   in
   let run templates_flag rules_file config_flag config_file trace_file
-      selftest format strict build_cfg =
+      selftest format codes_flag strict build_cfg =
+    if codes_flag then begin
+      List.iter (fun (c, pass) -> Printf.printf "%s %s\n" c pass) Lint.catalog;
+      exit 0
+    end;
     let none_selected =
       (not (templates_flag || config_flag || selftest))
       && rules_file = None && trace_file = None && config_file = None
@@ -77,11 +92,14 @@ let lint_cmd : unit Cmd.t =
     (match trace_file with
     | Some f -> add (Trace_lint.lint ~subject:("trace:" ^ f) (read_file f))
     | None -> ());
+    (* the SL000 meta-check: a selftest run must prove every emitted
+       code is cataloged (and the catalog collision-free) *)
+    if selftest then add (Lint.selftest_codes !findings);
     let findings = !findings in
     print_string (Lint.render format findings);
     (match format with
     | Lint.Text -> Printf.printf "lint: %s\n" (Finding.summary findings)
-    | Lint.Json -> ());
+    | Lint.Json | Lint.Sarif -> ());
     exit (Lint.exit_code ~strict findings)
   in
   Cmd.v
@@ -91,4 +109,4 @@ let lint_cmd : unit Cmd.t =
              Exits 65 when findings fail the run.")
     Term.(
       const run $ templates_flag $ rules_file $ config_flag $ config_file
-      $ trace_file $ selftest $ format_arg $ strict $ config_term)
+      $ trace_file $ selftest $ format_arg $ codes_flag $ strict $ config_term)

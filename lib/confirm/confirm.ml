@@ -78,16 +78,18 @@ type outcome =
   | Confirmed_decrypt of { written : int; steps : int }
   | Confirmed_syscall of { nr : int; name : string; steps : int }
   | Refuted of string
+  | Statically_refuted of string
   | Inconclusive of reason
 
 let confirmed = function
   | Confirmed_decrypt _ | Confirmed_syscall _ -> true
-  | Refuted _ | Inconclusive _ -> false
+  | Refuted _ | Statically_refuted _ | Inconclusive _ -> false
 
 let label = function
   | Confirmed_decrypt _ -> "confirmed_decrypt"
   | Confirmed_syscall _ -> "confirmed_syscall"
   | Refuted _ -> "refuted"
+  | Statically_refuted _ -> "static_refuted"
   | Inconclusive Budget -> "inconclusive_budget"
   | Inconclusive (Fault _) -> "inconclusive_fault"
 
@@ -99,6 +101,7 @@ let pp ppf = function
       Format.fprintf ppf "confirmed: reached %s (int 0x80 eax=%d, %d steps)" name
         nr steps
   | Refuted msg -> Format.fprintf ppf "refuted: %s" msg
+  | Statically_refuted msg -> Format.fprintf ppf "statically refuted: %s" msg
   | Inconclusive Budget -> Format.fprintf ppf "inconclusive: step budget exhausted"
   | Inconclusive (Fault msg) -> Format.fprintf ppf "inconclusive: %s" msg
 

@@ -50,6 +50,10 @@ type outcome =
   | Confirmed_decrypt of { written : int; steps : int }
   | Confirmed_syscall of { nr : int; name : string; steps : int }
   | Refuted of string
+  | Statically_refuted of string
+      (** the abstract pre-stage ({!Static_refute}) proved that concrete
+          emulation must refute this hit, so the emulator never ran.
+          Only the pipeline composes this in; {!run} never returns it. *)
   | Inconclusive of reason
 
 val confirmed : outcome -> bool
@@ -57,8 +61,8 @@ val confirmed : outcome -> bool
 
 val label : outcome -> string
 (** Stable low-cardinality metric label: [confirmed_decrypt],
-    [confirmed_syscall], [refuted], [inconclusive_budget],
-    [inconclusive_fault]. *)
+    [confirmed_syscall], [refuted], [static_refuted],
+    [inconclusive_budget], [inconclusive_fault]. *)
 
 val pp : Format.formatter -> outcome -> unit
 

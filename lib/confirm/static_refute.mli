@@ -1,0 +1,31 @@
+(** Static refutation: a sound abstract pre-stage for {!Confirm.run}.
+
+    Before paying for concrete emulation, a matcher hit is executed
+    {e abstractly} from its entry offset over the {!Sanids_ir.Absint.V}
+    value domain, under the same step / syscall / written-byte budgets
+    as the emulator.  The abstract executor mirrors
+    {!Sanids_x86.Emulator.step} instruction by instruction; conditional
+    branches whose outcome is unknown fork the path (bounded), memory is
+    the exact payload image plus an overlay of abstractly-written bytes,
+    and any loss of precision that could matter — an unknown jump
+    target, a possibly-in-arena store at an unknown address, a syscall
+    number that may be execve/socketcall, a path that could reach the
+    confirmer's decrypt condition or outlive the step budget — aborts
+    the analysis.
+
+    The contract is {e must}-refutation: [run] returns [Some reason]
+    only when every feasible concrete execution is proven to end in a
+    refuting event (fault, undecodable byte, [int3], a non-Linux
+    interrupt, or a burned syscall budget) within the budgets — i.e.
+    when {!Confirm.run} with the same inputs is guaranteed to return
+    [Refuted _].  It never turns a [Confirmed_*] or [Inconclusive _]
+    run into a refutation; when in doubt it returns [None] and the hit
+    goes to the emulator as before.  This property is enforced by a
+    qcheck oracle against the validated emulator on random encodable
+    instruction sequences, and by regression corpora: decoy payloads
+    are statically refuted, true ADMmutate/Clet/staged decoders never
+    are. *)
+
+val run : ?config:Confirm.config -> code:string -> entry:int -> unit -> string option
+(** [Some reason] when concrete confirmation must refute; [None] when
+    the hit needs (or might need) the emulator.  Never raises. *)

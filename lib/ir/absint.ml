@@ -1,0 +1,771 @@
+(* Abstract interpretation over the lifted IR: an interval × power-of-two
+   congruence × taint value domain, a may-write memory summary, and an
+   intraprocedural CFG fixpoint with widening at loop heads.
+
+   Soundness discipline: every transformer here over-approximates the
+   corresponding concrete operation in Emulator/Constprop.  When in
+   doubt an operation returns a coarser value — never a tighter one.
+   The qcheck oracle in test_absint drives random concrete executions
+   through both and checks containment. *)
+
+let max32 = 0xFFFF_FFFFL
+let two32 = 0x1_0000_0000L
+
+let u64 (c : int32) = Int64.logand (Int64.of_int32 c) max32
+let pow2 a = Int64.shift_left 1L a
+let lmask a = if a >= 64 then -1L else Int64.sub (pow2 a) 1L
+
+module V = struct
+  (* Non-bottom invariant: 0 <= lo <= hi <= max32, 0 <= res < 2^align,
+     and the set { v in [lo,hi] | v mod 2^align = res } is non-empty
+     with lo and hi themselves members (reduced form). *)
+  type v = { lo : int64; hi : int64; align : int; res : int64; taint : bool }
+  type t = Bot | Val of v
+
+  let bot = Bot
+
+  (* Reduce interval endpoints onto the congruence; Bot when empty. *)
+  let norm ~lo ~hi ~align ~res ~taint =
+    let lo = max 0L lo and hi = min max32 hi in
+    if Int64.compare lo hi > 0 then Bot
+    else if align = 0 then Val { lo; hi; align = 0; res = 0L; taint }
+    else
+      let m = pow2 align in
+      let res = Int64.logand res (Int64.sub m 1L) in
+      let up v =
+        let d = Int64.rem (Int64.sub res (Int64.rem v m)) m in
+        Int64.add v (if Int64.compare d 0L < 0 then Int64.add d m else d)
+      in
+      let lo = up lo in
+      let down v =
+        let d = Int64.rem (Int64.sub (Int64.rem v m) res) m in
+        Int64.sub v (if Int64.compare d 0L < 0 then Int64.add d m else d)
+      in
+      let hi = down hi in
+      if Int64.compare lo hi > 0 then Bot else Val { lo; hi; align; res; taint }
+
+  let top = Val { lo = 0L; hi = max32; align = 0; res = 0L; taint = true }
+  let top_clean = Val { lo = 0L; hi = max32; align = 0; res = 0L; taint = false }
+  let byte = Val { lo = 0L; hi = 255L; align = 0; res = 0L; taint = true }
+
+  let const c =
+    let u = u64 c in
+    Val { lo = u; hi = u; align = 32; res = u; taint = false }
+
+  let range lo hi = norm ~lo ~hi ~align:0 ~res:0L ~taint:false
+
+  let is_bot = function Bot -> true | Val _ -> false
+
+  let is_const = function
+    | Val { lo; hi; _ } when Int64.equal lo hi -> Some (Int64.to_int32 lo)
+    | Bot | Val _ -> None
+
+  let contains t c =
+    match t with
+    | Bot -> false
+    | Val { lo; hi; align; res; _ } ->
+        let u = u64 c in
+        Int64.compare lo u <= 0
+        && Int64.compare u hi <= 0
+        && (align = 0 || Int64.equal (Int64.logand u (lmask align)) res)
+
+  let taint = function Bot -> false | Val v -> v.taint
+  let tainted = function Bot -> Bot | Val v -> Val { v with taint = true }
+
+  let bounds = function Bot -> None | Val { lo; hi; _ } -> Some (lo, hi)
+
+  let size = function
+    | Bot -> 0L
+    | Val { lo; hi; align; _ } ->
+        Int64.add (Int64.div (Int64.sub hi lo) (pow2 align)) 1L
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot -> true
+    | Val a, Val b ->
+        Int64.equal a.lo b.lo && Int64.equal a.hi b.hi && a.align = b.align
+        && Int64.equal a.res b.res && a.taint = b.taint
+    | Bot, Val _ | Val _, Bot -> false
+
+  let leq a b =
+    match (a, b) with
+    | Bot, _ -> true
+    | Val _, Bot -> false
+    | Val a, Val b ->
+        Int64.compare b.lo a.lo <= 0
+        && Int64.compare a.hi b.hi <= 0
+        && b.align <= a.align
+        && Int64.equal (Int64.logand a.res (lmask b.align)) b.res
+        && ((not a.taint) || b.taint)
+
+  (* Largest congruence below both: align down until the residues agree. *)
+  let cong_join (a1, r1) (a2, r2) =
+    let a = ref (min a1 a2) in
+    while
+      !a > 0 && not (Int64.equal (Int64.logand r1 (lmask !a)) (Int64.logand r2 (lmask !a)))
+    do
+      decr a
+    done;
+    (!a, Int64.logand r1 (lmask !a))
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Val a, Val b ->
+        let align, res = cong_join (a.align, a.res) (b.align, b.res) in
+        norm ~lo:(min a.lo b.lo) ~hi:(max a.hi b.hi) ~align ~res
+          ~taint:(a.taint || b.taint)
+
+  let widen old next =
+    match (old, next) with
+    | Bot, x | x, Bot -> x
+    | Val o, Val n ->
+        let align, res = cong_join (o.align, o.res) (n.align, n.res) in
+        let lo = if Int64.compare n.lo o.lo < 0 then 0L else o.lo in
+        let hi = if Int64.compare n.hi o.hi > 0 then max32 else o.hi in
+        norm ~lo ~hi ~align ~res ~taint:(o.taint || n.taint)
+
+  let narrow wide refined =
+    match (wide, refined) with
+    | Bot, _ | _, Bot -> refined
+    | Val w, Val r ->
+        let lo = if Int64.equal w.lo 0L then r.lo else w.lo in
+        let hi = if Int64.equal w.hi max32 then r.hi else w.hi in
+        norm ~lo ~hi ~align:w.align ~res:w.res ~taint:w.taint
+
+  (* --- transformers ------------------------------------------------- *)
+
+  let tainted_if t v = if t then tainted v else v
+
+  let lift2_const f a b =
+    match (is_const a, is_const b) with
+    | Some x, Some y -> Some (tainted_if (taint a || taint b) (const (f x y)))
+    | _, _ -> None
+
+  let add a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Val x, Val y ->
+        let t = x.taint || y.taint in
+        let align, res =
+          let al = min x.align y.align in
+          (al, Int64.logand (Int64.add x.res y.res) (lmask al))
+        in
+        let lo = Int64.add x.lo y.lo and hi = Int64.add x.hi y.hi in
+        if Int64.compare hi max32 <= 0 then norm ~lo ~hi ~align ~res ~taint:t
+        else if Int64.compare lo two32 >= 0 then
+          norm ~lo:(Int64.sub lo two32) ~hi:(Int64.sub hi two32) ~align ~res ~taint:t
+        else norm ~lo:0L ~hi:max32 ~align ~res ~taint:t
+
+  let neg a =
+    match a with
+    | Bot -> Bot
+    | Val x ->
+        let align, res =
+          (x.align, Int64.logand (Int64.neg x.res) (lmask x.align))
+        in
+        if Int64.equal x.lo 0L && Int64.equal x.hi 0L then a
+        else if Int64.compare x.lo 1L >= 0 then
+          norm ~lo:(Int64.sub two32 x.hi) ~hi:(Int64.sub two32 x.lo) ~align ~res
+            ~taint:x.taint
+        else norm ~lo:0L ~hi:max32 ~align ~res ~taint:x.taint
+
+  let sub a b = add a (neg b)
+  let add_wrapped v c = add v (const c)
+
+  (* x | y and x xor y cannot exceed the highest set-bit ceiling of
+     either input: x,y < 2^k implies x|y < 2^k. *)
+  let bit_ceiling hi =
+    let rec go k = if Int64.compare (pow2 k) hi > 0 then k else go (k + 1) in
+    Int64.sub (pow2 (go 0)) 1L
+
+  let logand a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Val x, Val y -> (
+        match lift2_const Int32.logand a b with
+        | Some r -> r
+        | None ->
+            let al = min x.align y.align in
+            let res = Int64.logand (Int64.logand x.res y.res) (lmask al) in
+            norm ~lo:0L ~hi:(min x.hi y.hi) ~align:al ~res
+              ~taint:(x.taint || y.taint))
+
+  let logor a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Val x, Val y -> (
+        match lift2_const Int32.logor a b with
+        | Some r -> r
+        | None ->
+            let al = min x.align y.align in
+            let res = Int64.logand (Int64.logor x.res y.res) (lmask al) in
+            norm ~lo:(max x.lo y.lo) ~hi:(bit_ceiling (max x.hi y.hi)) ~align:al
+              ~res ~taint:(x.taint || y.taint))
+
+  let logxor a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Val x, Val y -> (
+        match lift2_const Int32.logxor a b with
+        | Some r -> r
+        | None ->
+            let al = min x.align y.align in
+            let res = Int64.logand (Int64.logxor x.res y.res) (lmask al) in
+            norm ~lo:0L ~hi:(bit_ceiling (max x.hi y.hi)) ~align:al ~res
+              ~taint:(x.taint || y.taint))
+
+  let lognot a =
+    match a with
+    | Bot -> Bot
+    | Val x ->
+        let res = Int64.logand (Int64.lognot x.res) (lmask x.align) in
+        norm ~lo:(Int64.sub max32 x.hi) ~hi:(Int64.sub max32 x.lo) ~align:x.align
+          ~res ~taint:x.taint
+
+  let mul a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Val x, Val y -> (
+        match lift2_const Int32.mul a b with
+        | Some r -> r
+        | None ->
+            let t = x.taint || y.taint in
+            let al = min 32 (x.align + y.align) in
+            let res = Int64.logand (Int64.mul x.res y.res) (lmask al) in
+            if
+              Int64.equal x.hi 0L
+              || Int64.compare y.hi (Int64.div max32 x.hi) <= 0
+            then
+              norm ~lo:(Int64.mul x.lo y.lo) ~hi:(Int64.mul x.hi y.hi) ~align:al
+                ~res ~taint:t
+            else norm ~lo:0L ~hi:max32 ~align:al ~res ~taint:t)
+
+  (* Mirror of Emulator.do_shift at 32-bit width (count land 31; rotate
+     count further mod 32), minus the flag effects. *)
+  let shift (op : Insn.shift) a count =
+    let n = count land 31 in
+    if n = 0 then a
+    else
+      match a with
+      | Bot -> Bot
+      | Val x -> (
+          match is_const a with
+          | Some v ->
+              let r =
+                match op with
+                | Insn.Shl -> Int32.shift_left v n
+                | Insn.Shr -> Int32.shift_right_logical v n
+                | Insn.Sar -> Int32.shift_right v n
+                | Insn.Rol ->
+                    Int32.logor (Int32.shift_left v n)
+                      (Int32.shift_right_logical v (32 - n))
+                | Insn.Ror ->
+                    Int32.logor
+                      (Int32.shift_right_logical v n)
+                      (Int32.shift_left v (32 - n))
+              in
+              if x.taint then tainted (const r) else const r
+          | None -> (
+              match op with
+              | Insn.Shl ->
+                  let al = min 32 (x.align + n) in
+                  let res = Int64.logand (Int64.shift_left x.res n) (lmask al) in
+                  let hi = Int64.shift_left x.hi n in
+                  if Int64.compare hi max32 <= 0 then
+                    norm ~lo:(Int64.shift_left x.lo n) ~hi ~align:al ~res
+                      ~taint:x.taint
+                  else norm ~lo:0L ~hi:max32 ~align:al ~res ~taint:x.taint
+              | Insn.Shr ->
+                  let al = max 0 (x.align - n) in
+                  norm
+                    ~lo:(Int64.shift_right_logical x.lo n)
+                    ~hi:(Int64.shift_right_logical x.hi n)
+                    ~align:al
+                    ~res:(Int64.shift_right_logical x.res n)
+                    ~taint:x.taint
+              | Insn.Sar ->
+                  if Int64.compare x.hi 0x7FFF_FFFFL <= 0 then
+                    norm
+                      ~lo:(Int64.shift_right_logical x.lo n)
+                      ~hi:(Int64.shift_right_logical x.hi n)
+                      ~align:(max 0 (x.align - n))
+                      ~res:(Int64.shift_right_logical x.res n)
+                      ~taint:x.taint
+                  else norm ~lo:0L ~hi:max32 ~align:0 ~res:0L ~taint:x.taint
+              | Insn.Rol | Insn.Ror ->
+                  norm ~lo:0L ~hi:max32 ~align:0 ~res:0L ~taint:x.taint))
+
+  let low_byte a = logand a (const 0xFFl)
+
+  let merge_low8 old b =
+    match (is_const old, is_const b) with
+    | Some o, Some l ->
+        let r =
+          const
+            (Int32.logor (Int32.logand o 0xFFFF_FF00l) (Int32.logand l 0xFFl))
+        in
+        if taint old || taint b then tainted r else r
+    | _, _ -> logor (logand old (const 0xFFFF_FF00l)) (low_byte b)
+
+  let without t c =
+    match t with
+    | Bot -> Bot
+    | Val x ->
+        if not (contains t c) then t
+        else
+          let u = u64 c in
+          if Int64.equal x.lo x.hi then Bot
+          else if Int64.equal u x.lo then
+            norm ~lo:(Int64.add x.lo 1L) ~hi:x.hi ~align:x.align ~res:x.res
+              ~taint:x.taint
+          else if Int64.equal u x.hi then
+            norm ~lo:x.lo ~hi:(Int64.sub x.hi 1L) ~align:x.align ~res:x.res
+              ~taint:x.taint
+          else t
+
+  let pp ppf = function
+    | Bot -> Format.pp_print_string ppf "bot"
+    | Val { lo; hi; align; res; taint } ->
+        if Int64.equal lo hi then Format.fprintf ppf "0x%Lx" lo
+        else begin
+          Format.fprintf ppf "[0x%Lx,0x%Lx]" lo hi;
+          if align > 0 then Format.fprintf ppf "≡0x%Lx(2^%d)" res align
+        end;
+        if taint then Format.pp_print_string ppf "·t"
+end
+
+module Region = struct
+  type t = No_writes | Writes of { addr : V.t; width : int }
+
+  let empty = No_writes
+  let top = Writes { addr = V.top; width = 4 }
+
+  let join a b =
+    match (a, b) with
+    | No_writes, x | x, No_writes -> x
+    | Writes a, Writes b ->
+        Writes { addr = V.join a.addr b.addr; width = max a.width b.width }
+
+  let store t ~addr ~width =
+    if V.is_bot addr then t else join t (Writes { addr; width })
+
+  let widen a b =
+    match (a, b) with
+    | No_writes, x | x, No_writes -> x
+    | Writes a, Writes b ->
+        Writes { addr = V.widen a.addr b.addr; width = max a.width b.width }
+
+  let equal a b =
+    match (a, b) with
+    | No_writes, No_writes -> true
+    | Writes a, Writes b -> V.equal a.addr b.addr && a.width = b.width
+    | No_writes, Writes _ | Writes _, No_writes -> false
+
+  let writes = function No_writes -> false | Writes _ -> true
+
+  let max_bytes = function
+    | No_writes -> Some 0L
+    | Writes { addr; width } -> (
+        match V.bounds addr with
+        | None -> Some 0L
+        | Some (lo, hi) ->
+            let span = Int64.add (Int64.sub hi lo) (Int64.of_int width) in
+            let by_count = Int64.mul (V.size addr) (Int64.of_int width) in
+            let b = min span by_count in
+            if Int64.compare b max32 >= 0 then None else Some b)
+
+  let may_touch t ~lo ~hi =
+    match t with
+    | No_writes -> false
+    | Writes { addr; width } -> (
+        match V.bounds addr with
+        | None -> false
+        | Some (alo, ahi) ->
+            let lo = max 0L (Int64.sub lo (Int64.of_int (width - 1))) in
+            Int64.compare alo hi <= 0 && Int64.compare ahi lo >= 0)
+
+  let pp ppf = function
+    | No_writes -> Format.pp_print_string ppf "no-writes"
+    | Writes { addr; width } -> Format.fprintf ppf "writes@%a×%d" V.pp addr width
+end
+
+type state = { regs : V.t array; stack : V.t list; written : Region.t }
+
+let max_stack = 128
+
+let initial =
+  { regs = Array.make 8 V.top_clean; stack = []; written = Region.empty }
+
+let entry_state ?(arena_size = 1 lsl 18) () =
+  let regs = Array.make 8 (V.const 0l) in
+  regs.(Reg.code Reg.ESP) <-
+    V.const (Int32.add Emulator.code_base (Int32.of_int (arena_size - 16)));
+  { regs; stack = []; written = Region.empty }
+
+let get t r = t.regs.(Reg.code r)
+
+let set t r v =
+  let regs = Array.copy t.regs in
+  regs.(Reg.code r) <- v;
+  { t with regs }
+
+let value_of t (v : Sem.value) =
+  match v with
+  | Sem.Vconst c -> V.const c
+  | Sem.Vreg r -> get t r
+  | Sem.Vunknown -> V.top
+
+let record_store t ~addr ~width =
+  { t with written = Region.store t.written ~addr ~width }
+
+let push_stack t v =
+  let stack = v :: t.stack in
+  let stack = if List.length stack > max_stack then t.stack else stack in
+  { t with stack }
+
+(* ESP-relative slot access, as in Constprop: slot k lives at [esp+4k]. *)
+let slot_of_esp (ptr : Reg.t) (disp : int32) depth =
+  if
+    Reg.equal ptr Reg.ESP
+    && Int32.compare disp 0l >= 0
+    && Int32.rem disp 4l = 0l
+    && Int32.to_int disp / 4 < depth
+  then Some (Int32.to_int disp / 4)
+  else None
+
+let stack_get t k = List.nth t.stack k
+
+let stack_set t k v =
+  { t with stack = List.mapi (fun i x -> if i = k then v else x) t.stack }
+
+let width_bytes = function Insn.S8bit -> 1 | Insn.S32bit -> 4
+
+(* Abstract rop application at 32-bit width; mirrors Constprop.apply_rop_32
+   over the richer domain. *)
+let apply_rop_32 (op : Sem.rop) a b =
+  match op with
+  | Sem.Ra Insn.Add -> V.add a b
+  | Sem.Ra Insn.Sub -> V.sub a b
+  | Sem.Ra Insn.And -> V.logand a b
+  | Sem.Ra Insn.Or -> V.logor a b
+  | Sem.Ra Insn.Xor -> V.logxor a b
+  | Sem.Ra Insn.Adc ->
+      (* unknown carry-in: result is sum or sum+1 *)
+      let s = V.add a b in
+      V.join s (V.add_wrapped s 1l)
+  | Sem.Ra Insn.Sbb ->
+      let s = V.sub a b in
+      V.join s (V.add_wrapped s (-1l))
+  | Sem.Ra Insn.Cmp -> a
+  | Sem.Rnot -> V.lognot a
+  | Sem.Rneg -> V.neg a
+  | Sem.Rshift s -> (
+      match V.is_const b with
+      | Some n -> V.shift s a (Int32.to_int (Int32.logand n 31l))
+      | None ->
+          let t = V.taint a || V.taint b in
+          if t then V.top else V.top_clean)
+
+let byte8 v = if V.taint v then V.tainted (V.low_byte v) else V.low_byte v
+
+let byte_top t = if t then V.byte else V.range 0L 255L
+
+(* 8-bit rop: compute on the low bytes, merge back.  Exact when both low
+   bytes are constant; otherwise an unknown byte. *)
+let apply_rop_8 (op : Sem.rop) old src =
+  let lo_old = byte8 old and lo_src = byte8 src in
+  let t = V.taint old || V.taint src in
+  let result =
+    match (V.is_const lo_old, V.is_const lo_src) with
+    | Some a, Some b -> (
+        let a = Int32.to_int a land 0xFF and b = Int32.to_int b land 0xFF in
+        let c r = V.const (Int32.of_int (r land 0xFF)) in
+        match op with
+        | Sem.Ra Insn.Add -> c (a + b)
+        | Sem.Ra Insn.Sub -> c (a - b)
+        | Sem.Ra Insn.And -> c (a land b)
+        | Sem.Ra Insn.Or -> c (a lor b)
+        | Sem.Ra Insn.Xor -> c (a lxor b)
+        | Sem.Ra Insn.Adc | Sem.Ra Insn.Sbb | Sem.Ra Insn.Cmp -> byte_top t
+        | Sem.Rnot -> c (lnot a)
+        | Sem.Rneg -> c (-a)
+        | Sem.Rshift s ->
+            let n = b land 31 in
+            if n = 0 then c a
+            else
+              c
+                (match s with
+                | Insn.Shl -> a lsl n
+                | Insn.Shr -> a lsr n
+                | Insn.Sar ->
+                    let signed = if a >= 0x80 then a - 0x100 else a in
+                    signed asr n
+                | Insn.Rol ->
+                    let n = n land 7 in
+                    (a lsl n) lor (a lsr (8 - n))
+                | Insn.Ror ->
+                    let n = n land 7 in
+                    (a lsr n) lor (a lsl (8 - n))))
+    | _, _ -> (
+        match op with
+        | Sem.Ra Insn.And -> V.logand lo_old lo_src
+        | Sem.Ra Insn.Or -> V.logor lo_old lo_src
+        | Sem.Ra Insn.Xor -> V.logxor lo_old lo_src
+        | _ -> byte_top t)
+  in
+  let result = if t then V.tainted result else result in
+  V.merge_low8 old result
+
+let clobber t regs = List.fold_left (fun acc r -> set acc r V.top) t regs
+
+let mem_addr t ptr disp = V.add_wrapped (get t ptr) disp
+
+let step t (s : Sem.t) =
+  match s with
+  | Sem.S_load { width; dst; ptr; disp } -> (
+      match slot_of_esp ptr disp (List.length t.stack) with
+      | Some k -> (
+          let v = stack_get t k in
+          match width with
+          | Insn.S32bit -> set t dst v
+          | Insn.S8bit -> set t dst (V.merge_low8 (get t dst) (byte8 v)))
+      | None -> (
+          (* unmodelled memory: payload bytes — tainted unknowns *)
+          match width with
+          | Insn.S32bit -> set t dst V.top
+          | Insn.S8bit -> set t dst (V.merge_low8 (get t dst) V.byte)))
+  | Sem.S_store { width; src; ptr; disp } -> (
+      let addr = mem_addr t ptr disp in
+      let t = record_store t ~addr ~width:(width_bytes width) in
+      match slot_of_esp ptr disp (List.length t.stack) with
+      | Some k -> (
+          let v = value_of t src in
+          match width with
+          | Insn.S32bit -> stack_set t k v
+          | Insn.S8bit -> stack_set t k (V.merge_low8 (stack_get t k) (byte8 v)))
+      | None -> t)
+  | Sem.S_memop { op; width; ptr; disp; src } -> (
+      let addr = mem_addr t ptr disp in
+      let t = record_store t ~addr ~width:(width_bytes width) in
+      match slot_of_esp ptr disp (List.length t.stack) with
+      | Some k -> (
+          let a = stack_get t k in
+          let b = value_of t src in
+          match width with
+          | Insn.S32bit -> stack_set t k (apply_rop_32 op a b)
+          | Insn.S8bit -> stack_set t k (apply_rop_8 op a b))
+      | None -> t)
+  | Sem.S_cmp | Sem.S_nop -> t
+  | Sem.S_regop { op; width; dst; src } -> (
+      let a = get t dst in
+      let b = value_of t src in
+      match width with
+      | Insn.S32bit -> set t dst (apply_rop_32 op a b)
+      | Insn.S8bit -> set t dst (apply_rop_8 op a b))
+  | Sem.S_set { width; dst; src } -> (
+      let b = value_of t src in
+      match width with
+      | Insn.S32bit -> set t dst b
+      | Insn.S8bit -> set t dst (V.merge_low8 (get t dst) (byte8 b)))
+  | Sem.S_advance { reg; amount; _ } ->
+      let t' = set t reg (V.add_wrapped (get t reg) amount) in
+      if Reg.equal reg Reg.ESP then
+        (* keep the slot model aligned with ESP movement *)
+        let k = Int32.to_int amount in
+        if k > 0 && k mod 4 = 0 && k / 4 <= List.length t.stack then
+          let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+          { t' with stack = drop (k / 4) t'.stack }
+        else if k < 0 && -k mod 4 = 0 && -k / 4 <= max_stack then
+          let rec grow n l = if n = 0 then l else grow (n - 1) (V.top :: l) in
+          { t' with stack = grow (-k / 4) t'.stack }
+        else { t' with stack = [] }
+      else t'
+  | Sem.S_lea { dst; base; index; disp } ->
+      let base_v = match base with None -> V.const 0l | Some b -> get t b in
+      let index_v =
+        match index with
+        | None -> V.const 0l
+        | Some (r, sc) ->
+            let m =
+              match sc with Insn.S1 -> 1l | Insn.S2 -> 2l | Insn.S4 -> 4l | Insn.S8 -> 8l
+            in
+            V.mul (get t r) (V.const m)
+      in
+      set t dst (V.add_wrapped (V.add base_v index_v) disp)
+  | Sem.S_xchg (a, b) ->
+      let va = get t a and vb = get t b in
+      set (set t a vb) b va
+  | Sem.S_push v ->
+      (* evaluate before adjusting ESP: [push esp] pushes the old value *)
+      let pushed = value_of t v in
+      let esp = V.add_wrapped (get t Reg.ESP) (-4l) in
+      let t = set t Reg.ESP esp in
+      let t = record_store t ~addr:esp ~width:4 in
+      push_stack t pushed
+  | Sem.S_pop r -> (
+      match t.stack with
+      | top :: rest ->
+          let t = set t r top in
+          let t = { t with stack = rest } in
+          (* pop into ESP overrides the increment, as in hardware *)
+          if Reg.equal r Reg.ESP then t
+          else set t Reg.ESP (V.add_wrapped (get t Reg.ESP) 4l)
+      | [] ->
+          let t = set t r V.top in
+          if Reg.equal r Reg.ESP then t
+          else set t Reg.ESP (V.add_wrapped (get t Reg.ESP) 4l))
+  | Sem.S_branch _ -> t
+  | Sem.S_syscall _ -> set t Reg.EAX V.top_clean
+  | Sem.S_ret ->
+      let t = set t Reg.ESP (V.add_wrapped (get t Reg.ESP) 4l) in
+      { t with stack = (match t.stack with _ :: r -> r | [] -> []) }
+  | Sem.S_halt -> t
+  | Sem.S_other { writes; writes_mem } ->
+      let t = clobber t writes in
+      let t =
+        if writes_mem then { t with written = Region.top } else t
+      in
+      if List.exists (Reg.equal Reg.ESP) writes then { t with stack = [] } else t
+
+let step_insn t i = List.fold_left step t (Sem.lift i)
+
+let zip_state f a b =
+  let regs = Array.init 8 (fun i -> f a.regs.(i) b.regs.(i)) in
+  let stack =
+    if List.length a.stack = List.length b.stack then
+      List.map2 f a.stack b.stack
+    else []
+  in
+  { regs; stack; written = Region.join a.written b.written }
+
+let join a b = zip_state V.join a b
+
+let widen a b =
+  let s = zip_state V.widen a b in
+  { s with written = Region.widen a.written b.written }
+
+let narrow a b = zip_state V.narrow a b
+
+let equal a b =
+  (try Array.iter2 (fun x y -> if not (V.equal x y) then raise Exit) a.regs b.regs;
+       true
+   with Exit -> false)
+  && List.length a.stack = List.length b.stack
+  && List.for_all2 V.equal a.stack b.stack
+  && Region.equal a.written b.written
+
+type result = {
+  in_states : (int, state) Hashtbl.t;
+  out : state;
+  reachable : int list;
+}
+
+(* One abstract execution of a block: fold its instructions.  A [call]
+   terminator pushes a *constant* return address (the concrete emulator
+   pushes exactly [base + return_to]), which is what turns GetPC
+   call/pop sequences into constant pointers. *)
+let exec_block ~base (b : Cfg.block) st =
+  List.fold_left
+    (fun st (d : Decode.decoded) ->
+      match d.Decode.insn with
+      | Insn.Call_rel _ ->
+          let ret = Int32.add base (Int32.of_int (d.Decode.off + d.Decode.len)) in
+          let esp = V.add_wrapped (get st Reg.ESP) (-4l) in
+          let st = set st Reg.ESP esp in
+          let st = record_store st ~addr:esp ~width:4 in
+          push_stack st (V.const ret)
+      | _ -> step_insn st d.Decode.insn)
+    st b.Cfg.insns
+
+let analyze ?(entry = initial) ?(base = Emulator.code_base) cfg =
+  let widen_at =
+    List.fold_left
+      (fun acc (_, target) -> target :: acc)
+      [] (Cfg.back_edges cfg)
+  in
+  let in_states : (int, state) Hashtbl.t = Hashtbl.create 16 in
+  let visits : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let worklist = Queue.create () in
+  (match Cfg.block_at cfg 0 with
+  | Some _ ->
+      Hashtbl.replace in_states 0 entry;
+      Queue.add 0 worklist
+  | None -> ());
+  let budget = ref (64 * (Cfg.block_count cfg + 1)) in
+  while (not (Queue.is_empty worklist)) && !budget > 0 do
+    decr budget;
+    let off = Queue.take worklist in
+    match Cfg.block_at cfg off with
+    | None -> ()
+    | Some b ->
+        let st = Hashtbl.find in_states off in
+        let out = exec_block ~base b st in
+        List.iter
+          (fun succ ->
+            let n = Option.value (Hashtbl.find_opt visits succ) ~default:0 in
+            Hashtbl.replace visits succ (n + 1);
+            let proposed =
+              match Hashtbl.find_opt in_states succ with
+              | None -> out
+              | Some old ->
+                  let joined = join old out in
+                  if List.mem succ widen_at && n >= 2 then widen old joined
+                  else joined
+            in
+            match Hashtbl.find_opt in_states succ with
+            | Some old when equal old proposed -> ()
+            | _ ->
+                Hashtbl.replace in_states succ proposed;
+                Queue.add succ worklist)
+          (Cfg.successors cfg b)
+  done;
+  (* one narrowing sweep: recompute every reachable block's out-state and
+     refine widened in-states where the recomputation is tighter *)
+  let reachable =
+    Hashtbl.fold (fun k _ acc -> k :: acc) in_states [] |> List.sort compare
+  in
+  let outs = Hashtbl.create 16 in
+  List.iter
+    (fun off ->
+      match Cfg.block_at cfg off with
+      | None -> ()
+      | Some b -> Hashtbl.replace outs off (exec_block ~base b (Hashtbl.find in_states off)))
+    reachable;
+  List.iter
+    (fun off ->
+      if List.mem off widen_at then begin
+        let preds_out =
+          List.filter_map
+            (fun p ->
+              match Cfg.block_at cfg p with
+              | Some pb when List.mem off (Cfg.successors cfg pb) ->
+                  Hashtbl.find_opt outs p
+              | _ -> None)
+            reachable
+        in
+        let recomputed =
+          List.fold_left
+            (fun acc o -> match acc with None -> Some o | Some a -> Some (join a o))
+            (if off = 0 then Some entry else None)
+            preds_out
+        in
+        match recomputed with
+        | Some r ->
+            Hashtbl.replace in_states off (narrow (Hashtbl.find in_states off) r)
+        | None -> ()
+      end)
+    reachable;
+  let out =
+    List.fold_left
+      (fun acc off ->
+        let o =
+          match Cfg.block_at cfg off with
+          | Some b -> exec_block ~base b (Hashtbl.find in_states off)
+          | None -> Hashtbl.find in_states off
+        in
+        match acc with None -> Some o | Some a -> Some (join a o))
+      None reachable
+  in
+  let out = Option.value out ~default:entry in
+  { in_states; out; reachable }

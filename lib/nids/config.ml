@@ -15,6 +15,8 @@ type t = {
   breaker : Breaker.config option;
   degrade : bool;
   confirm : Sanids_confirm.Confirm.config option;
+  static_refute : bool;
+      (* run the abstract pre-stage before the emulator on each hit *)
 }
 
 let default =
@@ -35,6 +37,7 @@ let default =
     breaker = None;
     degrade = false;
     confirm = None;
+    static_refute = false;
   }
 
 let with_honeypots honeypots t = { t with honeypots }
@@ -53,6 +56,7 @@ let with_budget analysis_budget t = { t with analysis_budget }
 let with_breaker breaker t = { t with breaker }
 let with_degrade degrade t = { t with degrade }
 let with_confirm confirm t = { t with confirm }
+let with_static_refute static_refute t = { t with static_refute }
 
 (* ------------------------------------------------------------------ *)
 (* The key=value spec layer: one grammar for every tunable the CLI and
@@ -80,6 +84,7 @@ let spec_keys =
     "honeypot"; "unused"; "scan_threshold"; "classify"; "extract";
     "min_payload"; "reassemble"; "verdict_cache"; "flow_alert_cache";
     "queue"; "drop_policy"; "budget"; "breaker"; "degrade"; "confirm";
+    "static_refute";
   ]
 
 let of_spec s =
@@ -129,6 +134,7 @@ let of_spec s =
           Result.map
             (fun c t -> { t with confirm = Some c })
             (Sanids_confirm.Confirm.config_of_string v)
+      | "static_refute" -> bool_field (fun b t -> { t with static_refute = b })
       | _ ->
           Error
             (Printf.sprintf "config: unknown key %S (want %s)" k
@@ -235,6 +241,10 @@ let lint t =
             whole budget"
            c.Sanids_confirm.Confirm.max_steps)
   | Some _ | None -> ());
+  if t.static_refute && t.confirm = None then
+    emit "SL209" Finding.Error
+      "static_refute is a pre-stage of dynamic confirmation and needs \
+       confirm=... set (alone there is no verdict stage to short-circuit)";
   List.rev !fs
 
 let validate t =

@@ -67,6 +67,17 @@ type t = {
           timed in the [confirm] stage histogram; refuted matches are
           dropped from alerting, and only confirmed analyses enter the
           verdict cache. *)
+  static_refute : bool;
+      (** abstract pre-stage for confirmation: before each emulator run,
+          abstractly execute the hit over the
+          {!Sanids_ir.Absint.V} interval domain under the same budgets;
+          hits the analysis proves the emulator must refute become
+          {!Sanids_confirm.Confirm.Statically_refuted} without ever
+          entering the emulator (counted under
+          [sanids_confirm_total{outcome="static_refuted"}] and timed in
+          the [static_refute] stage histogram).  Sound: a hit the
+          emulator could confirm, or leave inconclusive, is never
+          statically refuted.  Requires [confirm] to be set. *)
 }
 
 val default : t
@@ -98,6 +109,9 @@ val with_degrade : bool -> t -> t
 val with_confirm : Sanids_confirm.Confirm.config option -> t -> t
 (** Enable (or disable with [None]) the dynamic-confirmation stage. *)
 
+val with_static_refute : bool -> t -> t
+(** Toggle the abstract refutation pre-stage (needs confirmation on). *)
+
 val of_spec : string -> (t -> t, string) result
 (** [of_spec "key=value"] parses one configuration assignment into an
     updater — the single grammar behind the CLI's
@@ -110,7 +124,7 @@ val of_spec : string -> (t -> t, string) result
     [min_payload], [verdict_cache], [flow_alert_cache], [queue]
     (integers), [drop_policy], [budget], [breaker], [confirm]
     (sub-specs; [confirm=default] enables confirmation with the
-    defaults).  Errors
+    defaults), [static_refute] (boolean).  Errors
     carry the same typed ["key: ..."] messages as the sub-parsers, so a
     bad flag and a rejected reload read identically. *)
 
@@ -145,7 +159,9 @@ val lint : t -> Sanids_staticlint.Finding.t list
     - [SL207] {e error} — invalid confirmation settings
       ({!Sanids_confirm.Confirm.validate_config}).
     - [SL208] {e warn} — a confirm step budget above 1M: a hostile
-      packet can hold the analysis thread for the whole budget. *)
+      packet can hold the analysis thread for the whole budget.
+    - [SL209] {e error} — [static_refute] without [confirm]: the
+      pre-stage has no verdict stage to short-circuit. *)
 
 val validate : t -> (t, string) result
 (** Reject configurations that would silently misbehave rather than

@@ -65,6 +65,7 @@ type stages = {
   st_classify : Obs.Span.stage;
   st_extract : Obs.Span.stage;
   st_match : Obs.Span.stage;
+  st_static : Obs.Span.stage;
   st_confirm : Obs.Span.stage;
   st_analyze : Obs.Span.stage;
 }
@@ -156,6 +157,7 @@ let create ?tracer (cfg : Config.t) =
         st_classify = Obs.Span.stage reg "classify";
         st_extract = Obs.Span.stage reg "extract";
         st_match = Obs.Span.stage reg "match";
+        st_static = Obs.Span.stage reg "static_refute";
         st_confirm = Obs.Span.stage reg "confirm";
         st_analyze = Obs.Span.stage reg "analyze";
       };
@@ -232,10 +234,20 @@ let confirm_verdicts t verdicts =
               if v.degraded then v
               else begin
                 let ev = Matcher.evidence v.match_ in
+                let code = Slice.to_string v.frame.Extractor.data in
+                let entry = ev.Matcher.ev_entry in
+                (* abstract pre-stage: when it proves the emulator must
+                   refute, skip the emulator entirely *)
+                let refutation =
+                  if t.cfg.Config.static_refute then
+                    span t t.st.st_static (fun () ->
+                        Sanids_confirm.Static_refute.run ~config ~code ~entry ())
+                  else None
+                in
                 let outcome =
-                  Confirm.run ~config
-                    ~code:(Slice.to_string v.frame.Extractor.data)
-                    ~entry:ev.Matcher.ev_entry ()
+                  match refutation with
+                  | Some reason -> Confirm.Statically_refuted reason
+                  | None -> Confirm.run ~config ~code ~entry ()
                 in
                 count_confirm t outcome;
                 { v with confirmation = Some outcome }
@@ -518,7 +530,7 @@ let process_packet t packet =
                it before it can claim a flow-dedup slot or alert *)
             let refuted v =
               match v.confirmation with
-              | Some (Confirm.Refuted _) -> true
+              | Some (Confirm.Refuted _ | Confirm.Statically_refuted _) -> true
               | Some _ | None -> false
             in
             let alerts =

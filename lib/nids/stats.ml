@@ -24,6 +24,7 @@ type t = {
   worker_restarts : int;
   confirmed : int;
   refuted : int;
+  static_refuted : int;
   confirm_inconclusive : int;
 }
 
@@ -52,6 +53,7 @@ let zero =
     worker_restarts = 0;
     confirmed = 0;
     refuted = 0;
+    static_refuted = 0;
     confirm_inconclusive = 0;
   }
 
@@ -92,6 +94,9 @@ let of_snapshot s =
     refuted =
       c (Obs.Registry.series_name "sanids_confirm_total"
            [ ("outcome", "refuted") ]);
+    static_refuted =
+      c (Obs.Registry.series_name "sanids_confirm_total"
+           [ ("outcome", "static_refuted") ]);
     confirm_inconclusive =
       (let l outcome =
          c (Obs.Registry.series_name "sanids_confirm_total"
@@ -106,10 +111,10 @@ let decode_memo_ratio t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d ingest_errors=%d shed=%d worker_failures=%d truncated=%d degraded=%d breaker_open=%d worker_restarts=%d confirm=%d/%d/%d"
+    "packets=%d bytes=%d suspicious=%d prefiltered=%d frames=%d frame_bytes=%d alerts=%d analysis=%.3fs vcache=%d/%d/%d decode_memo=%.2f budget_exhausted=%d ingest_errors=%d shed=%d worker_failures=%d truncated=%d degraded=%d breaker_open=%d worker_restarts=%d confirm=%d/%d/%d/%d"
     t.packets t.bytes t.classified_suspicious t.prefilter_hits t.frames
     t.frame_bytes t.alerts t.analysis_seconds t.verdict_cache_hits
     t.verdict_cache_misses t.verdict_cache_evictions (decode_memo_ratio t)
     t.scan_budget_exhausted t.ingest_errors t.shed t.worker_failures
     t.budget_truncated t.degraded t.breaker_open t.worker_restarts
-    t.confirmed t.refuted t.confirm_inconclusive
+    t.confirmed t.refuted t.static_refuted t.confirm_inconclusive

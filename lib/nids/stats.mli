@@ -57,6 +57,10 @@ type t = {
   refuted : int;
       (** matches the emulator disproved — demoted false positives
           ([sanids_confirm_total{outcome="refuted"}]) *)
+  static_refuted : int;
+      (** matches the abstract pre-stage disproved without running the
+          emulator — also demoted, and each one is an emulator call
+          avoided ([sanids_confirm_total{outcome="static_refuted"}]) *)
   confirm_inconclusive : int;
       (** confirmation runs that ran out of budget or could not be
           seeded *)

@@ -29,11 +29,20 @@ let subset a b =
   | Ex _, In _ -> false (* a co-finite set is never inside a finite one *)
   | Ex x, Ex y -> S.subset y x
 
+(* 2^32: the size of the int32 universe, for the Ex/Ex emptiness test *)
+let universe = 4_294_967_296
+
 let disjoint a b =
   match (a, b) with
   | In x, In y -> S.disjoint x y
   | In x, Ex y | Ex y, In x -> S.subset x y
-  | Ex _, Ex _ -> false (* two co-finite sets always intersect *)
+  | Ex x, Ex y ->
+      (* the intersection is the complement of [x ∪ y]: empty exactly
+         when the exclusions cover the whole universe.  The cardinality
+         guard keeps the union allocation off every realistic
+         (small-exclusion) call. *)
+      S.cardinal x + S.cardinal y >= universe
+      && S.cardinal (S.union x y) = universe
 
 let pp ppf t =
   let values s =

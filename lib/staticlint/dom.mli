@@ -41,7 +41,11 @@ val subset : t -> t -> bool
     the implication test behind guard vacuity and subsumption. *)
 
 val disjoint : t -> t -> bool
-(** No value admitted by both (conservative: [false] when either side
-    is co-finite or top, except provably disjoint finite cases). *)
+(** No value admitted by both.  Exact in every representation pair:
+    finite/finite is set disjointness, finite/co-finite holds exactly
+    when the finite side is contained in the exclusions, and
+    co-finite/co-finite holds exactly when the exclusion sets cover the
+    whole 32-bit universe (so top is never disjoint from anything but
+    bottom). *)
 
 val pp : Format.formatter -> t -> unit

@@ -13,6 +13,10 @@ val infer : Template.guard list -> doms
 val dom : doms -> Template.cvar -> Dom.t
 (** A variable's admissible set ({!Dom.any} when unconstrained). *)
 
+val constrain : doms -> Template.cvar -> Dom.t -> doms
+(** Meet one more constraint into a variable's set — how callers fold
+    non-guard facts (e.g. binding-site widths) into an inferred map. *)
+
 val differ_unsat : doms -> Template.guard -> bool
 (** A [Differ] guard that can never hold under [doms]: same variable on
     both sides, or both sides forced to the same single value. *)

@@ -58,6 +58,26 @@ let templates =
       [ Once (Stack_const (Exact 7l)); Once (Code_const 0x1111l) ];
     make ~name:"st-variant" ~description:"SL011: generic sibling"
       [ Once (Code_const 0x1111l) ];
+    make ~name:"st-abs-unreachable"
+      ~description:"SL401: a step the abstract interpreter proves dead \
+                    (straight-line code after a constant exit syscall)"
+      [
+        Once (Syscall { vector = 0x80; al = Exact 1l; bl = Any });
+        Once (Code_const 0x3333l);
+      ];
+    make ~name:"st-width-guard"
+      ~description:"SL402: full-word guard on a variable bound at an 8-bit \
+                    site"
+      ~guards:[ Equals ("nr", 0x1234l) ]
+      [ Once (Syscall { vector = 0x80; al = Bind "nr"; bl = Any }) ];
+    make ~name:"st-hollow-loop"
+      ~description:"SL403: decrypt loop that never stores a byte"
+      [
+        Once (Load { dst = "v"; ptr = "p"; width = Wany });
+        Once (Reg_transform { ops = xor_op; reg = "v" });
+        Once (Ptr_advance { ptr = "p" });
+        Once Back_edge;
+      ];
   ]
 
 let rules =
@@ -78,4 +98,4 @@ let rules =
 
 let findings () =
   Template_lint.lint templates @ Subsume.lint templates
-  @ Rule_lint.lint_text rules
+  @ Absint_lint.lint templates @ Rule_lint.lint_text rules

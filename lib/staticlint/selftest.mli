@@ -4,11 +4,12 @@
     linter still catches each seeded defect. *)
 
 val templates : Template.t list
-(** Templates seeded with SL001–SL011 defects (names [st-*]). *)
+(** Templates seeded with SL001–SL011 and SL401–SL403 defects (names
+    [st-*]). *)
 
 val rules : string
 (** Ruleset text seeded with SL100 and SL102–SL105 defects. *)
 
 val findings : unit -> Finding.t list
-(** Lint the corpus: template findings, subsumption findings, rule
-    findings — in that order. *)
+(** Lint the corpus: template findings, subsumption findings, semantic
+    (SL4xx) findings, rule findings — in that order. *)

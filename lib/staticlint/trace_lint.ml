@@ -21,14 +21,33 @@ let lint ~subject code =
                          writes (%.0f%%)"
            !dead n (100. *. frac))
     in
-    if frac >= junk_threshold then
-      [
-        density;
-        Finding.v ~code:"SL303" ~severity:Finding.Warn ~subject
-          (Printf.sprintf
-             "dead-write fraction %.2f is at or above %.2f: the region looks \
-              heavily padded with junk"
-             frac junk_threshold);
-      ]
-    else [ density ]
+    let junk =
+      if frac >= junk_threshold then
+        [
+          density;
+          Finding.v ~code:"SL303" ~severity:Finding.Warn ~subject
+            (Printf.sprintf
+               "dead-write fraction %.2f is at or above %.2f: the region looks \
+                heavily padded with junk"
+               frac junk_threshold);
+        ]
+      else [ density ]
+    in
+    (* self-modification reachability: analyze the whole CFG abstractly
+       and ask whether any reachable store may land inside the region
+       itself — the decoder signature the trace alone cannot establish *)
+    let res = Absint.analyze ~entry:(Absint.entry_state ()) (Cfg.build code) in
+    let lo = Int64.of_int32 Emulator.code_base in
+    let hi = Int64.add lo (Int64.of_int (String.length code - 1)) in
+    let self_mod =
+      if Absint.Region.may_touch res.Absint.out.Absint.written ~lo ~hi then
+        [
+          Finding.v ~code:"SL404" ~severity:Finding.Info ~subject
+            "abstractly reachable self-modifying store: some execution path \
+             may overwrite bytes of this region — the decoder shape \
+             (confirm dynamically before trusting the disassembly)";
+        ]
+      else []
+    in
+    junk @ self_mod
   end

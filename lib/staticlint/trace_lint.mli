@@ -7,7 +7,12 @@
       dead writes ({!Defuse.dead_fraction}).
     - [SL303] {e warn} — dead-write fraction at or above the threshold
       (0.25): the region looks heavily padded by a polymorphic junk
-      engine. *)
+      engine.
+    - [SL404] {e info} — self-modification reachability: the abstract
+      interpretation of the region's whole CFG ({!Sanids_ir.Absint})
+      shows a reachable store that may overwrite the region's own bytes
+      — the static disassembly should not be trusted without dynamic
+      confirmation. *)
 
 val junk_threshold : float
 (** Dead-write fraction at which [SL303] fires (0.25). *)

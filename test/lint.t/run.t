@@ -38,17 +38,22 @@ the run with the data error exit:
   SL005 warn  template:st-unreachable (step 2): unreachable: the exit syscall at step 1 never returns, so the remaining 1 step(s) can never execute
   SL006 error template:st-unsat-guards: guards are unsatisfiable: no value of "k" can satisfy their conjunction — the template can never match
   SL007 info  template:st-vacuous-guard (guard 2): guard is implied by the guards before it and can never change a verdict
+  SL005 warn  template:st-abs-unreachable (step 2): unreachable: the exit syscall at step 1 never returns, so the remaining 1 step(s) can never execute
   SL008 warn  template:st-dup-a: equivalent to template:st-dup-b: each subsumes the other, so one of the two templates is redundant
   SL009 info  template:st-specific: every match is also matched by the more general template:st-dup-a (specific-before-generic hierarchy?)
   SL009 info  template:st-specific: every match is also matched by the more general template:st-dup-b (specific-before-generic hierarchy?)
   SL010 warn  template:st-twin#2: exact duplicate of template:st-twin#1
   SL011 info  template:st-variant#1: every match is also matched by sibling template:st-variant#2 — the generic variant settles this name first anyway
+  SL401 warn  template:st-unreachable (step 2): step is unreachable under the abstract semantics of the template's canonical realization — no abstract path past the preceding steps reaches it
+  SL401 warn  template:st-abs-unreachable (step 2): step is unreachable under the abstract semantics of the template's canonical realization — no abstract path past the preceding steps reaches it
+  SL402 error template:st-width-guard: guards on "nr" can never hold: the variable is bound at an 8-bit site, so only values in [0, 255] ever reach the guard
+  SL403 warn  template:st-hollow-loop: decrypt loop can never write a byte it later executes: the realization's abstract may-write region misses the whole image (the loop body stores nothing, or stores only outside the region)
   SL100 error rule:2: parse error: missing option block
   SL102 warn  rule:3 (content 1): unanchored single-byte pattern "A" matches a constant fraction of all traffic
   SL103 warn  rule:4 (content 2): duplicate content constraint within the rule
   SL104 warn  rule:6: duplicate of rule:5: same header and contents
   SL105 warn  rule:8: shadowed by rule:7, which fires on every packet this rule fires on
-  lint: 4 errors, 9 warnings, 4 infos
+  lint: 5 errors, 13 warnings, 4 infos
   [65]
 
 A substring-shadowed rule is caught, and --strict turns the warning
@@ -85,7 +90,8 @@ analysis:
   wrote poly.bin (154 bytes)
   $ sanids lint --trace poly.bin
   SL302 info  trace:poly.bin: junk density: 8 of 82 traced instructions are dead writes (10%)
-  lint: 0 errors, 0 warnings, 1 infos
+  SL404 info  trace:poly.bin: abstractly reachable self-modifying store: some execution path may overwrite bytes of this region — the decoder shape (confirm dynamically before trusting the disassembly)
+  lint: 0 errors, 0 warnings, 2 infos
 
 Malformed specs are usage errors (64) with typed messages, one per
 spec-parser flag:
@@ -106,3 +112,30 @@ spec-parser flag:
   64
   $ grep -qo 'fault: unknown kind "meteor"' err && echo typed
   typed
+
+SARIF output is a single minimal 2.1.0 document (rule ids from the
+distinct finding codes, one result per finding):
+
+  $ sanids lint --templates --format sarif | tr ',' '\n' | grep -c ruleId
+  4
+  $ sanids lint --templates --format sarif | grep -o '"version":"2.1.0"'
+  "version":"2.1.0"
+  $ sanids lint --templates --format sarif | grep -o '"$schema":"https://json.schemastore.org/sarif-2.1.0.json"'
+  "$schema":"https://json.schemastore.org/sarif-2.1.0.json"
+  $ sanids lint --templates --format sarif | grep -o '{"id":"SL009"}'
+  {"id":"SL009"}
+  $ sanids lint --selftest --format sarif | grep -o '"level":"error"' | head -1
+  "level":"error"
+
+The finding-code catalog is machine-readable, duplicate-free, and every
+code the selftest emits appears in it (the SL000 meta-check is part of
+--selftest; a clean run shows no SL000 findings):
+
+  $ sanids lint --codes | head -3
+  SL001 template
+  SL002 template
+  SL003 template
+  $ sanids lint --codes | awk '{print $1}' | sort | uniq -d
+  $ sanids lint --selftest | grep -c SL000
+  0
+  [1]

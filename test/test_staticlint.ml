@@ -37,7 +37,20 @@ let test_dom_laws () =
   Alcotest.(check bool) "two cofinite sets intersect" false
     (disjoint nz (exclude 1l));
   Alcotest.(check (option int32)) "singleton identified" (Some 5l)
-    (is_singleton (meet s1 any))
+    (is_singleton (meet s1 any));
+  (* disjoint is exact in every representation pair (the co-finite /
+     co-finite true case needs exclusion sets covering all 2^32 values,
+     which no guard conjunction of tractable size builds — untestable
+     here by construction, and that is the point: top is never disjoint
+     from anything but bottom) *)
+  Alcotest.(check bool) "finite/finite overlapping" false
+    (disjoint (of_list [ 5l; 9l ]) (of_list [ 9l; 11l ]));
+  Alcotest.(check bool) "finite inside exclusions" true
+    (disjoint (of_list [ 0l; 1l ]) (meet (exclude 0l) (exclude 1l)));
+  Alcotest.(check bool) "finite escaping exclusions" false
+    (disjoint (of_list [ 0l; 2l ]) (meet (exclude 0l) (exclude 1l)));
+  Alcotest.(check bool) "top vs finite" false (disjoint any s1);
+  Alcotest.(check bool) "bottom vs top" true (disjoint none any)
 
 (* ------------------------------------------------------------------ *)
 (* seeded defect classes: every selftest specimen announces its expected
